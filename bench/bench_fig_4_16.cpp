@@ -1,0 +1,15 @@
+// Fig 4.16: single- and double-precision GEMM efficiency (GFLOPS/W) at
+// core and chip level: GTX280 / GTX480 / Penryn vs throughput-matched LAPs.
+#include "common/table.hpp"
+#include "compare/breakdown.hpp"
+
+int main() {
+  using namespace lac;
+  Table t("Fig 4.16 -- GEMM GFLOPS/W, platform vs throughput-matched LAP");
+  t.set_header({"configuration", "core GFLOPS/W", "chip GFLOPS/W"});
+  for (const auto& p : compare::fig416_efficiency_comparison()) {
+    t.add_row({p.name, fmt(p.core_gflops_per_w, 1), fmt(p.chip_gflops_per_w, 1)});
+  }
+  t.print();
+  return 0;
+}

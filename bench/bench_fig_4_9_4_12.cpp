@@ -1,0 +1,53 @@
+// Figs 4.9-4.12: chip-level area and power efficiency of a 128-MAC LAP
+// (S=8 4x4 cores, n=2048) as the on-chip memory size varies, for the
+// domain-specific banked SRAM (4.9/4.10) and for a NUCA cache (4.11/4.12).
+#include <cstdio>
+
+#include "arch/presets.hpp"
+#include "common/table.hpp"
+#include "model/blocking.hpp"
+#include "power/chip_power.hpp"
+
+namespace {
+
+void sweep(lac::arch::OnChipMemKind kind, const char* title, const char* csv_name) {
+  using namespace lac;
+  Table t(title);
+  t.set_header({"mem MB", "cores mm2", "mem mm2", "chip mm2", "cores mW/GF",
+                "mem mW/GF", "chip mW/GF"});
+  CsvWriter csv(csv_name);
+  csv.write_row({"mem_mb", "cores_mm2", "mem_mm2", "chip_mm2", "cores_mw_gf",
+                 "mem_mw_gf", "chip_mw_gf"});
+  for (double mb : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 13.0}) {
+    arch::ChipConfig chip = arch::lap_s8(mb);
+    chip.mem_kind = kind;
+    // Smaller memories force higher streamed bandwidth (Fig 4.5 trade-off).
+    const model::BlockingChoice blk = model::best_blocking(2048, mb, 128);
+    const double words_per_cycle =
+        blk.bw_words < 1e200 ? 16.0 / std::max(0.25, mb) + blk.bw_words * 8.0
+                             : 64.0;
+    const power::ChipReport r = power::chip_report(chip, 0.93, words_per_cycle);
+    t.add_row({fmt(mb, 2), fmt(r.cores_area_mm2, 1), fmt(r.mem_area_mm2, 1),
+               fmt(r.chip_area_mm2, 1), fmt(r.cores_power_mw / r.gflops, 2),
+               fmt(r.mem_power_mw / r.gflops, 2), fmt(r.mw_per_gflop(), 2)});
+    csv.write_row({fmt(mb, 2), fmt(r.cores_area_mm2, 2), fmt(r.mem_area_mm2, 2),
+                   fmt(r.chip_area_mm2, 2), fmt(r.cores_power_mw / r.gflops, 3),
+                   fmt(r.mem_power_mw / r.gflops, 3), fmt(r.mw_per_gflop(), 3)});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  sweep(lac::arch::OnChipMemKind::BankedSram,
+        "Figs 4.9/4.10 -- banked SRAM on-chip memory (S=8, 128 MACs, n=2048)",
+        "fig_4_9_4_10.csv");
+  std::puts("SRAM design: cores dominate power at every capacity.\n");
+  sweep(lac::arch::OnChipMemKind::Nuca,
+        "Figs 4.11/4.12 -- NUCA on-chip memory (same system)",
+        "fig_4_11_4_12.csv");
+  std::puts("NUCA: small high-bandwidth caches out-consume and out-size the "
+            "cores; bigger+slower NUCA is the better NUCA.");
+  return 0;
+}

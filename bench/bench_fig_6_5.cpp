@@ -1,0 +1,25 @@
+// Fig 6.5: LAC area breakdown for the three divide/square-root extension
+// options (software emulation, isolated unit, diagonal-PE extensions).
+#include "arch/presets.hpp"
+#include "common/table.hpp"
+#include "power/pe_power.hpp"
+#include "power/sfu_model.hpp"
+
+int main() {
+  using namespace lac;
+  Table t("Fig 6.5 -- LAC area breakdown by divide/sqrt option (DP, mm^2)");
+  t.set_header({"option", "16 PEs", "MAC extension", "lookup tables",
+                "special logic", "total"});
+  for (auto opt : {arch::SfuOption::Software, arch::SfuOption::IsolatedUnit,
+                   arch::SfuOption::DiagonalPEs}) {
+    arch::CoreConfig core = arch::lac_4x4_dp();
+    core.sfu = opt;
+    const power::SfuAreaBreakdown sfu = power::sfu_area_breakdown(core);
+    const double pes = power::pe_area_mm2(core) * core.pes();
+    t.add_row({arch::to_string(opt), fmt(pes, 3), fmt(sfu.mac_extension_mm2, 3),
+               fmt(sfu.lookup_table_mm2, 3), fmt(sfu.special_logic_mm2, 3),
+               fmt(pes + sfu.total(), 3)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figs B.11-B.13: per-design PE power (actual per application and maximum)
+// and the PE area breakdown for the dedicated-LAC, dedicated-FFT and
+// hybrid designs at 1 GHz.
+#include "common/table.hpp"
+#include "fft/hybrid_design.hpp"
+
+int main() {
+  using namespace lac;
+  Table p("Figs B.11/B.12 -- PE power at 1 GHz [mW]");
+  p.set_header({"design", "GEMM actual", "FFT actual", "maximum"});
+  for (const auto& d : fft::pe_designs(1.0)) {
+    p.add_row({d.name, d.supports_gemm ? fmt(d.gemm_power_mw, 1) : "-",
+               d.supports_fft ? fmt(d.fft_power_mw, 1) : "-",
+               fmt(d.max_power_mw, 1)});
+  }
+  p.print();
+
+  Table a("Fig B.13 -- PE area breakdown [mm^2]");
+  a.set_header({"design", "FMAC", "SRAMs", "RF + control", "total"});
+  for (const auto& d : fft::pe_designs(1.0)) {
+    a.add_row({d.name, fmt(d.fmac_mm2, 3), fmt(d.sram_mm2, 3),
+               fmt(d.rf_ctrl_mm2, 3), fmt(d.total_mm2, 3)});
+  }
+  a.print();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figs B.5-B.7: worst-case bandwidth for full overlap vs problem size,
+// local store and utilization for overlapped/non-overlapped designs, and
+// the average communication load of the 64K-point 1D FFT -- plus a
+// simulator measurement of the batched 64-point transform pipeline.
+#include <cstdio>
+
+#include "arch/presets.hpp"
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "fft/fft_kernel.hpp"
+#include "fft/fft_model.hpp"
+
+int main() {
+  using namespace lac;
+  Table b5("Fig B.5 -- worst-case BW for full overlap (4 words/cyc ceiling)");
+  b5.set_header({"core FFT size", "words/cycle", "bytes/cycle"});
+  for (index_t n : {64, 256, 1024, 4096}) {
+    const double w = fft::required_bw_full_overlap(n);
+    b5.add_row({fmt_int(n), fmt(w, 2), fmt(w * 8.0, 1)});
+  }
+  b5.print();
+
+  Table b6("Fig B.6 -- local store/PE and utilization, overlap vs not (2 w/c)");
+  b6.set_header({"size", "store KB/PE (no ovl)", "util", "store KB/PE (ovl)", "util"});
+  for (index_t n : {64, 256, 1024, 4096}) {
+    const auto non = fft::fft_core_point(n, false, 2.0);
+    const auto ovl = fft::fft_core_point(n, true, 2.0);
+    b6.add_row({fmt_int(n), fmt(non.local_store_kb_per_pe, 2), fmt_pct(non.utilization),
+                fmt(ovl.local_store_kb_per_pe, 2), fmt_pct(ovl.utilization)});
+  }
+  b6.print();
+
+  Table b7("Fig B.7 -- average communication load, 64K 1D FFT");
+  b7.set_header({"phase", "words/cycle"});
+  for (const auto& p : fft::comm_load_64k_1d()) b7.add_row({p.phase, fmt(p.words_per_cycle, 2)});
+  b7.print();
+
+  // Simulator: a pipelined batch of 64-point transforms (the building
+  // block of the large-FFT schedules) at the 4 words/cycle ceiling.
+  Rng rng(5);
+  std::vector<std::vector<fft::cplx>> frames(16, std::vector<fft::cplx>(64));
+  for (auto& f : frames)
+    for (auto& v : f) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  const auto batched = fft::fft64_batched(arch::lac_4x4_dp(), 4.0, frames);
+  std::printf("simulator: 16x 64-pt pipeline at 4 w/c: %.0f cycles total, "
+              "%.1f cycles/frame, utilization %.1f%%\n",
+              batched.cycles, batched.cycles / 16.0, 100.0 * batched.utilization);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Simulator throughput (google-benchmark): how fast the timed-dataflow
+// engine retires simulated work -- GEMM, TRSM, Cholesky, LU and FFT
+// kernels, plus the raw engine primitives.
+#include <benchmark/benchmark.h>
+
+#include "arch/presets.hpp"
+#include "common/random.hpp"
+#include "kernels/cholesky_kernel.hpp"
+#include "kernels/gemm_kernel.hpp"
+#include "kernels/lu_kernel.hpp"
+#include "kernels/trsm_kernel.hpp"
+#include "fft/fft_kernel.hpp"
+
+namespace {
+
+using namespace lac;
+
+void BM_GemmCore(benchmark::State& state) {
+  const index_t mk = state.range(0);
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a = random_matrix(mk, mk, 1);
+  MatrixD b = random_matrix(mk, mk * 2, 2);
+  MatrixD c(mk, mk * 2, 0.0);
+  double cycles = 0.0;
+  for (auto _ : state) {
+    auto r = kernels::gemm_core(cfg, 1.0, a.view(), b.view(), c.view());
+    cycles = r.cycles;
+    benchmark::DoNotOptimize(r.out.data());
+  }
+  state.counters["sim_cycles"] = cycles;
+  state.counters["sim_cycles_per_sec"] =
+      benchmark::Counter(cycles, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GemmCore)->Arg(16)->Arg(32)->Arg(48);
+
+void BM_TrsmCore(benchmark::State& state) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD l = random_lower_triangular(32, 3);
+  MatrixD b = random_matrix(32, 16, 4);
+  for (auto _ : state) {
+    auto r = kernels::trsm_core(cfg, 2.0, l.view(), b.view());
+    benchmark::DoNotOptimize(r.out.data());
+  }
+}
+BENCHMARK(BM_TrsmCore);
+
+void BM_CholeskyCore(benchmark::State& state) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a = random_spd(16, 5);
+  for (auto _ : state) {
+    auto r = kernels::cholesky_core(cfg, 2.0, a.view());
+    benchmark::DoNotOptimize(r.out.data());
+  }
+}
+BENCHMARK(BM_CholeskyCore);
+
+void BM_LuPanel(benchmark::State& state) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  cfg.pe.extensions.comparator = true;
+  MatrixD a = random_matrix(state.range(0), 4, 6);
+  for (auto _ : state) {
+    auto r = kernels::lu_panel(cfg, a.view());
+    benchmark::DoNotOptimize(r.kernel.out.data());
+  }
+}
+BENCHMARK(BM_LuPanel)->Arg(64)->Arg(256);
+
+void BM_Fft64(benchmark::State& state) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  Rng rng(7);
+  std::vector<fft::cplx> x(64);
+  for (auto& v : x) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  for (auto _ : state) {
+    auto r = fft::fft64_core(cfg, x);
+    benchmark::DoNotOptimize(r.out.data());
+  }
+}
+BENCHMARK(BM_Fft64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+// Table 3.2: 45nm scaled performance and area of various cores running
+// GEMM -- published comparator rows plus the LAC rows from our model.
+#include "common/table.hpp"
+#include "compare/arch_db.hpp"
+
+int main() {
+  using namespace lac;
+  Table t("Table 3.2 -- cores running GEMM (45nm scaled)");
+  t.set_header({"architecture", "W/mm2", "GFLOPS/mm2", "GFLOPS/W", "util", "source"});
+  auto emit = [&t](const compare::ArchRow& r) {
+    t.add_row({r.name, fmt(r.w_per_mm2, 2), fmt(r.gflops_per_mm2, 2),
+               fmt(r.gflops_per_w, 1), fmt_pct(r.utilization),
+               r.from_model ? "model" : "published"});
+  };
+  for (const auto& r : compare::table32_published()) {
+    if (r.precision == Precision::Single) emit(r);
+  }
+  emit(compare::lac_core_row(Precision::Single));
+  t.add_separator();
+  for (const auto& r : compare::table32_published()) {
+    if (r.precision == Precision::Double) emit(r);
+  }
+  emit(compare::lac_core_row(Precision::Double));
+  t.print();
+  return 0;
+}

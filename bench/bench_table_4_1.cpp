@@ -1,0 +1,55 @@
+// Table 4.1: bandwidth and memory requirements of every memory-hierarchy
+// layer, partial vs full overlap, evaluated at the chapter's reference
+// design point (S=8 4x4 cores, mc=kc=128, n=2048) and at the Fermi
+// validation point.
+#include "common/table.hpp"
+#include "model/chip_model.hpp"
+
+namespace {
+
+void emit(const char* title, lac::model::ChipGemmParams p) {
+  using namespace lac;
+  Table t(title);
+  t.set_header({"layer / quantity", "partial overlap", "full overlap"});
+  auto both = [&p](auto fn) {
+    p.overlap = model::Overlap::Partial;
+    const double a = fn(p);
+    p.overlap = model::Overlap::Full;
+    const double b = fn(p);
+    return std::make_pair(a, b);
+  };
+  auto [ls_p, ls_f] = both([](const auto& q) { return model::table41_local_store_words_per_pe(q); });
+  t.add_row({"local store [words/PE]", fmt(ls_p, 0), fmt(ls_f, 0)});
+  auto [ic_p, ic_f] = both([](const auto& q) { return model::table41_intra_core_bw_words(q); });
+  t.add_row({"intra-core BW [words/cyc]", fmt(ic_p, 2), fmt(ic_f, 2)});
+  auto [cc_p, cc_f] = both([](const auto& q) { return model::table41_core_chip_bw_words(q); });
+  t.add_row({"core<->chip BW [words/cyc]", fmt(cc_p, 3), fmt(cc_f, 3)});
+  auto [m_p, m_f] = both([](const auto& q) { return model::table41_onchip_mem_words(q) * 8.0 / 1048576.0; });
+  t.add_row({"on-chip memory [MB]", fmt(m_p, 2), fmt(m_f, 2)});
+  auto [ib_p, ib_f] = both([](const auto& q) { return model::table41_intra_chip_bw_words(q); });
+  t.add_row({"intra-chip BW [words/cyc]", fmt(ib_p, 2), fmt(ib_f, 2)});
+  auto [ob_p, ob_f] = both([](const auto& q) { return model::table41_offchip_bw_words(q); });
+  t.add_row({"off-chip BW [words/cyc]", fmt(ob_p, 3), fmt(ob_f, 3)});
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  using namespace lac;
+  model::ChipGemmParams ref;
+  ref.nr = 4;
+  ref.cores = 8;
+  ref.mc = ref.kc = 128;
+  ref.n = 2048;
+  emit("Table 4.1 -- S=8, nr=4, mc=kc=128, n=2048 (DP words)", ref);
+
+  model::ChipGemmParams fermi;
+  fermi.nr = 4;
+  fermi.cores = 14;
+  fermi.mc = fermi.kc = 20;
+  fermi.n = 280;
+  emit("Table 4.1 evaluated at the Fermi C2050 point (S=14, mc=kc=20, n=280)",
+       fermi);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Table 4.2: 45nm-scaled chip-level GEMM comparison across published
+// systems plus the modeled LAPs, including GFLOPS^2/W (inverse E-D).
+// Also prints Table 4.3 (qualitative design choices).
+#include "common/table.hpp"
+#include "compare/arch_db.hpp"
+
+int main() {
+  using namespace lac;
+  Table t("Table 4.2 -- systems running GEMM (45nm scaled)");
+  t.set_header({"architecture", "GFLOPS", "W/mm2", "GFLOPS/mm2", "GFLOPS/W",
+                "GFLOPS^2/W", "util", "source"});
+  auto emit = [&t](const compare::ArchRow& r) {
+    t.add_row({r.name, fmt(r.gflops, 0), fmt(r.w_per_mm2, 2),
+               fmt(r.gflops_per_mm2, 2), fmt(r.gflops_per_w, 2),
+               fmt(r.metrics().inverse_energy_delay(), 0), fmt_pct(r.utilization),
+               r.from_model ? "model" : "published"});
+  };
+  for (const auto& r : compare::table42_published())
+    if (r.precision == Precision::Single) emit(r);
+  emit(compare::lap_chip_row(Precision::Single));
+  t.add_separator();
+  for (const auto& r : compare::table42_published())
+    if (r.precision == Precision::Double) emit(r);
+  emit(compare::lap_chip_row(Precision::Double));
+  t.print();
+
+  Table d("Table 4.3 -- main design choices (qualitative)");
+  d.set_header({"dimension", "CPUs", "GPUs", "LAP"});
+  for (const auto& r : compare::table43_design_choices())
+    d.add_row({r.dimension, r.cpus, r.gpus, r.lap});
+  d.print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table 5.1: LAC efficiency for the level-3 BLAS at 1.1 GHz -- published
+// utilizations combined with the power/area model.
+#include "arch/presets.hpp"
+#include "common/table.hpp"
+#include "model/level3_model.hpp"
+#include "power/pe_power.hpp"
+
+int main() {
+  using namespace lac;
+  struct PaperRow {
+    model::Level3Op op;
+    int nr;
+    double w_mm2, gf_mm2, gf_w, util;
+  };
+  const PaperRow paper[] = {
+      {model::Level3Op::Gemm, 4, 0.397, 21.61, 54.4, 1.00},
+      {model::Level3Op::Trsm, 4, 0.377, 20.53, 51.7, 0.95},
+      {model::Level3Op::Syrk, 4, 0.357, 19.45, 49.0, 0.90},
+      {model::Level3Op::Syr2k, 4, 0.314, 17.07, 43.0, 0.79},
+      {model::Level3Op::Gemm, 8, 0.397, 21.61, 54.4, 1.00},
+      {model::Level3Op::Trsm, 8, 0.377, 20.53, 51.7, 0.95},
+      {model::Level3Op::Syrk, 8, 0.346, 18.80, 47.3, 0.87},
+      {model::Level3Op::Syr2k, 8, 0.290, 15.77, 39.7, 0.73},
+  };
+
+  Table t("Table 5.1 -- LAC level-3 BLAS efficiency at 1.1 GHz (paper | model)");
+  t.set_header({"op", "nr", "W/mm2", "GFLOPS/mm2", "GFLOPS/W", "utilization"});
+  for (const PaperRow& row : paper) {
+    arch::CoreConfig core = row.nr == 4 ? arch::lac_4x4_dp(1.1) : arch::lac_8x8_dp(1.1);
+    // Table 5.1 evaluates a lean 4 KB/PE configuration (the level-3
+    // working sets fit smaller stores than the 16 KB GEMM design).
+    core.pe.mem_a_kbytes = 4.0;
+    const double util = model::table51_utilization(row.op, row.nr);
+    const power::PeActivity act = power::gemm_activity(core.nr);
+    const double watts = power::core_power_mw(core, act) / 1000.0;
+    const double area = power::core_area_mm2(core);
+    const double gflops = core.peak_gflops() * util;
+    auto cell = [](double paper_v, double model_v, int dec) {
+      return fmt(paper_v, dec) + " | " + fmt(model_v, dec);
+    };
+    t.add_row({model::to_string(row.op), fmt_int(row.nr),
+               cell(row.w_mm2, watts / area, 3), cell(row.gf_mm2, gflops / area, 2),
+               cell(row.gf_w, gflops / watts, 1),
+               fmt_pct(row.util) + " | " + fmt_pct(util)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Table A.2: total cycle counts and dynamic energy for the architecture
+// option matrix -- {MAC extension} x {divide/sqrt option} x {algorithm} x
+// {problem size} -- measured on the cycle-accurate simulator.
+// Also prints Table A.1 (the divide/sqrt unit operation table).
+#include <cstdio>
+
+#include "arch/presets.hpp"
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "kernels/lu_kernel.hpp"
+#include "kernels/vnorm_kernel.hpp"
+#include "power/bus_model.hpp"
+#include "power/fmac_model.hpp"
+#include "power/sfu_model.hpp"
+#include "power/sram_model.hpp"
+
+namespace {
+
+using namespace lac;
+
+/// Dynamic energy of a kernel run from its activity counters (nJ at 1 GHz).
+double dynamic_energy_nj(const arch::CoreConfig& core, const sim::Stats& s) {
+  const double mac_pj = power::fmac_energy_pj(core.pe.precision, core.pe.clock_ghz);
+  const double mem_a_pj = power::pe_sram_access_pj(core.pe.mem_a_kbytes, core.pe.mem_a_ports);
+  const double mem_b_pj = power::pe_sram_access_pj(core.pe.mem_b_kbytes, core.pe.mem_b_ports);
+  const double bus_pj = power::bus_transfer_pj(core.nr, core.pe.precision);
+  const double sfu_pj = power::sfu_op_energy_pj(core);
+  const double rf_pj = 0.3;
+  double pj = 0.0;
+  pj += static_cast<double>(s.mac_ops + s.mul_ops) * mac_pj;
+  pj += static_cast<double>(s.cmp_ops) * 0.3 * mac_pj;
+  pj += static_cast<double>(s.mem_a_reads + s.mem_a_writes) * mem_a_pj;
+  pj += static_cast<double>(s.mem_b_reads + s.mem_b_writes) * mem_b_pj;
+  pj += static_cast<double>(s.row_bus_xfers + s.col_bus_xfers) * bus_pj;
+  pj += static_cast<double>(s.rf_reads + s.rf_writes) * rf_pj;
+  pj += static_cast<double>(s.sfu_ops) * sfu_pj;
+  return pj / 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lac;
+
+  // ---- Table A.1: operation table of the divide/square-root unit. ------
+  arch::CoreConfig ref = arch::lac_4x4_dp();
+  Table a1("Table A.1 -- divide/square-root unit operations");
+  a1.set_header({"op", "seed table", "Goldschmidt iters", "latency", "control"});
+  for (const auto& r : power::sfu_operation_table(ref))
+    a1.add_row({r.op, r.seed, fmt_int(r.goldschmidt_iters), fmt_int(r.latency_cycles),
+                r.control});
+  a1.print();
+
+  // ---- Table A.2: cycles + energy across the option matrix. ------------
+  Table t("Table A.2 -- cycles | dynamic energy [nJ] per option and size");
+  t.set_header({"alg", "MAC ext", "size", "SW", "Isolate", "Diag PEs"});
+  struct ExtOpt {
+    const char* name;
+    bool cmp, expext;
+  };
+  const ExtOpt ext_lu[] = {{"none", false, false}, {"comparator", true, false}};
+  const ExtOpt ext_vn[] = {{"none", false, false},
+                           {"comparator", true, false},
+                           {"exp extend", true, true}};
+
+  for (const ExtOpt& e : ext_lu) {
+    for (index_t k : {64, 128, 256}) {
+      std::vector<std::string> row{"LU", e.name, fmt_int(k)};
+      for (auto opt : {arch::SfuOption::Software, arch::SfuOption::IsolatedUnit,
+                       arch::SfuOption::DiagonalPEs}) {
+        arch::CoreConfig core = arch::lac_4x4_dp();
+        core.sfu = opt;
+        core.pe.extensions.comparator = e.cmp;
+        MatrixD a = random_matrix(k, 4, 31 + static_cast<std::uint64_t>(k));
+        auto r = kernels::lu_panel(core, a.view());
+        row.push_back(fmt(r.kernel.cycles, 0) + " | " +
+                      fmt(dynamic_energy_nj(core, r.kernel.stats), 1));
+      }
+      t.add_row(row);
+    }
+    t.add_separator();
+  }
+  for (const ExtOpt& e : ext_vn) {
+    for (index_t k : {64, 128, 256}) {
+      std::vector<std::string> row{"Vnorm", e.name, fmt_int(k)};
+      for (auto opt : {arch::SfuOption::Software, arch::SfuOption::IsolatedUnit,
+                       arch::SfuOption::DiagonalPEs}) {
+        arch::CoreConfig core = arch::lac_4x4_dp();
+        core.sfu = opt;
+        core.pe.extensions.comparator = e.cmp;
+        core.pe.extensions.extended_exponent = e.expext;
+        Rng rng(41 + static_cast<std::uint64_t>(k));
+        std::vector<double> x(static_cast<std::size_t>(k));
+        for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+        auto r = kernels::vnorm(core, x);
+        row.push_back(fmt(r.cycles, 0) + " | " + fmt(dynamic_energy_nj(core, r.stats), 1));
+      }
+      t.add_row(row);
+    }
+    t.add_separator();
+  }
+  t.print();
+  std::puts("columns: divide/sqrt options; rows: MAC extension x size (per "
+            "Table A.2's layout).");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Table B.1: core requirements for overlapped and non-overlapped versions
+// of N x N 2D FFTs and N^2-point 1D FFTs built from core-sized transforms.
+#include "common/table.hpp"
+#include "fft/fft_model.hpp"
+
+int main() {
+  using namespace lac;
+  Table t("Table B.1 -- large-FFT core requirements");
+  t.set_header({"problem", "overlap", "core FFTs", "I/O Mwords", "compute Mcycles",
+                "BW needed [w/c]", "store KB/PE"});
+  for (index_t n : {64, 256, 1024}) {
+    for (bool ovl : {false, true}) {
+      for (int kind = 0; kind < 2; ++kind) {
+        const fft::FftRequirements r = kind == 0
+                                           ? fft::fft2d_requirements(n, ovl)
+                                           : fft::fft1d_four_step_requirements(n, ovl);
+        t.add_row({r.problem, ovl ? "yes" : "no", fmt(r.core_ffts, 0),
+                   fmt(r.total_io_words / 1e6, 2), fmt(r.compute_cycles / 1e6, 2),
+                   fmt(r.bw_words_needed, 2), fmt(r.local_store_kb, 1)});
+      }
+    }
+    t.add_separator();
+  }
+  t.print();
+  return 0;
+}

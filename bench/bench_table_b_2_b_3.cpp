@@ -1,0 +1,24 @@
+// Tables B.2/B.3: the PE SRAM menu (CACTI-style area/power/energy) and the
+// three PE designs (dedicated LAC, dedicated FFT, hybrid).
+#include "common/table.hpp"
+#include "fft/hybrid_design.hpp"
+
+int main() {
+  using namespace lac;
+  Table b2("Table B.2 -- PE SRAM options (45nm, CACTI-style model)");
+  b2.set_header({"option", "area mm2", "mW/GHz (streaming)", "pJ/access"});
+  for (const auto& o : fft::sram_menu())
+    b2.add_row({o.name, fmt(o.area_mm2, 4), fmt(o.mw_per_ghz, 2), fmt(o.access_pj, 2)});
+  b2.print();
+
+  Table b3("Table B.3 -- PE designs: dedicated LAC / dedicated FFT / hybrid");
+  b3.set_header({"design", "GEMM", "FFT", "SRAM organisation", "RF", "area mm2"});
+  for (const auto& d : fft::pe_designs()) {
+    std::string srams;
+    for (const auto& s : d.srams) srams += (srams.empty() ? "" : " + ") + s.name;
+    b3.add_row({d.name, d.supports_gemm ? "yes" : "no", d.supports_fft ? "yes" : "no",
+                srams, fmt_int(d.rf_entries) + " regs", fmt(d.total_mm2, 3)});
+  }
+  b3.print();
+  return 0;
+}

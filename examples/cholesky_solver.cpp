@@ -1,0 +1,47 @@
+// End-to-end SPD solve on the accelerator (the Fig 1.2 programming model):
+// the host library factors A = L L^T by blocks, dispatching every diagonal
+// Cholesky, panel TRSM and trailing SYRK to the simulated LAC, then solves
+// L L^T x = b and reports the residual plus accelerator statistics.
+#include <cstdio>
+
+#include "arch/presets.hpp"
+#include "blas/lap_driver.hpp"
+#include "blas/ref_blas.hpp"
+#include "common/numeric.hpp"
+#include "common/random.hpp"
+
+int main() {
+  using namespace lac;
+  arch::CoreConfig core = arch::lac_4x4_dp(1.0);
+  const double bw_words = 1.0;
+  const index_t n = 32;
+  const index_t block = 8;
+
+  // Build an SPD system A x = rhs with a known solution.
+  MatrixD a = random_spd(n, 42);
+  MatrixD a0 = to_matrix<double>(ConstViewD(a.view()));
+  MatrixD x_true = random_matrix(n, 1, 43);
+  MatrixD rhs(n, 1, 0.0);
+  blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, a0.view(), x_true.view(), 0.0,
+             rhs.view());
+
+  // Factor on the accelerator.
+  blas::DriverReport rep = blas::lap_cholesky(core, bw_words, block, a.view());
+  std::printf("Cholesky by blocks on the LAC: n=%lld, block=%lld\n",
+              static_cast<long long>(n), static_cast<long long>(block));
+  std::printf("  kernel calls: %d (chol + trsm + syrk per diagonal step)\n",
+              rep.kernel_calls);
+  std::printf("  accumulated accelerator cycles: %.0f (utilization %.1f%%)\n",
+              rep.total_cycles, 100.0 * rep.utilization);
+  std::printf("  SFU ops (rsqrt/recip): %lld, bus transfers: %lld\n",
+              static_cast<long long>(rep.stats.sfu_ops),
+              static_cast<long long>(rep.stats.row_bus_xfers + rep.stats.col_bus_xfers));
+
+  // Forward/backward substitution with the produced factor.
+  blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::No,
+             blas::Diag::NonUnit, 1.0, a.view(), rhs.view());
+  blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::Yes,
+             blas::Diag::NonUnit, 1.0, a.view(), rhs.view());
+  std::printf("solution rel error: %.2e\n", rel_error(rhs.view(), x_true.view()));
+  return 0;
+}

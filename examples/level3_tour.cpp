@@ -1,0 +1,89 @@
+// Level-3 BLAS tour: run every generalized operation of Chapter 5 on the
+// simulated core -- GEMM, SYRK (bus transpose), SYR2K and the three TRSM
+// variants -- verifying each against the reference BLAS and comparing the
+// achieved utilizations.
+#include <cstdio>
+
+#include "arch/presets.hpp"
+#include "blas/ref_blas.hpp"
+#include "common/numeric.hpp"
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "kernels/gemm_kernel.hpp"
+#include "kernels/syrk_kernel.hpp"
+#include "kernels/trsm_kernel.hpp"
+
+int main() {
+  using namespace lac;
+  arch::CoreConfig core = arch::lac_4x4_dp(1.0);
+  const double bw = 1.0;  // 8 bytes/cycle
+  Table t("Level-3 BLAS on the simulated LAC (DP, 1 GHz, 8 B/cyc)");
+  t.set_header({"operation", "problem", "cycles", "utilization", "rel err"});
+
+  {  // GEMM
+    MatrixD a = random_matrix(48, 48, 1), b = random_matrix(48, 48, 2);
+    MatrixD c = random_matrix(48, 48, 3);
+    auto r = kernels::gemm_core(core, bw, a.view(), b.view(), c.view());
+    MatrixD e = to_matrix<double>(ConstViewD(c.view()));
+    blas::gemm(blas::Trans::No, blas::Trans::No, 1, a.view(), b.view(), 1, e.view());
+    t.add_row({"GEMM", "C48x48 += A*B", fmt(r.cycles, 0), fmt_pct(r.utilization),
+               fmt_sig(rel_error(r.out.view(), e.view()), 2)});
+  }
+  {  // SYRK
+    MatrixD a = random_matrix(48, 32, 4);
+    MatrixD c(48, 48, 0.0);
+    auto r = kernels::syrk_core(core, bw, a.view(), c.view());
+    MatrixD e(48, 48, 0.0);
+    blas::syrk(blas::Uplo::Lower, 1.0, a.view(), 0.0, e.view());
+    double err = 0;
+    for (index_t j = 0; j < 48; ++j)
+      for (index_t i = j; i < 48; ++i) err = std::max(err, std::abs(r.out(i, j) - e(i, j)));
+    t.add_row({"SYRK", "C48 (lower) += A*A^T", fmt(r.cycles, 0),
+               fmt_pct(r.utilization), fmt_sig(err, 2)});
+  }
+  {  // SYR2K
+    MatrixD a = random_matrix(32, 24, 5), b = random_matrix(32, 24, 6);
+    MatrixD c(32, 32, 0.0);
+    auto r = kernels::syr2k_core(core, bw, a.view(), b.view(), c.view());
+    MatrixD e(32, 32, 0.0);
+    blas::syr2k(blas::Uplo::Lower, 1.0, a.view(), b.view(), 0.0, e.view());
+    double err = 0;
+    for (index_t j = 0; j < 32; ++j)
+      for (index_t i = j; i < 32; ++i) err = std::max(err, std::abs(r.out(i, j) - e(i, j)));
+    t.add_row({"SYR2K", "C32 += A B^T + B A^T", fmt(r.cycles, 0),
+               fmt_pct(r.utilization), fmt_sig(err, 2)});
+  }
+  // TRSM variants on the inner kernel.
+  arch::CoreConfig deep = core;
+  deep.pe.pipeline_stages = 8;
+  MatrixD l = random_lower_triangular(4, 7);
+  auto solve_err = [&](ConstViewD lv, const MatrixD& x, const MatrixD& b) {
+    MatrixD e = to_matrix<double>(ConstViewD(b.view()));
+    blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::No,
+               blas::Diag::NonUnit, 1.0, lv, e.view());
+    return rel_error(x.view(), e.view());
+  };
+  {
+    MatrixD b = random_matrix(4, 4, 8);
+    auto r = kernels::trsm_inner(deep, kernels::TrsmVariant::Basic, l.view(), b.view());
+    t.add_row({"TRSM basic", "L4 X = B4x4", fmt(r.cycles, 0), fmt_pct(r.utilization),
+               fmt_sig(solve_err(l.view(), r.out, b), 2)});
+  }
+  {
+    MatrixD b = random_matrix(4, 32, 9);
+    auto r = kernels::trsm_inner(deep, kernels::TrsmVariant::Stacked, l.view(), b.view());
+    t.add_row({"TRSM stacked", "8 blocks share the pipeline", fmt(r.cycles, 0),
+               fmt_pct(r.utilization), fmt_sig(solve_err(l.view(), r.out, b), 2)});
+  }
+  {
+    MatrixD b = random_matrix(4, 128, 10);
+    auto r = kernels::trsm_inner(deep, kernels::TrsmVariant::SoftwarePipelined,
+                                 l.view(), b.view(), /*g=*/4);
+    t.add_row({"TRSM sw-pipelined", "4 groups x 8 blocks", fmt(r.cycles, 0),
+               fmt_pct(r.utilization), fmt_sig(solve_err(l.view(), r.out, b), 2)});
+  }
+  t.print();
+  std::puts("stacking fills the FPU pipeline; software pipelining overlaps "
+            "the scale and update steps across sub-panels (§5.3).");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "arch/configs.hpp"
+
+namespace lac::arch {
+
+std::string to_string(SfuOption opt) {
+  switch (opt) {
+    case SfuOption::Software: return "SW";
+    case SfuOption::IsolatedUnit: return "Isolate";
+    case SfuOption::DiagonalPEs: return "Diag PEs";
+  }
+  return "?";
+}
+
+std::string to_string(OnChipMemKind kind) {
+  switch (kind) {
+    case OnChipMemKind::BankedSram: return "SRAM";
+    case OnChipMemKind::Nuca: return "NUCA";
+  }
+  return "?";
+}
+
+}  // namespace lac::arch

@@ -1,0 +1,44 @@
+#include "arch/technology.hpp"
+
+namespace lac::arch {
+
+double feature_nm(TechNode node) {
+  switch (node) {
+    case TechNode::nm65: return 65.0;
+    case TechNode::nm45: return 45.0;
+    case TechNode::nm32: return 32.0;
+  }
+  return 45.0;
+}
+
+double area_scale_to_45(TechNode from) {
+  const double l = feature_nm(from) / 45.0;
+  return 1.0 / (l * l);
+}
+
+double power_scale_to_45(TechNode from) {
+  // Capacitance scales ~linearly with feature size; supply voltage scales
+  // slowly. Net dynamic-power scaling between adjacent nodes is ~L/L45,
+  // which matches how the dissertation rescales 65nm / 90nm numbers.
+  return 45.0 / feature_nm(from);
+}
+
+double idle_fraction(TechNode node) {
+  switch (node) {
+    case TechNode::nm65: return 0.25;
+    case TechNode::nm45: return 0.28;
+    case TechNode::nm32: return 0.30;
+  }
+  return 0.28;
+}
+
+std::string to_string(TechNode node) {
+  switch (node) {
+    case TechNode::nm65: return "65nm";
+    case TechNode::nm45: return "45nm";
+    case TechNode::nm32: return "32nm";
+  }
+  return "?";
+}
+
+}  // namespace lac::arch

@@ -1,0 +1,31 @@
+#pragma once
+// Process-technology scaling helpers.
+//
+// The paper reports everything scaled to a 45nm bulk-CMOS node (low-power
+// ITRS model), with one comparison (Fig 4.13) at 65nm. We model classical
+// scaling factors so published numbers at other nodes can be normalized the
+// same way the dissertation does.
+#include <string>
+
+namespace lac::arch {
+
+enum class TechNode { nm65, nm45, nm32 };
+
+/// Feature size in nanometres.
+double feature_nm(TechNode node);
+
+/// Area scale factor relative to 45nm (area ~ (L/L45)^2).
+double area_scale_to_45(TechNode from);
+
+/// Dynamic-power scale factor relative to 45nm at iso-frequency
+/// (P ~ C*V^2*f; capacitance ~ L, voltage headroom shrinks slowly --
+/// the dissertation uses ~linear power scaling between adjacent nodes).
+double power_scale_to_45(TechNode from);
+
+/// Leakage/idle power expressed as a constant fraction of dynamic power,
+/// "ranging between 25% and 30% depending on the technology" (§1.3.3).
+double idle_fraction(TechNode node);
+
+std::string to_string(TechNode node);
+
+}  // namespace lac::arch

@@ -1,0 +1,201 @@
+#include "blas/ref_blas.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lac::blas {
+namespace {
+double elem(ConstViewD a, Trans t, index_t i, index_t j) {
+  return t == Trans::No ? a(i, j) : a(j, i);
+}
+}  // namespace
+
+void gemm(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, double beta,
+          ViewD c) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = ta == Trans::No ? a.cols() : a.rows();
+  assert((ta == Trans::No ? a.rows() : a.cols()) == m);
+  assert((tb == Trans::No ? b.rows() : b.cols()) == k);
+  assert((tb == Trans::No ? b.cols() : b.rows()) == n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (index_t p = 0; p < k; ++p) acc += elem(a, ta, i, p) * elem(b, tb, p, j);
+      c(i, j) = alpha * acc + beta * c(i, j);
+    }
+}
+
+void syrk(Uplo uplo, double alpha, ConstViewD a, double beta, ViewD c) {
+  const index_t n = c.rows();
+  const index_t k = a.cols();
+  assert(a.rows() == n && c.cols() == n);
+  for (index_t j = 0; j < n; ++j) {
+    const index_t lo = uplo == Uplo::Lower ? j : 0;
+    const index_t hi = uplo == Uplo::Lower ? n : j + 1;
+    for (index_t i = lo; i < hi; ++i) {
+      double acc = 0.0;
+      for (index_t p = 0; p < k; ++p) acc += a(i, p) * a(j, p);
+      c(i, j) = alpha * acc + beta * c(i, j);
+    }
+  }
+}
+
+void syr2k(Uplo uplo, double alpha, ConstViewD a, ConstViewD b, double beta, ViewD c) {
+  const index_t n = c.rows();
+  const index_t k = a.cols();
+  assert(a.rows() == n && b.rows() == n && b.cols() == k && c.cols() == n);
+  for (index_t j = 0; j < n; ++j) {
+    const index_t lo = uplo == Uplo::Lower ? j : 0;
+    const index_t hi = uplo == Uplo::Lower ? n : j + 1;
+    for (index_t i = lo; i < hi; ++i) {
+      double acc = 0.0;
+      for (index_t p = 0; p < k; ++p) acc += a(i, p) * b(j, p) + b(i, p) * a(j, p);
+      c(i, j) = alpha * acc + beta * c(i, j);
+    }
+  }
+}
+
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD a,
+          ViewD b) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  MatrixD result(m, n, 0.0);
+  auto tri = [&](index_t i, index_t p) -> double {
+    // Element op(A)(i,p) honoring triangle and unit-diagonal storage.
+    index_t r = trans == Trans::No ? i : p;
+    index_t cidx = trans == Trans::No ? p : i;
+    if (r == cidx) return diag == Diag::Unit ? 1.0 : a(r, r);
+    const bool stored = uplo == Uplo::Lower ? r > cidx : r < cidx;
+    return stored ? a(r, cidx) : 0.0;
+  };
+  if (side == Side::Left) {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i) {
+        double acc = 0.0;
+        for (index_t p = 0; p < m; ++p) acc += tri(i, p) * b(p, j);
+        result(i, j) = alpha * acc;
+      }
+  } else {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i) {
+        double acc = 0.0;
+        for (index_t p = 0; p < n; ++p) acc += b(i, p) * tri(p, j);
+        result(i, j) = alpha * acc;
+      }
+  }
+  copy_into<double>(result.view(), b);
+}
+
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD a,
+          ViewD b) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) b(i, j) *= alpha;
+
+  auto tri = [&](index_t r, index_t cidx) -> double {
+    if (r == cidx) return diag == Diag::Unit ? 1.0 : a(r, r);
+    const bool stored = uplo == Uplo::Lower ? r > cidx : r < cidx;
+    return stored ? a(r, cidx) : 0.0;
+  };
+
+  const bool lower_effective =
+      (uplo == Uplo::Lower) == (trans == Trans::No);
+  auto op = [&](index_t i, index_t p) {
+    return trans == Trans::No ? tri(i, p) : tri(p, i);
+  };
+
+  if (side == Side::Left) {
+    // Solve op(A) X = B column by column via forward/backward substitution.
+    for (index_t j = 0; j < n; ++j) {
+      if (lower_effective) {
+        for (index_t i = 0; i < m; ++i) {
+          double acc = b(i, j);
+          for (index_t p = 0; p < i; ++p) acc -= op(i, p) * b(p, j);
+          b(i, j) = acc / op(i, i);
+        }
+      } else {
+        for (index_t i = m - 1; i >= 0; --i) {
+          double acc = b(i, j);
+          for (index_t p = i + 1; p < m; ++p) acc -= op(i, p) * b(p, j);
+          b(i, j) = acc / op(i, i);
+        }
+      }
+    }
+  } else {
+    // X op(A) = B: solve row by row.
+    for (index_t i = 0; i < m; ++i) {
+      if (lower_effective) {
+        for (index_t j = n - 1; j >= 0; --j) {
+          double acc = b(i, j);
+          for (index_t p = j + 1; p < n; ++p) acc -= b(i, p) * op(p, j);
+          b(i, j) = acc / op(j, j);
+        }
+      } else {
+        for (index_t j = 0; j < n; ++j) {
+          double acc = b(i, j);
+          for (index_t p = 0; p < j; ++p) acc -= b(i, p) * op(p, j);
+          b(i, j) = acc / op(j, j);
+        }
+      }
+    }
+  }
+}
+
+void symm(Side side, Uplo uplo, double alpha, ConstViewD a, ConstViewD b, double beta,
+          ViewD c) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  auto sym = [&](index_t i, index_t j) -> double {
+    const bool stored = uplo == Uplo::Lower ? i >= j : i <= j;
+    return stored ? a(i, j) : a(j, i);
+  };
+  if (side == Side::Left) {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i) {
+        double acc = 0.0;
+        for (index_t p = 0; p < m; ++p) acc += sym(i, p) * b(p, j);
+        c(i, j) = alpha * acc + beta * c(i, j);
+      }
+  } else {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i) {
+        double acc = 0.0;
+        for (index_t p = 0; p < n; ++p) acc += b(i, p) * sym(p, j);
+        c(i, j) = alpha * acc + beta * c(i, j);
+      }
+  }
+}
+
+void gemv(Trans trans, double alpha, ConstViewD a, const double* x, double beta,
+          double* y) {
+  const index_t m = trans == Trans::No ? a.rows() : a.cols();
+  const index_t k = trans == Trans::No ? a.cols() : a.rows();
+  for (index_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (index_t p = 0; p < k; ++p)
+      acc += (trans == Trans::No ? a(i, p) : a(p, i)) * x[p];
+    y[i] = alpha * acc + beta * y[i];
+  }
+}
+
+void ger(double alpha, const double* x, const double* y, ViewD a) {
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) a(i, j) += alpha * x[i] * y[j];
+}
+
+double nrm2(index_t n, const double* x) {
+  // Overflow-safe: scale by the max magnitude first (§6.1.3 guard pass).
+  double t = 0.0;
+  for (index_t i = 0; i < n; ++i) t = std::max(t, std::abs(x[i]));
+  if (t == 0.0) return 0.0;
+  double acc = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    const double v = x[i] / t;
+    acc += v * v;
+  }
+  return t * std::sqrt(acc);
+}
+
+}  // namespace lac::blas

@@ -1,0 +1,18 @@
+#include "common/matrix.hpp"
+
+namespace lac {
+
+MatrixD identity(index_t n) {
+  MatrixD out(n, n, 0.0);
+  for (index_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+MatrixD transpose(ConstViewD a) {
+  MatrixD out(a.cols(), a.rows());
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) out(j, i) = a(i, j);
+  return out;
+}
+
+}  // namespace lac

@@ -1,0 +1,142 @@
+#pragma once
+// Column-major dense matrix container and lightweight views.
+//
+// The container follows BLAS/LAPACK conventions (column-major, leading
+// dimension) so the blocked algorithms in src/blas and the kernel mappings
+// in src/kernels read like their FLAME-style derivations in the paper.
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lac {
+
+template <typename T>
+class MatrixView;
+
+/// Owning column-major matrix.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(index_t rows, index_t cols, T init = T{})
+      : rows_(rows), cols_(cols), ld_(rows), data_(static_cast<std::size_t>(rows * cols), init) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return ld_; }
+
+  T& operator()(index_t i, index_t j) {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i + j * ld_)];
+  }
+  const T& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i + j * ld_)];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  MatrixView<T> view();
+  MatrixView<const T> view() const;
+  /// Submatrix view of size (m x n) anchored at (i, j).
+  MatrixView<T> block(index_t i, index_t j, index_t m, index_t n);
+  MatrixView<const T> block(index_t i, index_t j, index_t m, index_t n) const;
+
+  bool operator==(const Matrix& other) const {
+    if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+    for (index_t j = 0; j < cols_; ++j)
+      for (index_t i = 0; i < rows_; ++i)
+        if ((*this)(i, j) != other(i, j)) return false;
+    return true;
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+  std::vector<T> data_;
+};
+
+/// Non-owning strided view into a column-major matrix.
+template <typename T>
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(T* data, index_t rows, index_t cols, index_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {}
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return ld_; }
+
+  T& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i + j * ld_)];
+  }
+
+  T* data() const { return data_; }
+
+  MatrixView block(index_t i, index_t j, index_t m, index_t n) const {
+    assert(i + m <= rows_ && j + n <= cols_);
+    return MatrixView(data_ + i + j * ld_, m, n, ld_);
+  }
+
+  /// Implicit conversion MatrixView<T> -> MatrixView<const T>.
+  operator MatrixView<const T>() const { return MatrixView<const T>(data_, rows_, cols_, ld_); }
+
+ private:
+  T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+};
+
+template <typename T>
+MatrixView<T> Matrix<T>::view() {
+  return MatrixView<T>(data(), rows_, cols_, ld_);
+}
+template <typename T>
+MatrixView<const T> Matrix<T>::view() const {
+  return MatrixView<const T>(data(), rows_, cols_, ld_);
+}
+template <typename T>
+MatrixView<T> Matrix<T>::block(index_t i, index_t j, index_t m, index_t n) {
+  assert(i + m <= rows_ && j + n <= cols_);
+  return MatrixView<T>(data() + i + j * ld_, m, n, ld_);
+}
+template <typename T>
+MatrixView<const T> Matrix<T>::block(index_t i, index_t j, index_t m, index_t n) const {
+  assert(i + m <= rows_ && j + n <= cols_);
+  return MatrixView<const T>(data() + i + j * ld_, m, n, ld_);
+}
+
+using MatrixD = Matrix<double>;
+using ViewD = MatrixView<double>;
+using ConstViewD = MatrixView<const double>;
+
+/// Deep copy of a view into an owning matrix.
+template <typename T>
+Matrix<T> to_matrix(MatrixView<const T> v) {
+  Matrix<T> out(v.rows(), v.cols());
+  for (index_t j = 0; j < v.cols(); ++j)
+    for (index_t i = 0; i < v.rows(); ++i) out(i, j) = v(i, j);
+  return out;
+}
+
+/// Copy src into dst (shapes must match).
+template <typename T>
+void copy_into(MatrixView<const T> src, MatrixView<T> dst) {
+  assert(src.rows() == dst.rows() && src.cols() == dst.cols());
+  for (index_t j = 0; j < src.cols(); ++j)
+    for (index_t i = 0; i < src.rows(); ++i) dst(i, j) = src(i, j);
+}
+
+MatrixD identity(index_t n);
+MatrixD transpose(ConstViewD a);
+
+}  // namespace lac

@@ -1,0 +1,41 @@
+#include "common/numeric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lac {
+
+double max_abs_diff(ConstViewD a, ConstViewD b) {
+  double m = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) m = std::max(m, std::abs(a(i, j) - b(i, j)));
+  return m;
+}
+
+double frob_norm(ConstViewD a) {
+  double s = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) s += a(i, j) * a(i, j);
+  return std::sqrt(s);
+}
+
+double rel_error(ConstViewD a, ConstViewD b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return 1.0e300;
+  double num = 0.0;
+  double den = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const double d = a(i, j) - b(i, j);
+      num += d * d;
+      den += b(i, j) * b(i, j);
+    }
+  return std::sqrt(num) / std::max(1.0, std::sqrt(den));
+}
+
+bool allclose(ConstViewD a, ConstViewD b, double tol) { return rel_error(a, b) <= tol; }
+
+bool close(double a, double b, double tol) {
+  return std::abs(a - b) <= tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+}  // namespace lac

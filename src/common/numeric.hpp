@@ -1,0 +1,23 @@
+#pragma once
+// Numeric comparison helpers used by tests and by the blocked drivers to
+// verify simulator output against the host reference implementations.
+#include "common/matrix.hpp"
+
+namespace lac {
+
+/// max_ij |a_ij - b_ij|
+double max_abs_diff(ConstViewD a, ConstViewD b);
+
+/// Frobenius norm.
+double frob_norm(ConstViewD a);
+
+/// Relative error ||a-b||_F / max(1, ||b||_F).
+double rel_error(ConstViewD a, ConstViewD b);
+
+/// true iff rel_error(a, b) <= tol.
+bool allclose(ConstViewD a, ConstViewD b, double tol = 1e-10);
+
+/// Scalar closeness with combined abs/rel tolerance.
+bool close(double a, double b, double tol = 1e-10);
+
+}  // namespace lac

@@ -1,0 +1,27 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace lac {
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw <= 1 || n < 4) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(hw, n));
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&]() {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace lac

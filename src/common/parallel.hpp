@@ -1,0 +1,13 @@
+#pragma once
+// Tiny fork-join helper for embarrassingly-parallel design-space sweeps in
+// the bench harness (each grid point is independent model evaluation).
+#include <cstddef>
+#include <functional>
+
+namespace lac {
+
+/// Run fn(i) for i in [0, n) across hardware threads. Falls back to serial
+/// execution when the machine exposes a single core or n is small.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace lac

@@ -1,0 +1,72 @@
+#include "common/random.hpp"
+
+namespace lac {
+
+Rng::Rng(std::uint64_t seed) {
+  // SplitMix64 seeding to decorrelate nearby seeds.
+  auto mix = [](std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  s0_ = mix(seed);
+  s1_ = mix(seed);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+std::uint64_t Rng::next_raw() {
+  std::uint64_t x = s0_;
+  const std::uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> [0,1).
+  return static_cast<double>(next_raw() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::next_index(std::uint64_t n) { return n ? next_raw() % n : 0; }
+
+void fill_random(ViewD a, Rng& rng) {
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) a(i, j) = rng.uniform(-1.0, 1.0);
+}
+
+MatrixD random_matrix(index_t rows, index_t cols, std::uint64_t seed) {
+  MatrixD out(rows, cols);
+  Rng rng(seed);
+  fill_random(out.view(), rng);
+  return out;
+}
+
+MatrixD random_spd(index_t n, std::uint64_t seed) {
+  MatrixD b = random_matrix(n, n, seed);
+  MatrixD a(n, n, 0.0);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (index_t k = 0; k < n; ++k) acc += b(i, k) * b(j, k);
+      a(i, j) = acc;
+    }
+  for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+MatrixD random_lower_triangular(index_t n, std::uint64_t seed) {
+  MatrixD l(n, n, 0.0);
+  Rng rng(seed);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) l(i, j) = rng.uniform(-1.0, 1.0);
+    l(j, j) = 2.0 + rng.uniform();  // keep diagonal away from zero
+  }
+  return l;
+}
+
+}  // namespace lac

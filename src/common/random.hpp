@@ -1,0 +1,38 @@
+#pragma once
+// Deterministic random fills for tests, examples and benchmarks.
+#include <cstdint>
+
+#include "common/matrix.hpp"
+
+namespace lac {
+
+/// Small, fast, deterministic PRNG (xorshift128+); reproducible across runs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n).
+  std::uint64_t next_index(std::uint64_t n);
+
+ private:
+  std::uint64_t next_raw();
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+/// Fill with uniform values in [-1, 1).
+void fill_random(ViewD a, Rng& rng);
+MatrixD random_matrix(index_t rows, index_t cols, std::uint64_t seed);
+
+/// Random symmetric positive-definite matrix (A = B*B^T + n*I).
+MatrixD random_spd(index_t n, std::uint64_t seed);
+
+/// Random lower-triangular matrix with dominant diagonal (well-conditioned
+/// for TRSM / LU style tests).
+MatrixD random_lower_triangular(index_t n, std::uint64_t seed);
+
+}  // namespace lac

@@ -1,0 +1,30 @@
+#pragma once
+// Fundamental scalar/index types shared across the LAP codesign library.
+#include <cstdint>
+#include <cstddef>
+
+namespace lac {
+
+/// Floating-point precision of a datapath or a kernel invocation.
+enum class Precision { Single, Double };
+
+/// Number of bytes in one element of the given precision.
+constexpr int bytes_of(Precision p) { return p == Precision::Single ? 4 : 8; }
+
+/// FLOPs retired by one fused multiply-accumulate.
+inline constexpr double kFlopsPerMac = 2.0;
+
+/// Index type used for matrix dimensions and cycle counts.
+using index_t = std::int64_t;
+using cycle_t = std::int64_t;
+
+/// Giga prefix helper (cycles->GHz, flops->GFLOPS, ...).
+inline constexpr double kGiga = 1.0e9;
+inline constexpr double kMega = 1.0e6;
+inline constexpr double kKilo = 1.0e3;
+
+/// Words (double-precision elements) <-> bytes for bandwidth bookkeeping.
+inline constexpr double kBytesPerWordDP = 8.0;
+inline constexpr double kBytesPerWordSP = 4.0;
+
+}  // namespace lac

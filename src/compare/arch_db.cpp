@@ -1,0 +1,123 @@
+#include "compare/arch_db.hpp"
+
+#include "arch/presets.hpp"
+#include "model/level3_model.hpp"
+#include "power/chip_power.hpp"
+#include "power/pe_power.hpp"
+
+namespace lac::compare {
+namespace {
+ArchRow row(std::string name, Scope scope, Precision prec, double gflops,
+            double w_mm2, double gf_mm2, double gf_w, double util) {
+  ArchRow r;
+  r.name = std::move(name);
+  r.scope = scope;
+  r.precision = prec;
+  r.gflops = gflops;
+  r.w_per_mm2 = w_mm2;
+  r.gflops_per_mm2 = gf_mm2;
+  r.gflops_per_w = gf_w;
+  r.utilization = util;
+  return r;
+}
+}  // namespace
+
+std::vector<ArchRow> table32_published() {
+  using S = Scope;
+  const auto SP = Precision::Single;
+  const auto DP = Precision::Double;
+  // 45nm-scaled per-core GEMM numbers as printed in Table 3.2 (gflops of a
+  // single core are not listed there; zero marks "not reported").
+  return {
+      row("Cell SPE", S::CoreLevel, SP, 0, 0.4, 6.4, 16.0, 0.83),
+      row("NVIDIA GTX280 SM", S::CoreLevel, SP, 0, 0.6, 3.1, 5.3, 0.66),
+      row("Rigel cluster", S::CoreLevel, SP, 0, 0.3, 4.5, 15.0, 0.40),
+      row("80-Tile @0.8V", S::CoreLevel, SP, 0, 0.2, 1.2, 8.3, 0.38),
+      row("NVIDIA GTX480 SM", S::CoreLevel, SP, 0, 0.5, 4.5, 8.4, 0.70),
+      row("Altera Stratix IV", S::CoreLevel, SP, 0, 0.02, 0.1, 7.0, 0.90),
+      row("Intel Core (1 core)", S::CoreLevel, DP, 0, 0.5, 0.4, 0.85, 0.95),
+      row("NVIDIA GTX480 SM (DP)", S::CoreLevel, DP, 0, 0.5, 2.0, 4.1, 0.70),
+      row("Altera Stratix IV (DP)", S::CoreLevel, DP, 0, 0.02, 0.05, 3.5, 0.90),
+      row("ClearSpeed CSX700", S::CoreLevel, DP, 0, 0.02, 0.28, 12.5, 0.78),
+  };
+}
+
+std::vector<ArchRow> table42_published() {
+  using S = Scope;
+  const auto SP = Precision::Single;
+  const auto DP = Precision::Double;
+  // Chip-level GEMM numbers of Table 4.2 (45nm-scaled).
+  return {
+      row("Cell BE", S::ChipLevel, SP, 200, 0.3, 1.5, 5.0, 0.88),
+      row("NVIDIA GTX280", S::ChipLevel, SP, 410, 0.3, 0.8, 2.6, 0.66),
+      row("Rigel", S::ChipLevel, SP, 850, 0.3, 3.2, 10.7, 0.40),
+      row("80-Tile @0.8V", S::ChipLevel, SP, 175, 0.2, 1.2, 6.6, 0.38),
+      row("80-Tile @1.07V", S::ChipLevel, SP, 380, 0.7, 2.66, 3.8, 0.38),
+      row("NVIDIA GTX480", S::ChipLevel, SP, 940, 0.2, 0.9, 5.2, 0.70),
+      row("Core i7-960", S::ChipLevel, SP, 96, 0.4, 0.50, 1.14, 0.95),
+      row("Altera Stratix IV", S::ChipLevel, SP, 200, 0.02, 0.1, 7.0, 0.90),
+      row("Intel Quad-Core", S::ChipLevel, DP, 40, 0.5, 0.4, 0.8, 0.95),
+      row("Intel Penryn", S::ChipLevel, DP, 20, 0.4, 0.2, 0.6, 0.95),
+      row("IBM Power7", S::ChipLevel, DP, 230, 0.5, 0.5, 1.0, 0.95),
+      row("NVIDIA GTX480 (DP)", S::ChipLevel, DP, 470, 0.2, 0.5, 2.6, 0.70),
+      row("Core i7-960 (DP)", S::ChipLevel, DP, 48, 0.4, 0.25, 0.57, 0.95),
+      row("Altera Stratix IV (DP)", S::ChipLevel, DP, 100, 0.02, 0.05, 3.5, 0.90),
+      row("ClearSpeed CSX700", S::ChipLevel, DP, 75, 0.02, 0.2, 12.5, 0.78),
+  };
+}
+
+ArchRow lac_core_row(Precision prec) {
+  arch::CoreConfig core =
+      prec == Precision::Double ? arch::lac_4x4_dp(1.1) : arch::lac_4x4_sp(1.1);
+  const double util =
+      model::table51_utilization(model::Level3Op::Gemm, core.nr);
+  const power::PeActivity act = power::gemm_activity(core.nr);
+  const double watts = power::core_power_mw(core, act) / 1000.0;
+  const double area = power::core_area_mm2(core);
+  ArchRow r;
+  r.name = prec == Precision::Double ? "LAC (DP, model)" : "LAC (SP, model)";
+  r.scope = Scope::CoreLevel;
+  r.precision = prec;
+  r.gflops = core.peak_gflops() * util;
+  r.w_per_mm2 = watts / area;
+  r.gflops_per_mm2 = r.gflops / area;
+  r.gflops_per_w = r.gflops / watts;
+  r.utilization = util;
+  r.from_model = true;
+  return r;
+}
+
+ArchRow lap_chip_row(Precision prec) {
+  arch::ChipConfig chip = prec == Precision::Double ? arch::lap15_dp() : arch::lap30_sp();
+  const double util = 0.90;  // §4.5: 90% sustained at the chosen memory/BW
+  power::ChipReport rep = power::chip_report(chip, util, chip.onchip_bw_words_per_cycle);
+  ArchRow r;
+  r.name = prec == Precision::Double ? "LAP-15 (DP, model)" : "LAP-30 (SP, model)";
+  r.scope = Scope::ChipLevel;
+  r.precision = prec;
+  r.gflops = rep.gflops;
+  r.w_per_mm2 = rep.chip_power_mw / 1000.0 / rep.chip_area_mm2;
+  r.gflops_per_mm2 = rep.gflops_per_mm2();
+  r.gflops_per_w = rep.gflops_per_w();
+  r.utilization = util;
+  r.from_model = true;
+  return r;
+}
+
+std::vector<DesignChoiceRow> table43_design_choices() {
+  return {
+      {"Instruction pipeline", "I-cache, out-of-order, branch prediction",
+       "I-cache, in-order", "no instructions (micro-coded FSM)"},
+      {"Execution unit", "1D SIMD + register file", "2D SIMD + register file",
+       "2D mesh + local SRAM per FPU"},
+      {"Register file & moves", "many-ported", "multi-ported, large",
+       "8-entry, single-ported, mostly bypassed"},
+      {"On-chip memory", "big cache, strong coherency", "small cache, weak coherency",
+       "big SRAM, tightly-coupled banks"},
+      {"Multi-thread support", "SMT", "blocked multithreading", "not needed"},
+      {"BW/FPU ratio", "high", "high", "low (sufficient by design)"},
+      {"Memory size / FPU", "high", "low (inadequate)", "high"},
+  };
+}
+
+}  // namespace lac::compare

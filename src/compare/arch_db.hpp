@@ -1,0 +1,55 @@
+#pragma once
+// Published-spec database for the comparison architectures used in Tables
+// 3.2 / 4.2 and Figs 4.13-4.16. Values are the dissertation's 45nm-scaled
+// GEMM numbers; LAC/LAP rows are computed live from our power model so the
+// reproduction exposes the same comparison the paper makes.
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "power/metrics.hpp"
+
+namespace lac::compare {
+
+enum class Scope { CoreLevel, ChipLevel };
+
+struct ArchRow {
+  std::string name;
+  Scope scope = Scope::CoreLevel;
+  Precision precision = Precision::Double;
+  double gflops = 0.0;       ///< sustained GEMM
+  double w_per_mm2 = 0.0;
+  double gflops_per_mm2 = 0.0;
+  double gflops_per_w = 0.0;
+  double utilization = 0.0;
+  bool from_model = false;   ///< true = computed from our LAC/LAP model
+
+  power::Metrics metrics() const {
+    power::Metrics m;
+    m.gflops = gflops;
+    m.watts = gflops_per_w > 0 ? gflops / gflops_per_w : 0.0;
+    m.area_mm2 = gflops_per_mm2 > 0 ? gflops / gflops_per_mm2 : 0.0;
+    return m;
+  }
+};
+
+/// Table 3.2: core-level comparison (published rows only).
+std::vector<ArchRow> table32_published();
+
+/// Table 4.2: chip-level comparison (published rows only).
+std::vector<ArchRow> table42_published();
+
+/// LAC / LAP rows computed from the power model (appended by benches).
+ArchRow lac_core_row(Precision prec);
+ArchRow lap_chip_row(Precision prec);
+
+/// Table 4.3: qualitative design-choice comparison (printed verbatim).
+struct DesignChoiceRow {
+  std::string dimension;
+  std::string cpus;
+  std::string gpus;
+  std::string lap;
+};
+std::vector<DesignChoiceRow> table43_design_choices();
+
+}  // namespace lac::compare

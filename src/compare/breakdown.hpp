@@ -1,0 +1,49 @@
+#pragma once
+// Performance-normalized power breakdowns (Figs 4.13-4.15): component-wise
+// mW/GFLOP for the comparison architectures and for a throughput-matched
+// LAP. The comparator fractions are calibrated to the dissertation's
+// quantitative statements (e.g. register files >30% on the GTX280, OOO +
+// frontend = 40% of Penryn core power); the LAP column is computed live
+// from our component models.
+#include <string>
+#include <vector>
+
+namespace lac::compare {
+
+struct BreakdownComponent {
+  std::string name;
+  double mw_per_gflop = 0.0;
+};
+
+struct PowerBreakdown {
+  std::string machine;
+  std::string workload;  ///< "peak", "SGEMM", "DGEMM"
+  std::vector<BreakdownComponent> components;
+  double total_mw_per_gflop() const {
+    double t = 0.0;
+    for (const auto& c : components) t += c.mw_per_gflop;
+    return t;
+  }
+};
+
+/// Fig 4.13 (65nm): GTX280 at peak and running SGEMM, vs LAP (SP).
+std::vector<PowerBreakdown> fig413_gtx280_vs_lap();
+
+/// Fig 4.14 (45nm): GTX480 at peak/SGEMM/DGEMM vs LAP (SP and DP).
+std::vector<PowerBreakdown> fig414_gtx480_vs_lap();
+
+/// Fig 4.15 (45nm): dual-core Penryn DGEMM vs a 2-core LAP (DP).
+std::vector<PowerBreakdown> fig415_penryn_vs_lap();
+
+/// The throughput-matched LAP breakdown used in all three figures.
+PowerBreakdown lap_breakdown(bool single_precision, const std::string& label);
+
+/// Fig 4.16: GFLOPS/W at core and chip level for the four match-ups.
+struct EfficiencyPair {
+  std::string name;
+  double core_gflops_per_w = 0.0;
+  double chip_gflops_per_w = 0.0;
+};
+std::vector<EfficiencyPair> fig416_efficiency_comparison();
+
+}  // namespace lac::compare

@@ -1,0 +1,176 @@
+#include "fft/fft_kernel.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "fft/reference_fft.hpp"
+
+namespace lac::fft {
+namespace {
+constexpr double kTau = 2.0 * std::numbers::pi;
+
+cplx twiddle(index_t q, index_t len) {
+  const double ang = -kTau * static_cast<double>(q) / static_cast<double>(len);
+  return {std::cos(ang), std::sin(ang)};
+}
+
+/// Run one 64-point transform on the core starting at `gate`; `vals` holds
+/// the 64 timed points indexed by global position, and is updated in place
+/// (digit-reversed order on exit).
+///
+/// Mapping (Fig B.2): stage 1 is PE-local; stage 2 gathers over the column
+/// buses; stage 3 over the row buses. Results stay on the computing PE --
+/// ownership is remapped per stage instead of scattering back, so each bus
+/// carries 24 word-transfers per exchange stage, fully hidden behind the
+/// 28-cycle butterfly.
+sim::time_t_ fft64_schedule(sim::Core& core, std::vector<TimedCplx>& vals,
+                            sim::time_t_ gate) {
+  assert(core.nr() == 4 && vals.size() == 64);
+  // own[g] = linear PE id (4*row + col) currently holding value g.
+  std::array<int, 64> own;
+  for (index_t g = 0; g < 64; ++g) own[static_cast<std::size_t>(g)] = static_cast<int>(g % 16);
+
+  // ---- Stage 1 (len 64): butterfly q on PE q over {q + 16t}: all four
+  // operands are local. Twiddles w1,w2,w3 for position q from MEM-B.
+  for (int pid = 0; pid < 16; ++pid) {
+    sim::Pe& pe = core.pe(pid / 4, pid % 4);
+    std::array<TimedCplx, 4> in;
+    for (int t = 0; t < 4; ++t) {
+      in[static_cast<std::size_t>(t)] = vals[static_cast<std::size_t>(pid + 16 * t)];
+      // Operand + twiddle reads from the local stores (6 words per bfly).
+      pe.mem_a.read(t, std::max(gate, in[static_cast<std::size_t>(t)].ready()));
+      if (t < 3) pe.mem_b.read(t, gate);
+    }
+    const cplx w1 = twiddle(pid, 64);
+    auto out = butterfly_sim(pe.mac, in, {w1, w1 * w1, w1 * w1 * w1});
+    for (int t = 0; t < 4; ++t) vals[static_cast<std::size_t>(pid + 16 * t)] = out[static_cast<std::size_t>(t)];
+  }
+
+  // ---- Stage 2 (len 16): butterfly (w, q) on PE(w, q) over
+  // {16w + q + 4t}; the three non-local operands (owners: column q, rows
+  // t != w) arrive over column bus q. Results stay on PE(w, q).
+  for (int w = 0; w < 4; ++w) {
+    for (int q = 0; q < 4; ++q) {
+      const int me = 4 * w + q;
+      std::array<TimedCplx, 4> in;
+      for (int t = 0; t < 4; ++t) {
+        const index_t g = 16 * w + q + 4 * t;
+        TimedCplx v = vals[static_cast<std::size_t>(g)];
+        if (own[static_cast<std::size_t>(g)] != me) {
+          v.re = core.broadcast_col(q, v.re);  // re + im: two bus words
+          v.im = core.broadcast_col(q, v.im);
+        }
+        in[static_cast<std::size_t>(t)] = v;
+      }
+      sim::Pe& pe = core.pe(w, q);
+      const cplx w1 = twiddle(q, 16);
+      auto out = butterfly_sim(pe.mac, in, {w1, w1 * w1, w1 * w1 * w1});
+      for (int t = 0; t < 4; ++t) {
+        const index_t g = 16 * w + q + 4 * t;
+        vals[static_cast<std::size_t>(g)] = out[static_cast<std::size_t>(t)];
+        own[static_cast<std::size_t>(g)] = me;
+      }
+    }
+  }
+
+  // ---- Stage 3 (len 4): butterfly b on PE(b/4, b%4) over {4b + t}. After
+  // stage 2, value 4b+t lives on PE(b/4, t): same row, so the three
+  // non-local operands arrive over row bus b/4. Twiddles are all 1.
+  sim::time_t_ finish = gate;
+  for (int b = 0; b < 16; ++b) {
+    const int row = b / 4;
+    const int col = b % 4;
+    const int me = 4 * row + col;
+    std::array<TimedCplx, 4> in;
+    for (int t = 0; t < 4; ++t) {
+      const index_t g = 4 * b + t;
+      TimedCplx v = vals[static_cast<std::size_t>(g)];
+      if (own[static_cast<std::size_t>(g)] != me) {
+        v.re = core.broadcast_row(row, v.re);
+        v.im = core.broadcast_row(row, v.im);
+      }
+      in[static_cast<std::size_t>(t)] = v;
+    }
+    sim::Pe& pe = core.pe(row, col);
+    auto out = butterfly_sim(pe.mac, in, {cplx{1, 0}, cplx{1, 0}, cplx{1, 0}});
+    for (int t = 0; t < 4; ++t) {
+      const index_t g = 4 * b + t;
+      vals[static_cast<std::size_t>(g)] = out[static_cast<std::size_t>(t)];
+      own[static_cast<std::size_t>(g)] = me;
+      finish = std::max(finish, out[static_cast<std::size_t>(t)].ready());
+    }
+  }
+  return finish;
+}
+
+}  // namespace
+
+FftResult fft64_core(const arch::CoreConfig& cfg, const std::vector<cplx>& x) {
+  assert(x.size() == 64 && cfg.nr == 4);
+  sim::Core core(cfg, 1e9, 1);
+  std::vector<TimedCplx> vals(64);
+  for (index_t g = 0; g < 64; ++g) vals[static_cast<std::size_t>(g)] = timed(x[static_cast<std::size_t>(g)], 0.0);
+  core.dma(128.0, 0.0);  // 64 complex points in
+
+  const sim::time_t_ done = fft64_schedule(core, vals, 0.0);
+  const sim::time_t_ out_done = core.dma(128.0, done);
+
+  FftResult res;
+  res.out.resize(64);
+  const auto perm = digit_reversal4(64);
+  for (index_t g = 0; g < 64; ++g)
+    res.out[static_cast<std::size_t>(perm[static_cast<std::size_t>(g)])] =
+        vals[static_cast<std::size_t>(g)].value();
+  res.cycles = std::max(out_done, core.finish_time());
+  res.stats = core.stats();
+  res.utilization =
+      static_cast<double>(res.stats.mac_ops + res.stats.mul_ops) / (res.cycles * 16.0);
+  return res;
+}
+
+FftResult fft64_batched(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                        const std::vector<std::vector<cplx>>& inputs) {
+  assert(cfg.nr == 4);
+  sim::Core core(cfg, bw_words_per_cycle, 1);
+  FftResult res;
+  const auto perm = digit_reversal4(64);
+  const std::size_t frames = inputs.size();
+  // Frame pipeline: in(f+1) prefetches and out(f-1) streams while frame f
+  // computes (mirrors the GEMM double-buffering discipline).
+  std::vector<sim::time_t_> in_ready(frames, 0.0);
+  sim::time_t_ dma_cursor = core.dma(128.0, 0.0);
+  if (!frames) return res;
+  in_ready[0] = dma_cursor;
+  sim::time_t_ prev_done = -1.0;
+  sim::time_t_ finish = 0.0;
+  for (std::size_t f = 0; f < frames; ++f) {
+    const auto& x = inputs[f];
+    assert(x.size() == 64);
+    if (f + 1 < frames) {
+      dma_cursor = core.dma(128.0, dma_cursor);
+      in_ready[f + 1] = dma_cursor;
+    }
+    if (prev_done >= 0.0) {
+      dma_cursor = core.dma(128.0, std::max(dma_cursor, prev_done));
+      finish = std::max(finish, dma_cursor);
+    }
+    std::vector<TimedCplx> vals(64);
+    for (index_t g = 0; g < 64; ++g)
+      vals[static_cast<std::size_t>(g)] = timed(x[static_cast<std::size_t>(g)], in_ready[f]);
+    prev_done = fft64_schedule(core, vals, in_ready[f]);
+    res.out.resize(64);
+    for (index_t g = 0; g < 64; ++g)
+      res.out[static_cast<std::size_t>(perm[static_cast<std::size_t>(g)])] =
+          vals[static_cast<std::size_t>(g)].value();
+  }
+  dma_cursor = core.dma(128.0, std::max(dma_cursor, prev_done));
+  finish = std::max(finish, dma_cursor);
+  res.cycles = std::max(finish, core.finish_time());
+  res.stats = core.stats();
+  res.utilization =
+      static_cast<double>(res.stats.mac_ops + res.stats.mul_ops) / (res.cycles * 16.0);
+  return res;
+}
+
+}  // namespace lac::fft

@@ -1,0 +1,31 @@
+#pragma once
+// 64-point FFT on the 4x4 LAC (Fig B.2): three radix-4 stages, one
+// butterfly per PE per stage. Stage 1 is PE-local (each PE owns indices
+// {pe_id + 16w}); stage 2 exchanges operands over the column buses; stage
+// 3 over the row buses. Twiddles live in MEM-B.
+#include <vector>
+
+#include "arch/configs.hpp"
+#include "fft/radix4_schedule.hpp"
+#include "kernels/gemm_kernel.hpp"
+#include "sim/core.hpp"
+
+namespace lac::fft {
+
+struct FftResult {
+  std::vector<cplx> out;     ///< natural-order spectrum
+  double cycles = 0.0;
+  double utilization = 0.0;  ///< FMA slots / (cycles * nr^2)
+  sim::Stats stats;
+};
+
+/// One cache-contained 64-point FFT on a 4x4 core.
+FftResult fft64_core(const arch::CoreConfig& cfg, const std::vector<cplx>& x);
+
+/// Batched 64-point FFTs (the building block of the large-transform
+/// schedules): `batch` back-to-back transforms with streamed I/O at
+/// `bw_words_per_cycle`; utilization reflects the overlap achieved.
+FftResult fft64_batched(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                        const std::vector<std::vector<cplx>>& inputs);
+
+}  // namespace lac::fft

@@ -1,0 +1,21 @@
+#pragma once
+// Large 1D FFT on the simulated core (Fig B.4): the four-step method
+// N = n1 * n2 with 64-point core transforms -- column FFTs, on-core
+// twiddle scaling, row FFTs and the transpose readout, all through the
+// bandwidth-limited memory interface of one LAC.
+#include <vector>
+
+#include "arch/configs.hpp"
+#include "fft/fft_kernel.hpp"
+
+namespace lac::fft {
+
+/// N = 64 * n2 point FFT (n2 a multiple of 64 is not required; n2 must be
+/// a power of four <= 64 so each line fits the 64-point core schedule when
+/// n2 == 64, or the reference handles the general case). This simulator
+/// path supports n1 = n2 = 64 (N = 4096), the configuration of the Fig
+/// B.4-style analysis scaled to laptop runtime.
+FftResult fft4096_four_step(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                            const std::vector<cplx>& x);
+
+}  // namespace lac::fft

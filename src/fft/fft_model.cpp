@@ -1,0 +1,100 @@
+#include "fft/fft_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fft/radix4_schedule.hpp"
+
+namespace lac::fft {
+namespace {
+constexpr int kPes = 16;
+index_t log4(index_t n) {
+  index_t s = 0;
+  while (n > 1) {
+    n /= 4;
+    ++s;
+  }
+  return s;
+}
+}  // namespace
+
+double butterfly_cycles() { return kButterflyFmaOps; }
+
+double effective_flops(index_t n) {
+  return 5.0 * static_cast<double>(n) * std::log2(static_cast<double>(n));
+}
+
+double core_fft_compute_cycles(index_t n) {
+  const double butterflies_per_stage = static_cast<double>(n) / 4.0;
+  return butterflies_per_stage / kPes * butterfly_cycles() *
+         static_cast<double>(log4(n));
+}
+
+double core_fft_io_words(index_t n) {
+  // n complex in + n complex out + ~3/4 n complex twiddles per stage
+  // beyond the first (twiddles for stage 1 of a fixed size are resident).
+  const double data = 4.0 * static_cast<double>(n);
+  const double twiddles = 1.5 * static_cast<double>(n) *
+                          std::max<index_t>(0, log4(n) - 1) / 2.0;
+  return data + twiddles;
+}
+
+double required_bw_full_overlap(index_t n) {
+  return std::min(4.0, core_fft_io_words(n) / core_fft_compute_cycles(n));
+}
+
+FftCoreOperatingPoint fft_core_point(index_t n, bool overlapped, double bw_words) {
+  FftCoreOperatingPoint pt;
+  // Data per PE: n/16 complex values (+ double buffer when overlapped),
+  // plus 3 twiddles per butterfly per stage.
+  const double data_words = 2.0 * static_cast<double>(n) / kPes * (overlapped ? 2.0 : 1.0);
+  const double twiddle_words = 6.0 * (static_cast<double>(n) / 64.0) *
+                               static_cast<double>(log4(n));
+  pt.local_store_kb_per_pe = (data_words + twiddle_words) * 8.0 / 1024.0;
+  const double compute = core_fft_compute_cycles(n);
+  const double io = core_fft_io_words(n) / bw_words;
+  pt.utilization = overlapped ? compute / std::max(compute, io)
+                              : compute / (compute + io);
+  return pt;
+}
+
+FftRequirements fft2d_requirements(index_t n, bool overlapped) {
+  FftRequirements r;
+  r.problem = std::to_string(n) + "x" + std::to_string(n) + " 2D";
+  r.overlapped = overlapped;
+  r.core_ffts = 2.0 * static_cast<double>(n);
+  r.total_io_words = r.core_ffts * core_fft_io_words(n);
+  r.compute_cycles = r.core_ffts * core_fft_compute_cycles(n);
+  r.bw_words_needed = overlapped ? required_bw_full_overlap(n)
+                                 : 0.5 * required_bw_full_overlap(n);
+  r.local_store_kb = fft_core_point(n, overlapped, 4.0).local_store_kb_per_pe;
+  return r;
+}
+
+FftRequirements fft1d_four_step_requirements(index_t n, bool overlapped) {
+  FftRequirements r = fft2d_requirements(n, overlapped);
+  const index_t total = n * n;
+  r.problem = (total >= 1024 ? std::to_string(total / 1024) + "K"
+                             : std::to_string(total)) +
+              " 1D (four-step " + std::to_string(n) + "x" + std::to_string(n) + ")";
+  // Extra twiddle-scaling pass: read + scale + write the full grid.
+  const double grid_words = 2.0 * static_cast<double>(total);
+  r.total_io_words += 2.0 * grid_words;
+  r.compute_cycles += static_cast<double>(total) / kPes;  // one cmul per point
+  return r;
+}
+
+std::vector<CommLoad> comm_load_64k_1d() {
+  const index_t n = 256;
+  const double fft_pass_bw = core_fft_io_words(n) / core_fft_compute_cycles(n);
+  // Twiddle pass is pure streaming: 4 words per point per cycle budget of
+  // one cmul (4 FMA slots / 16 PEs -> 4 points per cycle).
+  const double twiddle_bw = 4.0 * 4.0 / 4.0;
+  return {
+      {"column FFTs (256-pt)", fft_pass_bw},
+      {"twiddle scaling", std::min(4.0, twiddle_bw)},
+      {"row FFTs (256-pt)", fft_pass_bw},
+  };
+}
+
+}  // namespace lac::fft

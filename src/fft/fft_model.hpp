@@ -1,0 +1,63 @@
+#pragma once
+// Analytical FFT models (Appendix B.3): compute/communication balance of
+// the core for cache-contained transforms, and the memory-hierarchy
+// requirements of large 2D (N x N) and four-step 1D (N^2) transforms
+// (Table B.1, Figs B.5-B.7).
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lac::fft {
+
+/// FMA slots per radix-4 butterfly under the Fig B.1 schedule (28) and the
+/// classic 5 N log2 N flop convention for reporting effective GFLOPS.
+double butterfly_cycles();
+double effective_flops(index_t n);
+
+/// Compute cycles for one n-point transform on a 16-PE core
+/// (n/64 butterflies per PE per stage, log4(n) stages).
+double core_fft_compute_cycles(index_t n);
+
+/// Words moved per n-point transform (in + out + twiddles).
+double core_fft_io_words(index_t n);
+
+/// Worst-case bandwidth (words/cycle) for full overlap of the next
+/// transform's I/O behind the current one's compute (Fig B.5).
+double required_bw_full_overlap(index_t n);
+
+/// Local store per PE (KB) and achieved utilization for overlapped vs
+/// non-overlapped operation (Fig B.6).
+struct FftCoreOperatingPoint {
+  double local_store_kb_per_pe = 0.0;
+  double utilization = 0.0;
+};
+FftCoreOperatingPoint fft_core_point(index_t n, bool overlapped, double bw_words);
+
+/// Table B.1 row: requirements of a full large transform built from
+/// n-point core FFTs.
+struct FftRequirements {
+  std::string problem;          ///< "256x256 2D", "64K 1D", ...
+  bool overlapped = false;
+  double core_ffts = 0.0;       ///< number of core-sized transforms
+  double total_io_words = 0.0;  ///< off-core words moved
+  double compute_cycles = 0.0;
+  double bw_words_needed = 0.0; ///< to keep the core busy
+  double local_store_kb = 0.0;  ///< per PE
+};
+
+/// N x N 2D FFT decomposed into 2N row/column transforms of size N.
+FftRequirements fft2d_requirements(index_t n, bool overlapped);
+
+/// N^2-point 1D FFT via the four-step method (N x N grid + twiddle pass).
+FftRequirements fft1d_four_step_requirements(index_t n, bool overlapped);
+
+/// Average communication load (words/cycle) per phase of the 64K 1D FFT
+/// (Fig B.7): column-FFT pass, twiddle pass, row-FFT pass.
+struct CommLoad {
+  std::string phase;
+  double words_per_cycle = 0.0;
+};
+std::vector<CommLoad> comm_load_64k_1d();
+
+}  // namespace lac::fft

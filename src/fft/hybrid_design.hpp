@@ -1,0 +1,62 @@
+#pragma once
+// PE design variants for the FFT generalization (Appendix B.3-B.4 and
+// §6.2.2): the original linear-algebra PE, an FFT-optimized PE (two
+// single-ported SRAMs, larger register file), and the hybrid PE that runs
+// both workloads with minimal loss (Fig 6.8 / Table B.3, Figs B.11-B.13).
+#include <string>
+#include <vector>
+
+#include "arch/configs.hpp"
+
+namespace lac::fft {
+
+enum class PeDesignKind { OriginalLac, FftOptimized, Hybrid };
+
+struct SramOption {
+  std::string name;
+  double kbytes = 0.0;
+  int ports = 1;
+  double area_mm2 = 0.0;
+  double mw_per_ghz = 0.0;    ///< streaming dynamic power
+  double access_pj = 0.0;
+};
+
+/// The Table B.2 SRAM menu, evaluated through the CACTI-style model.
+std::vector<SramOption> sram_menu();
+
+struct PeDesign {
+  PeDesignKind kind;
+  std::string name;
+  bool supports_gemm = false;
+  bool supports_fft = false;
+  // Storage organisation.
+  std::vector<SramOption> srams;
+  int rf_entries = 4;
+  // Derived area breakdown (Fig B.13).
+  double fmac_mm2 = 0.0;
+  double sram_mm2 = 0.0;
+  double rf_ctrl_mm2 = 0.0;
+  double total_mm2 = 0.0;
+  // Power at 1 GHz (Figs B.11/B.12): per-application actual and max.
+  double gemm_power_mw = 0.0;  ///< 0 when the design cannot run GEMM
+  double fft_power_mw = 0.0;   ///< 0 when the design cannot run FFT
+  double max_power_mw = 0.0;
+  // Efficiency normalized to the original LAC running GEMM (Fig 6.9).
+  double gemm_eff_norm = 0.0;
+  double fft_eff_norm = 0.0;
+};
+
+/// Build the three designs at the given clock (default 1 GHz, DP).
+std::vector<PeDesign> pe_designs(double clock_ghz = 1.0);
+
+/// Table 6.2 row: cache-contained double-precision FFT comparison.
+struct FftPlatformRow {
+  std::string name;
+  double gflops = 0.0;       ///< sustained FFT performance
+  double watts = 0.0;
+  double gflops_per_w = 0.0;
+  bool from_model = false;   ///< true = our model, false = published number
+};
+std::vector<FftPlatformRow> fft_platform_comparison();
+
+}  // namespace lac::fft

@@ -1,0 +1,42 @@
+#pragma once
+// FMA-optimized radix-4 butterfly schedule (Fig B.1): the DAG consists of
+// three twiddle-multiply nodes of four FMA slots each and eight
+// add-network nodes of two FMA slots each -- 28 FMA slots total -- ordered
+// so that pipeline-latency hazards are hidden when several butterflies are
+// interleaved.
+#include <array>
+#include <complex>
+
+#include "sim/engine.hpp"
+#include "sim/mac_pipeline.hpp"
+
+namespace lac::fft {
+
+using cplx = std::complex<double>;
+
+/// FMA-slot count of one radix-4 butterfly under the Fig B.1 schedule.
+inline constexpr int kButterflyFmaOps = 28;
+
+/// A complex value travelling through the simulated datapath.
+struct TimedCplx {
+  sim::TimedVal re;
+  sim::TimedVal im;
+  cplx value() const { return {re.v, im.v}; }
+  sim::time_t_ ready() const { return std::max(re.ready, im.ready); }
+};
+
+TimedCplx timed(cplx v, sim::time_t_ ready);
+
+/// Host-side butterfly (golden model of the slot schedule): DIF form with
+/// outputs (t0+t2, (t0-t2)w2, (t1-i t3)w1, (t1+i t3)w3).
+std::array<cplx, 4> butterfly_host(const std::array<cplx, 4>& x,
+                                   const std::array<cplx, 3>& w);
+
+/// Issue the 28-slot schedule on one PE's MAC pipeline. Inputs carry their
+/// availability times (e.g. bus arrival); the returned outputs carry the
+/// completion times. Matches butterfly_host bit-for-bit.
+std::array<TimedCplx, 4> butterfly_sim(sim::MacPipeline& mac,
+                                       const std::array<TimedCplx, 4>& x,
+                                       const std::array<cplx, 3>& w);
+
+}  // namespace lac::fft

@@ -1,0 +1,28 @@
+#pragma once
+// Multi-core (LAP) GEMM simulation (Ch. 4): S cores each own a row-panel
+// slice of C and run the core-level schedule concurrently; their DMA
+// traffic shares the chip's on-chip interface, and the A/B/C panels are
+// staged from external memory over the off-chip interface.
+#include "arch/configs.hpp"
+#include "common/matrix.hpp"
+#include "kernels/gemm_kernel.hpp"
+#include "sim/chip.hpp"
+
+namespace lac::kernels {
+
+struct ChipGemmResult {
+  MatrixD out;              ///< C + A*B
+  double cycles = 0.0;      ///< chip makespan
+  double utilization = 0.0; ///< MAC slots / (cycles * S * nr^2)
+  sim::Stats stats;
+  double offchip_words = 0.0;
+};
+
+/// C(m x n) += A(m x k) * B(k x n) on a chip of cfg.cores LACs. m must
+/// split into cfg.cores row panels of multiples of nr; each core holds its
+/// mc x kc tiles of A resident while C/B stream through the shared
+/// interface. Off-chip traffic stages the panels once per rank-kc update.
+ChipGemmResult chip_gemm(const arch::ChipConfig& cfg, index_t mc, index_t kc,
+                         ConstViewD a, ConstViewD b, ConstViewD c_in);
+
+}  // namespace lac::kernels

@@ -1,0 +1,22 @@
+#pragma once
+// Cholesky factorization on the LAC (§6.1.1, Fig 6.1): the nr x nr inner
+// kernel with the inverse-square-root special function, plus a blocked
+// driver (Cholesky = chol(diag) + TRSM panel + SYRK update).
+#include "arch/configs.hpp"
+#include "common/matrix.hpp"
+#include "kernels/gemm_kernel.hpp"
+
+namespace lac::kernels {
+
+/// Unblocked nr x nr Cholesky: A (SPD, mirrored to the upper triangle as
+/// the mapping requires) -> L in the lower triangle. Cycle count tracks
+/// the published 2p(nr-1) + q*nr closed form.
+KernelResult cholesky_inner(const arch::CoreConfig& cfg, ConstViewD a);
+
+/// Blocked Cholesky of an (k*nr x k*nr) SPD matrix resident on the core:
+/// per iteration a diagonal chol, a TRSM column panel and a SYRK trailing
+/// update, all on the simulated core.
+KernelResult cholesky_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                           ConstViewD a);
+
+}  // namespace lac::kernels

@@ -1,0 +1,23 @@
+#pragma once
+// LU factorization with partial pivoting: the k x nr inner kernel of
+// §6.1.2/Fig 6.2, exercised with and without the comparator MAC extension
+// and under every special-function option (the Table A.2 study).
+#include <vector>
+
+#include "arch/configs.hpp"
+#include "common/matrix.hpp"
+#include "kernels/gemm_kernel.hpp"
+
+namespace lac::kernels {
+
+struct LuResult {
+  KernelResult kernel;           ///< factored panel in `kernel.out` (L\U)
+  std::vector<index_t> pivots;   ///< row interchanged with row j at step j
+};
+
+/// Factor a k x nr panel (k multiple of nr) distributed round-robin over
+/// the PE rows: per iteration a pivot search down the column, a row swap,
+/// a reciprocal scale and a rank-1 update of the trailing columns.
+LuResult lu_panel(const arch::CoreConfig& cfg, ConstViewD a);
+
+}  // namespace lac::kernels

@@ -1,0 +1,22 @@
+#pragma once
+// Householder QR of a k x nr panel on the LAC (§6.1.3, Table 6.1): per
+// column a vector norm, the Householder vector construction (reciprocal
+// scale), w^T = (a12^T + u2^T A22)/tau via column reductions, and the
+// trailing rank-1 update A22 -= u2 w^T.
+#include <vector>
+
+#include "arch/configs.hpp"
+#include "common/matrix.hpp"
+#include "kernels/gemm_kernel.hpp"
+
+namespace lac::kernels {
+
+struct QrResult {
+  KernelResult kernel;       ///< factored panel: R upper, reflectors below
+  std::vector<double> taus;  ///< tau per column
+};
+
+/// Factor a k x nr panel (k multiple of nr, k >= nr).
+QrResult qr_panel(const arch::CoreConfig& cfg, ConstViewD a);
+
+}  // namespace lac::kernels

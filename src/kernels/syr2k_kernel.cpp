@@ -1,0 +1,116 @@
+#include <cassert>
+
+#include "kernels/syrk_kernel.hpp"
+
+namespace lac::kernels {
+namespace {
+
+index_t mem_a_addr(index_t i, index_t p, index_t mc, int nr) {
+  return i / nr + (mc / nr) * (p / nr);
+}
+
+}  // namespace
+
+KernelResult syr2k_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                        ConstViewD a, ConstViewD b, ConstViewD c_in) {
+  // C(lower) += A*B^T + B*A^T (§5.2.2). Both operands are resident in
+  // MEM-A (B at offset `b_base`); per diagonal step the core captures the
+  // transposed row panels of BOTH operands into MEM-B (two bus sweeps),
+  // then every C block takes two rank-1 sweeps: A_l against B1^T and B_l
+  // against A1^T. Communication and computation double relative to SYRK.
+  const int nr = cfg.nr;
+  const index_t mc = a.rows();
+  const index_t kc = a.cols();
+  assert(mc % nr == 0 && b.rows() == mc && b.cols() == kc);
+  assert(c_in.rows() == mc && c_in.cols() == mc);
+
+  sim::Core core(cfg, bw_words_per_cycle, 2);
+  const index_t b_base = mem_a_addr(mc - 1, kc - 1, mc, nr) + 1;
+  // Stage both operands (charged on the interface back to back).
+  for (index_t p = 0; p < kc; ++p)
+    for (index_t i = 0; i < mc; ++i) {
+      sim::Pe& pe = core.pe(static_cast<int>(i % nr), static_cast<int>(p % nr));
+      pe.mem_a.poke(mem_a_addr(i, p, mc, nr), a(i, p));
+      pe.mem_a.poke(b_base + mem_a_addr(i, p, mc, nr), b(i, p));
+    }
+  sim::time_t_ dma_cursor = core.dma(2.0 * static_cast<double>(mc) * kc, 0.0);
+
+  KernelResult res;
+  res.out = to_matrix<double>(c_in);
+  const index_t mb = mc / nr;
+  int parity = 0;
+  sim::time_t_ finish = dma_cursor;
+
+  // One rank-1 sweep: rows of `row_op` (panel l) against the MEM-B panel
+  // at `slot` (kc words), accumulating into `parity`.
+  auto rank1_sweep = [&](index_t l, index_t row_base, index_t slot,
+                         sim::time_t_ gate) {
+    for (index_t p = 0; p < kc; ++p) {
+      const int owner = static_cast<int>(p % nr);
+      for (int r = 0; r < nr; ++r) {
+        sim::TimedVal av = core.pe(r, owner).mem_a.read(
+            row_base + mem_a_addr(l * nr + r, p, mc, nr), gate);
+        sim::TimedVal a_bcast = core.broadcast_row(r, av);
+        for (int c = 0; c < nr; ++c) {
+          sim::Pe& pe = core.pe(r, c);
+          sim::TimedVal bv = pe.mem_b.read(slot + p, gate);
+          pe.mac.mac_into_acc(parity, a_bcast, bv);
+        }
+      }
+    }
+  };
+
+  // Transpose-capture of the diagonal panel of `base` into MEM-B `slot`.
+  auto capture_transpose = [&](index_t i, index_t base, index_t slot,
+                               sim::time_t_ gate) {
+    for (index_t p = 0; p < kc; ++p) {
+      const int owner = static_cast<int>(p % nr);
+      for (int r = 0; r < nr; ++r) {
+        sim::TimedVal av = core.pe(r, owner).mem_a.read(
+            base + mem_a_addr(i * nr + r, p, mc, nr), gate);
+        sim::TimedVal rv = core.broadcast_row(r, av);
+        if (r < nr) {
+          sim::TimedVal tv = core.broadcast_col(r, rv);
+          for (int rr = 0; rr < nr; ++rr)
+            core.pe(rr, r).mem_b.write(slot + p, tv.v, tv.ready);
+        }
+      }
+    }
+  };
+
+  for (index_t i = 0; i < mb; ++i) {
+    // Capture A1^T (slot 0) and B1^T (slot kc).
+    capture_transpose(i, 0, 0, dma_cursor);
+    capture_transpose(i, b_base, kc, dma_cursor);
+
+    for (index_t l = i; l < mb; ++l) {
+      const sim::time_t_ c_in_done = core.dma(static_cast<double>(nr) * nr, dma_cursor);
+      dma_cursor = c_in_done;
+      for (int r = 0; r < nr; ++r)
+        for (int c = 0; c < nr; ++c)
+          core.pe(r, c).mac.set_acc(parity, sim::at(res.out(l * nr + r, i * nr + c),
+                                                    c_in_done));
+      rank1_sweep(l, 0, kc, c_in_done);      // A_l * B1^T
+      rank1_sweep(l, b_base, 0, c_in_done);  // B_l * A1^T
+      sim::time_t_ block_ready = 0.0;
+      for (int r = 0; r < nr; ++r)
+        for (int c = 0; c < nr; ++c) {
+          sim::TimedVal v = core.pe(r, c).mac.read_acc(parity);
+          if (l > i || r >= c) res.out(l * nr + r, i * nr + c) = v.v;
+          block_ready = std::max(block_ready, v.ready);
+        }
+      dma_cursor = core.dma(static_cast<double>(nr) * nr,
+                            std::max(dma_cursor, block_ready));
+      finish = std::max(finish, dma_cursor);
+      parity ^= 1;
+    }
+  }
+
+  res.cycles = std::max(finish, core.finish_time());
+  res.stats = core.stats();
+  const double useful = 2.0 * static_cast<double>(mc) * (mc + 1) / 2.0 * kc;
+  res.utilization = useful / (res.cycles * nr * nr);
+  return res;
+}
+
+}  // namespace lac::kernels

@@ -1,0 +1,168 @@
+#include "kernels/syrk_kernel.hpp"
+
+#include <cassert>
+
+namespace lac::kernels {
+namespace {
+
+index_t mem_a_addr(index_t i, index_t p, index_t mc, int nr) {
+  return i / nr + (mc / nr) * (p / nr);
+}
+
+/// Load an mc x kc operand into MEM-A round-robin and charge the DMA.
+sim::time_t_ stage_operand(sim::Core& core, ConstViewD a, sim::time_t_ start) {
+  const int nr = core.nr();
+  const index_t mc = a.rows();
+  const index_t kc = a.cols();
+  for (index_t p = 0; p < kc; ++p)
+    for (index_t i = 0; i < mc; ++i)
+      core.pe(static_cast<int>(i % nr), static_cast<int>(p % nr))
+          .mem_a.poke(mem_a_addr(i, p, mc, nr), a(i, p));
+  return core.dma(static_cast<double>(mc) * kc, start);
+}
+
+/// Diagonal-step of the blocked algorithm: run the transpose-overlapped
+/// rank-1 loop for the row panel `ib` of A (global rows ib*nr..ib*nr+nr-1),
+/// updating accumulators `parity`, and capture the transposed panel into
+/// MEM-B slot `slot` (replicated per PE column). Returns last issue time.
+sim::time_t_ syrk_diag_step(sim::Core& core, ConstViewD a, index_t ib, int parity,
+                            index_t slot_base, sim::time_t_ gate) {
+  const int nr = core.nr();
+  const index_t mc = a.rows();
+  const index_t kc = a.cols();
+  sim::time_t_ last = gate;
+  for (index_t p = 0; p < kc; ++p) {
+    const int owner = static_cast<int>(p % nr);
+    // Row broadcast of a_p (elements of the diagonal row panel).
+    std::vector<sim::TimedVal> row_val(static_cast<std::size_t>(nr));
+    for (int r = 0; r < nr; ++r) {
+      sim::TimedVal av = core.pe(r, owner).mem_a.read(
+          mem_a_addr(ib * nr + r, p, mc, nr), gate);
+      row_val[static_cast<std::size_t>(r)] = core.broadcast_row(r, av);
+    }
+    // Transpose: diagonal PE c re-broadcasts element c down column c; all
+    // PEs of the column capture it into MEM-B (replicated A^T panel).
+    for (int c = 0; c < nr; ++c) {
+      sim::TimedVal tv = core.broadcast_col(c, row_val[static_cast<std::size_t>(c)]);
+      for (int r = 0; r < nr; ++r) {
+        sim::Pe& pe = core.pe(r, c);
+        pe.mem_b.write(slot_base + p, tv.v, tv.ready);
+        pe.mac.mac_into_acc(parity, row_val[static_cast<std::size_t>(r)], tv);
+      }
+      last = std::max(last, tv.ready);
+    }
+  }
+  return last;
+}
+
+}  // namespace
+
+KernelResult syrk_inner(const arch::CoreConfig& cfg, ConstViewD a, ConstViewD c_in) {
+  const int nr = cfg.nr;
+  assert(a.rows() == nr && c_in.rows() == nr && c_in.cols() == nr);
+  sim::Core core(cfg, 1e9, 1);
+  stage_operand(core, a, 0.0);
+  for (int r = 0; r < nr; ++r)
+    for (int c = 0; c < nr; ++c)
+      core.pe(r, c).mac.set_acc(0, sim::at(c_in(r, c), 0.0));
+
+  syrk_diag_step(core, a, 0, 0, 0, 0.0);
+
+  KernelResult res;
+  res.out = MatrixD(nr, nr);
+  double finish = 0.0;
+  for (int r = 0; r < nr; ++r)
+    for (int c = 0; c < nr; ++c) {
+      sim::TimedVal v = core.pe(r, c).mac.read_acc(0);
+      res.out(r, c) = v.v;
+      finish = std::max(finish, v.ready);
+    }
+  res.cycles = std::max(finish, core.finish_time());
+  res.stats = core.stats();
+  res.utilization = static_cast<double>(res.stats.mac_ops) / (res.cycles * nr * nr);
+  return res;
+}
+
+KernelResult syrk_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                       ConstViewD a, ConstViewD c_in) {
+  const int nr = cfg.nr;
+  const index_t mc = a.rows();
+  const index_t kc = a.cols();
+  assert(mc % nr == 0 && c_in.rows() == mc && c_in.cols() == mc);
+
+  sim::Core core(cfg, bw_words_per_cycle, 2);
+  const sim::time_t_ a_done = stage_operand(core, a, 0.0);
+
+  KernelResult res;
+  res.out = to_matrix<double>(c_in);
+  const index_t mb = mc / nr;
+  sim::time_t_ dma_cursor = a_done;
+  sim::time_t_ finish = a_done;
+  int parity = 0;
+
+  for (index_t i = 0; i < mb; ++i) {
+    // (1a/1b) diagonal block SYRK + capture of A1^T into MEM-B.
+    const sim::time_t_ c_diag_in = core.dma(static_cast<double>(nr) * nr, dma_cursor);
+    dma_cursor = c_diag_in;
+    for (int r = 0; r < nr; ++r)
+      for (int c = 0; c < nr; ++c)
+        core.pe(r, c).mac.set_acc(parity, sim::at(res.out(i * nr + r, i * nr + c),
+                                                  c_diag_in));
+    syrk_diag_step(core, a, i, parity, 0, c_diag_in);
+    sim::time_t_ diag_ready = 0.0;
+    for (int r = 0; r < nr; ++r)
+      for (int c = 0; c < nr; ++c) {
+        sim::TimedVal v = core.pe(r, c).mac.read_acc(parity);
+        if (r >= c) res.out(i * nr + r, i * nr + c) = v.v;  // lower only
+        diag_ready = std::max(diag_ready, v.ready);
+      }
+    dma_cursor = core.dma(static_cast<double>(nr) * (nr + 1) / 2,
+                          std::max(dma_cursor, diag_ready));
+    parity ^= 1;
+
+    // (2) GEMM updates C(l, i) += A_l * A1^T for l > i, using the captured
+    // transposed panel as the replicated "B" operand.
+    for (index_t l = i + 1; l < mb; ++l) {
+      const sim::time_t_ c_in_done = core.dma(static_cast<double>(nr) * nr, dma_cursor);
+      dma_cursor = c_in_done;
+      for (int r = 0; r < nr; ++r)
+        for (int c = 0; c < nr; ++c)
+          core.pe(r, c).mac.set_acc(parity, sim::at(res.out(l * nr + r, i * nr + c),
+                                                    c_in_done));
+      for (index_t p = 0; p < kc; ++p) {
+        const int owner = static_cast<int>(p % nr);
+        for (int r = 0; r < nr; ++r) {
+          sim::TimedVal av = core.pe(r, owner).mem_a.read(
+              mem_a_addr(l * nr + r, p, mc, nr), c_in_done);
+          sim::TimedVal a_bcast = core.broadcast_row(r, av);
+          for (int c = 0; c < nr; ++c) {
+            sim::Pe& pe = core.pe(r, c);
+            sim::TimedVal bv = pe.mem_b.read(p, c_in_done);
+            pe.mac.mac_into_acc(parity, a_bcast, bv);
+          }
+        }
+      }
+      sim::time_t_ block_ready = 0.0;
+      for (int r = 0; r < nr; ++r)
+        for (int c = 0; c < nr; ++c) {
+          sim::TimedVal v = core.pe(r, c).mac.read_acc(parity);
+          res.out(l * nr + r, i * nr + c) = v.v;
+          block_ready = std::max(block_ready, v.ready);
+        }
+      dma_cursor = core.dma(static_cast<double>(nr) * nr,
+                            std::max(dma_cursor, block_ready));
+      finish = std::max(finish, dma_cursor);
+      parity ^= 1;
+    }
+    finish = std::max(finish, dma_cursor);
+  }
+
+  res.cycles = std::max(finish, core.finish_time());
+  res.stats = core.stats();
+  // Useful work: only the lower triangle of C counts.
+  const double useful = static_cast<double>(mc) * (mc + 1) / 2.0 * kc;
+  res.utilization = useful / (res.cycles * nr * nr);
+  return res;
+}
+
+}  // namespace lac::kernels

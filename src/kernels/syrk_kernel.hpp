@@ -1,0 +1,29 @@
+#pragma once
+// SYRK on the LAC (§5.2): C := C + A*A^T, lower triangle only. The 2D mesh
+// transposes columns of A on the fly: the owner column broadcasts a_p on
+// the row buses, the diagonal PEs re-broadcast it down the column buses one
+// cycle later, and every PE pairs the two to form the rank-1 update.
+#include "arch/configs.hpp"
+#include "common/matrix.hpp"
+#include "kernels/gemm_kernel.hpp"
+
+namespace lac::kernels {
+
+/// Unblocked nr x nr SYRK: C(nr x nr) += A(nr x kc) * A^T with the
+/// transpose overlapped (Fig 5.2). Also returns A^T captured into MEM-B
+/// (replicated) as the blocked algorithm requires.
+KernelResult syrk_inner(const arch::CoreConfig& cfg, ConstViewD a, ConstViewD c_in);
+
+/// Blocked SYRK (Fig 5.3): C(mc x mc, lower) += A(mc x kc) * A^T with A
+/// resident and C streamed through a bandwidth-limited interface. The
+/// strict upper triangle of the returned matrix mirrors the input (it is
+/// not written by the algorithm).
+KernelResult syrk_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                       ConstViewD a, ConstViewD c_in);
+
+/// SYR2K (§5.2.2): C += A*B^T + B*A^T, lower triangle; doubles both the
+/// communication and the computation of SYRK.
+KernelResult syr2k_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                        ConstViewD a, ConstViewD b, ConstViewD c_in);
+
+}  // namespace lac::kernels

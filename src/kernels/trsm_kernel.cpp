@@ -1,0 +1,210 @@
+#include "kernels/trsm_kernel.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace lac::kernels {
+namespace {
+
+index_t mem_a_addr(index_t i, index_t p, index_t rows, int nr) {
+  return i / nr + (rows / nr) * (p / nr);
+}
+
+/// Solve one batch of nr x nr TRSMs whose B blocks live in `x` (a matrix of
+/// nr rows and `cols` columns, block t occupying columns t*nr..t*nr+nr-1).
+/// Values of block column j are held by PE column j % nr; the batch order
+/// determines how the pipeline fills. Returns the makespan contribution.
+struct TrsmState {
+  std::vector<sim::TimedVal> x;  ///< element (i, j) at i + j*nr
+  sim::TimedVal& at(index_t i, index_t j, int nr) {
+    return x[static_cast<std::size_t>(i + j * nr)];
+  }
+};
+
+void trsm_batch(sim::Core& core, ConstViewD l, TrsmState& st, index_t cols,
+                const std::vector<index_t>& order) {
+  // `order` lists block indices; per triangular iteration i we sweep the
+  // blocks in that order, so independent blocks fill the pipeline slots
+  // (stacked TRSM) and groups overlap scale/update (software pipelining).
+  const int nr = core.nr();
+  for (int i = 0; i < nr; ++i) {
+    // S1/S2: reciprocal of lambda_ii, broadcast along row i.
+    sim::TimedVal lii = core.pe(i, i).rf.read(0, 0.0);
+    lii.v = l(i, i);
+    sim::TimedVal inv = core.special(sim::SfuKind::Recip, i, i, lii);
+    sim::TimedVal inv_b = core.broadcast_row(i, inv);
+
+    for (index_t t : order) {
+      // Scale row i of block t: x(i, :) *= inv.
+      std::vector<sim::TimedVal> xi(static_cast<std::size_t>(nr));
+      for (int j = 0; j < nr; ++j) {
+        const index_t col = t * nr + j;
+        if (col >= cols) continue;
+        sim::Pe& pe = core.pe(i, j);
+        sim::TimedVal scaled = pe.mac.mul(st.at(i, col, nr), inv_b);
+        st.at(i, col, nr) = scaled;
+        xi[static_cast<std::size_t>(j)] = scaled;
+      }
+      // S3: broadcast x(i,:) down the columns and l(k,i) along the rows;
+      // rank-1 subtract from the remaining rows.
+      std::vector<sim::TimedVal> xc(static_cast<std::size_t>(nr));
+      for (int j = 0; j < nr; ++j) {
+        const index_t col = t * nr + j;
+        if (col >= cols) continue;
+        xc[static_cast<std::size_t>(j)] = core.broadcast_col(j, xi[static_cast<std::size_t>(j)]);
+      }
+      for (int k = i + 1; k < nr; ++k) {
+        sim::TimedVal lki = core.broadcast_row(k, sim::at(l(k, i), xc[0].ready - 1.0));
+        for (int j = 0; j < nr; ++j) {
+          const index_t col = t * nr + j;
+          if (col >= cols) continue;
+          sim::Pe& pe = core.pe(k, j);
+          sim::TimedVal cur = st.at(k, col, nr);
+          sim::TimedVal upd = pe.mac.fma(sim::at(-lki.v, lki.ready),
+                                         xc[static_cast<std::size_t>(j)], cur);
+          st.at(k, col, nr) = upd;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+KernelResult trsm_inner(const arch::CoreConfig& cfg, TrsmVariant variant,
+                        ConstViewD l, ConstViewD b, int g) {
+  const int nr = cfg.nr;
+  const int p = cfg.pe.pipeline_stages;
+  assert(l.rows() == nr && l.cols() == nr);
+  const index_t cols = b.cols();
+  index_t expected = nr;
+  if (variant == TrsmVariant::Stacked) expected = static_cast<index_t>(p) * nr;
+  if (variant == TrsmVariant::SoftwarePipelined)
+    expected = static_cast<index_t>(g) * p * nr;
+  assert(cols == expected && b.rows() == nr);
+  (void)expected;
+
+  sim::Core core(cfg, 1e9, 1);
+  TrsmState st;
+  st.x.resize(static_cast<std::size_t>(nr * cols));
+  for (index_t j = 0; j < cols; ++j)
+    for (int i = 0; i < nr; ++i) st.at(i, j, nr) = sim::at(b(i, j), 0.0);
+
+  std::vector<index_t> order;
+  const index_t blocks = cols / nr;
+  for (index_t t = 0; t < blocks; ++t) order.push_back(t);
+  trsm_batch(core, l, st, cols, order);
+
+  KernelResult res;
+  res.out = MatrixD(nr, cols);
+  double finish = 0.0;
+  for (index_t j = 0; j < cols; ++j)
+    for (int i = 0; i < nr; ++i) {
+      res.out(i, j) = st.at(i, j, nr).v;
+      finish = std::max(finish, st.at(i, j, nr).ready);
+    }
+  res.cycles = std::max(finish, core.finish_time());
+  res.stats = core.stats();
+  // Useful flops: nr^2 * cols MAC-equivalents for the full solve.
+  res.utilization = static_cast<double>(nr) * nr * cols / 2.0 /
+                    (res.cycles * nr * nr);
+  return res;
+}
+
+KernelResult trsm_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                       ConstViewD l, ConstViewD b) {
+  const int nr = cfg.nr;
+  const index_t n = l.rows();
+  const index_t m = b.cols();
+  assert(n % nr == 0 && m % nr == 0 && b.rows() == n);
+  const index_t kb = n / nr;
+
+  sim::Core core(cfg, bw_words_per_cycle, 2);
+  // L resident in MEM-A.
+  for (index_t p = 0; p < n; ++p)
+    for (index_t i = 0; i < n; ++i)
+      if (i >= p)
+        core.pe(static_cast<int>(i % nr), static_cast<int>(p % nr))
+            .mem_a.poke(mem_a_addr(i, p, n, nr), l(i, p));
+  sim::time_t_ dma_cursor =
+      core.dma(static_cast<double>(n) * (n + 1) / 2, 0.0);
+
+  // X rows computed so far, staged per block row in MEM-B (replicated) so
+  // the GEMM updates can stream them as the "B" operand.
+  KernelResult res;
+  res.out = to_matrix<double>(b);
+  sim::time_t_ finish = dma_cursor;
+  int parity = 0;
+
+  for (index_t i = 0; i < kb; ++i) {
+    // (1) GEMM update: B_i -= sum_{l<i} L(i,l) * X_l. Row panel i of B is
+    // streamed into accumulators block by block along the m columns.
+    for (index_t jb = 0; jb < m / nr; ++jb) {
+      const sim::time_t_ c_in_done = core.dma(static_cast<double>(nr) * nr, dma_cursor);
+      dma_cursor = c_in_done;
+      for (int r = 0; r < nr; ++r)
+        for (int c = 0; c < nr; ++c)
+          core.pe(r, c).mac.set_acc(parity, sim::at(res.out(i * nr + r, jb * nr + c),
+                                                    c_in_done));
+      for (index_t lb = 0; lb < i; ++lb) {
+        // X_lb panel must be on chip: stream it into MEM-B (charged once
+        // per (i, jb, lb) use; the blocked algorithm re-reads streamed X).
+        for (int c = 0; c < nr; ++c)
+          for (int rr = 0; rr < nr; ++rr)
+            for (int pp = 0; pp < nr; ++pp)
+              core.pe(rr, c).mem_b.poke(pp, res.out(lb * nr + pp, jb * nr + c));
+        dma_cursor = core.dma(static_cast<double>(nr) * nr, dma_cursor);
+        for (int pp = 0; pp < nr; ++pp) {
+          const int owner = static_cast<int>((lb * nr + pp) % nr);
+          for (int r = 0; r < nr; ++r) {
+            sim::TimedVal lv = core.pe(r, owner).mem_a.read(
+                mem_a_addr(i * nr + r, lb * nr + pp, n, nr), c_in_done);
+            lv.v = -lv.v;
+            sim::TimedVal l_bcast = core.broadcast_row(r, lv);
+            for (int c = 0; c < nr; ++c) {
+              sim::Pe& pe = core.pe(r, c);
+              sim::TimedVal xv = pe.mem_b.read(pp, c_in_done);
+              pe.mac.mac_into_acc(parity, l_bcast, xv);
+            }
+          }
+        }
+      }
+      // (2) Triangular solve of the updated diagonal row panel.
+      sim::time_t_ upd_ready = 0.0;
+      MatrixD bi(nr, nr);
+      for (int r = 0; r < nr; ++r)
+        for (int c = 0; c < nr; ++c) {
+          sim::TimedVal v = core.pe(r, c).mac.read_acc(parity);
+          bi(r, c) = v.v;
+          upd_ready = std::max(upd_ready, v.ready);
+        }
+      MatrixD lii(nr, nr, 0.0);
+      for (int r = 0; r < nr; ++r)
+        for (int c = 0; c <= r; ++c) lii(r, c) = l(i * nr + r, i * nr + c);
+      TrsmState st;
+      st.x.resize(static_cast<std::size_t>(nr * nr));
+      for (int c = 0; c < nr; ++c)
+        for (int r = 0; r < nr; ++r) st.at(r, c, nr) = sim::at(bi(r, c), upd_ready);
+      std::vector<index_t> order{0};
+      trsm_batch(core, lii.view(), st, nr, order);
+      sim::time_t_ solved = 0.0;
+      for (int c = 0; c < nr; ++c)
+        for (int r = 0; r < nr; ++r) {
+          res.out(i * nr + r, jb * nr + c) = st.at(r, c, nr).v;
+          solved = std::max(solved, st.at(r, c, nr).ready);
+        }
+      dma_cursor = core.dma(static_cast<double>(nr) * nr,
+                            std::max(dma_cursor, solved));
+      finish = std::max(finish, dma_cursor);
+      parity ^= 1;
+    }
+  }
+
+  res.cycles = std::max(finish, core.finish_time());
+  res.stats = core.stats();
+  const double useful = static_cast<double>(n) * n / 2.0 * m / nr / nr;
+  res.utilization = useful / res.cycles;
+  return res;
+}
+
+}  // namespace lac::kernels

@@ -1,0 +1,29 @@
+#pragma once
+// TRSM on the LAC (§5.3): solve L * X = B for lower-triangular L, in three
+// inner-kernel variants plus the blocked algorithm:
+//   Basic    - one nr x nr block; fine-grain dependencies leave the MAC
+//              pipeline mostly idle (~2p cycles per iteration).
+//   Stacked  - p independent nr x nr blocks share the pipeline slots.
+//   SoftwarePipelined - g stacked groups overlap the scale step of one
+//              sub-panel with the rank-1 update of the previous one.
+#include "arch/configs.hpp"
+#include "common/matrix.hpp"
+#include "kernels/gemm_kernel.hpp"
+
+namespace lac::kernels {
+
+enum class TrsmVariant { Basic, Stacked, SoftwarePipelined };
+
+/// Inner kernel: X = L^{-1} B for an nr x nr lower triangular L and an
+/// nr x w panel B, where w = nr (Basic), p*nr (Stacked) or g*p*nr
+/// (SoftwarePipelined).
+KernelResult trsm_inner(const arch::CoreConfig& cfg, TrsmVariant variant,
+                        ConstViewD l, ConstViewD b, int g = 4);
+
+/// Blocked TRSM (Fig 5.7): L is (k*nr x k*nr) lower triangular resident in
+/// MEM-A; B (k*nr x m) streams through the bandwidth-limited interface.
+/// GEMM updates dominate; diagonal blocks use the stacked inner kernel.
+KernelResult trsm_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                       ConstViewD l, ConstViewD b);
+
+}  // namespace lac::kernels

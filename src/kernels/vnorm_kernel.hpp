@@ -1,0 +1,25 @@
+#pragma once
+// Vector 2-norm on the LAC (§6.1.3, Fig 6.4): the vector lives in one PE
+// column; half the elements are shared with the adjacent column, both
+// columns form partial inner products, the partials reduce back and a
+// reduce-all broadcasts the final sum before the square root.
+//
+// Without the extended-exponent MAC a guard pass (max-search + scale) runs
+// first to avoid overflow/underflow; the extension removes it.
+#include "arch/configs.hpp"
+#include "common/matrix.hpp"
+#include "kernels/gemm_kernel.hpp"
+
+namespace lac::kernels {
+
+struct VnormResult {
+  double norm = 0.0;
+  double cycles = 0.0;
+  sim::Stats stats;
+};
+
+/// 2-norm of a k-element vector stored in PE column `owner_col`.
+VnormResult vnorm(const arch::CoreConfig& cfg, const std::vector<double>& x,
+                  int owner_col = 2);
+
+}  // namespace lac::kernels

@@ -1,0 +1,44 @@
+#include "model/blocking.hpp"
+
+#include <algorithm>
+
+namespace lac::model {
+
+double external_bw_words(const ExternalBlocking& b) {
+  const double k = static_cast<double>(b.k);
+  const double d = static_cast<double>(b.d());
+  return (2.0 * k + (k + 1.0) * d) / (k * static_cast<double>(b.n));
+}
+
+double blocked_onchip_words(const ExternalBlocking& b, index_t kc) {
+  const double ns = static_cast<double>(b.ns);
+  const double k = static_cast<double>(b.k);
+  // k resident C blocks + double-buffered A row panel (k*ns x kc) and
+  // B column panel (kc x ns).
+  return k * ns * ns + 2.0 * static_cast<double>(kc) * ns * (k + 1.0);
+}
+
+BlockingChoice best_blocking(index_t n, double mem_mbytes, index_t kc,
+                             int bytes_per_word) {
+  const double budget = mem_mbytes * 1024.0 * 1024.0 / bytes_per_word;
+  BlockingChoice best;
+  best.bw_words = 1e300;
+  for (index_t ns = 64; ns <= n; ns *= 2) {
+    if (n % ns != 0) continue;
+    const index_t d = n / ns;
+    for (index_t k = 1; k <= d; ++k) {
+      ExternalBlocking b{n, ns, k};
+      const double words = blocked_onchip_words(b, kc);
+      if (words > budget) break;
+      const double bw = external_bw_words(b);
+      if (bw < best.bw_words) {
+        best.blocking = b;
+        best.bw_words = bw;
+        best.mem_words = words;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace lac::model

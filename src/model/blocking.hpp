@@ -1,0 +1,34 @@
+#pragma once
+// External blocking model (§4.2.3, Fig 4.4): when the original n x n
+// problem does not fit in the on-chip memory, C is tiled into d^2 blocks of
+// size ns x ns (d = n/ns) and k <= d of them are computed per pass.
+#include "common/types.hpp"
+
+namespace lac::model {
+
+struct ExternalBlocking {
+  index_t n = 2048;   ///< original problem dimension
+  index_t ns = 512;   ///< on-chip sub-block dimension
+  index_t k = 1;      ///< sub-blocks of C resident simultaneously (k <= d)
+  index_t d() const { return n / ns; }
+};
+
+/// Off-chip bandwidth demand in elements/cycle for the blocked schedule:
+/// (2k + (k+1)d) / (k n)   [§4.2.3].
+double external_bw_words(const ExternalBlocking& b);
+
+/// On-chip memory demand (words) of the blocked schedule: k C-blocks plus
+/// the streaming A/B panels of width kc.
+double blocked_onchip_words(const ExternalBlocking& b, index_t kc);
+
+/// For a memory budget, find the (ns, k) minimizing external bandwidth for
+/// a given problem size (the Fig 4.5 optimization).
+struct BlockingChoice {
+  ExternalBlocking blocking;
+  double bw_words = 0.0;
+  double mem_words = 0.0;
+};
+BlockingChoice best_blocking(index_t n, double mem_mbytes, index_t kc,
+                             int bytes_per_word = 8);
+
+}  // namespace lac::model

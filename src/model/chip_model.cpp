@@ -1,0 +1,126 @@
+#include "model/chip_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lac::model {
+namespace {
+double nr2(const ChipGemmParams& p) { return static_cast<double>(p.nr) * p.nr; }
+double b_factor(const ChipGemmParams& p) {
+  return p.b_sharing == BSharing::Broadcast ? 1.0 : static_cast<double>(p.cores);
+}
+}  // namespace
+
+double table41_local_store_words_per_pe(const ChipGemmParams& p) {
+  CoreGemmParams c;
+  c.nr = p.nr;
+  c.mc = p.mc;
+  c.kc = p.kc;
+  c.n = p.n;
+  c.overlap = p.overlap;
+  return local_store_words(c) / nr2(p);
+}
+
+double table41_intra_core_bw_words(const ChipGemmParams& p) {
+  // nr * (1 + 2/kc + 1/mc [+ 1/n under full overlap]): the two broadcast
+  // operands per rank-1 step plus the C/B/A streaming shares.
+  const double extra = 2.0 / p.kc + 1.0 / p.mc +
+                       (p.overlap == Overlap::Full ? 1.0 / p.n : 0.0);
+  return p.nr * (1.0 + extra);
+}
+
+double table41_core_chip_bw_words(const ChipGemmParams& p) {
+  const double extra = 2.0 / p.kc + 1.0 / p.mc +
+                       (p.overlap == Overlap::Full ? 1.0 / static_cast<double>(p.n) : 0.0);
+  return extra * nr2(p);
+}
+
+double table41_onchip_mem_words(const ChipGemmParams& p) {
+  const double c_words = (p.overlap == Overlap::Full ? 2.0 : 1.0) *
+                         static_cast<double>(p.n) * p.n;
+  return c_words + static_cast<double>(p.cores) * p.mc * p.kc +
+         2.0 * static_cast<double>(p.kc) * p.n;
+}
+
+double table41_intra_chip_bw_words(const ChipGemmParams& p) {
+  const double s = p.cores;
+  const double bshare = b_factor(p);
+  double bw = (2.0 * s / p.kc + bshare / p.mc) * nr2(p);
+  if (p.overlap == Overlap::Full) bw += s / static_cast<double>(p.n) * nr2(p);
+  return bw;
+}
+
+double table41_offchip_bw_words(const ChipGemmParams& p) {
+  const double s = p.cores;
+  const double factor = p.overlap == Overlap::Full ? 4.0 : 2.0;
+  return factor * s * nr2(p) / static_cast<double>(p.n);
+}
+
+double chip_cycles_onchip(const ChipGemmParams& p) {
+  const double y = p.onchip_bw_words;
+  const double s = p.cores;
+  const double load_a = s * static_cast<double>(p.mc) * p.kc / y;
+  // Per row-panel group: C in+out for all S panels plus the B panel, which
+  // is replicated per core or broadcast once depending on the sharing mode.
+  const double stream = (2.0 * s * p.mc + static_cast<double>(p.kc) * b_factor(p)) *
+                        static_cast<double>(p.n) / y;
+  const double compute = static_cast<double>(p.mc) * p.n * p.kc / nr2(p);
+  const double groups = static_cast<double>(p.n) / (s * static_cast<double>(p.mc));
+  const double panels = static_cast<double>(p.n) / p.kc;
+  double per_group = 0.0;
+  if (p.overlap == Overlap::Partial) {
+    per_group = load_a + std::max(stream, compute);
+  } else {
+    per_group = std::max(load_a + stream, compute);
+  }
+  return groups * panels * per_group;
+}
+
+double chip_utilization_onchip(const ChipGemmParams& p) {
+  const double peak = std::pow(static_cast<double>(p.n), 3) / (p.cores * nr2(p));
+  return peak / chip_cycles_onchip(p);
+}
+
+double chip_cycles_offchip(const ChipGemmParams& p) {
+  const double z = p.offchip_bw_words;
+  const double n = static_cast<double>(p.n);
+  const double compute = n * n * n / (p.cores * nr2(p));
+  const double c_transfer = 2.0 * n * n / z;  // C in + out, not overlapped
+  const double ab_transfer = 2.0 * n * n / z; // A and B panels, overlapped
+  return c_transfer + std::max(ab_transfer, compute);
+}
+
+double chip_utilization_offchip(const ChipGemmParams& p) {
+  const double n = static_cast<double>(p.n);
+  const double peak = n * n * n / (p.cores * nr2(p));
+  return peak / chip_cycles_offchip(p);
+}
+
+double chip_utilization(const ChipGemmParams& p) {
+  return std::min(chip_utilization_onchip(p), chip_utilization_offchip(p));
+}
+
+ChipBestPoint best_chip_utilization(int nr, int cores, double mem_mbytes,
+                                    double onchip_bw_words, double offchip_bw_words,
+                                    index_t n_problem, int bytes_per_word) {
+  ChipBestPoint best;
+  const double budget_words = mem_mbytes * 1024.0 * 1024.0 / bytes_per_word;
+  // On-chip problem dimension ns: multiple of cores*nr so that the row-panel
+  // split mc = ns/S is itself a multiple of nr (as in the §4.3 examples).
+  const index_t step = static_cast<index_t>(cores) * nr;
+  for (index_t ns = step; ns <= n_problem; ns += step) {
+    ChipGemmParams p;
+    p.nr = nr;
+    p.cores = cores;
+    p.n = ns;
+    p.mc = p.kc = std::max<index_t>(nr, ns / cores);
+    p.onchip_bw_words = onchip_bw_words;
+    p.offchip_bw_words = offchip_bw_words;
+    if (table41_onchip_mem_words(p) > budget_words) break;
+    const double u = chip_utilization(p);
+    if (u > best.utilization) best = {u, ns, p.mc, p.kc};
+  }
+  return best;
+}
+
+}  // namespace lac::model

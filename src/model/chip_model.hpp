@@ -1,0 +1,72 @@
+#pragma once
+// Chip-level (multi-core LAP) analytical model: §4.1-§4.2 and Table 4.1.
+//
+// S cores share an on-chip memory holding the resident n x n block of C
+// plus the streaming A/B panels; the on-chip interface sustains y
+// words/cycle and the external interface z words/cycle.
+#include "common/types.hpp"
+#include "model/core_model.hpp"
+
+namespace lac::model {
+
+/// Whether the shared B panel is broadcast to all cores (one transfer) or
+/// replicated per core (S transfers) -- the "1(S)" alternative of Table 4.1.
+enum class BSharing { Broadcast, Replicated };
+
+struct ChipGemmParams {
+  int nr = 4;
+  int cores = 8;                     ///< S
+  index_t mc = 128;
+  index_t kc = 128;
+  index_t n = 2048;                  ///< on-chip problem dimension
+  double onchip_bw_words = 8.0;      ///< y
+  double offchip_bw_words = 2.0;     ///< z
+  Overlap overlap = Overlap::Partial;
+  BSharing b_sharing = BSharing::Replicated;
+};
+
+/// ---- Table 4.1 closed forms ------------------------------------------
+
+/// Core-level local store per PE (words) -- re-export of the §3.4 result.
+double table41_local_store_words_per_pe(const ChipGemmParams& p);
+/// Intra-core bandwidth (words/cycle) seen by the PE array.
+double table41_intra_core_bw_words(const ChipGemmParams& p);
+/// Core <-> on-chip memory bandwidth (words/cycle).
+double table41_core_chip_bw_words(const ChipGemmParams& p);
+/// On-chip memory capacity (words).
+double table41_onchip_mem_words(const ChipGemmParams& p);
+/// On-chip aggregate bandwidth (words/cycle) over all S cores.
+double table41_intra_chip_bw_words(const ChipGemmParams& p);
+/// Off-chip bandwidth (words/cycle).
+double table41_offchip_bw_words(const ChipGemmParams& p);
+
+/// ---- cycle/utilization model ------------------------------------------
+
+/// Cycles for one full C += A*B with all blocking levels (§4.1 formula,
+/// multiplied over the n/kc rank-kc updates), limited by on-chip bandwidth.
+double chip_cycles_onchip(const ChipGemmParams& p);
+/// Utilization against the S*nr^2 MAC/cycle peak, on-chip limited.
+double chip_utilization_onchip(const ChipGemmParams& p);
+
+/// Cycles/utilization limited by the external interface (§4.1: C resident
+/// on chip, A/B panels streamed from outside).
+double chip_cycles_offchip(const ChipGemmParams& p);
+double chip_utilization_offchip(const ChipGemmParams& p);
+
+/// Combined utilization (min of both constraints).
+double chip_utilization(const ChipGemmParams& p);
+
+/// Best utilization for a given on-chip memory budget: picks the largest
+/// on-chip problem ns (and mc = ns/S row panels, kc = mc) that fits,
+/// mirroring the §4.3 validation method.
+struct ChipBestPoint {
+  double utilization = 0.0;
+  index_t ns = 0;  ///< on-chip C dimension
+  index_t mc = 0;
+  index_t kc = 0;
+};
+ChipBestPoint best_chip_utilization(int nr, int cores, double mem_mbytes,
+                                    double onchip_bw_words, double offchip_bw_words,
+                                    index_t n_problem, int bytes_per_word = 8);
+
+}  // namespace lac::model

@@ -1,0 +1,72 @@
+#include "model/core_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lac::model {
+
+double local_store_words(const CoreGemmParams& p) {
+  const double nr2 = static_cast<double>(p.nr) * p.nr;
+  const double a_words =
+      (p.overlap == Overlap::Full ? 2.0 : 1.0) * static_cast<double>(p.mc) * p.kc;
+  const double b_words = 2.0 * p.kc * nr2;  // current + prefetched B panel
+  return a_words + b_words;
+}
+
+double local_store_kb_per_pe(const CoreGemmParams& p, int bytes_per_word) {
+  const double nr2 = static_cast<double>(p.nr) * p.nr;
+  return local_store_words(p) / nr2 * bytes_per_word / 1024.0;
+}
+
+double core_peak_cycles(const CoreGemmParams& p) {
+  const double nr2 = static_cast<double>(p.nr) * p.nr;
+  return static_cast<double>(p.mc) * p.kc * p.n / nr2;
+}
+
+double core_cycles(const CoreGemmParams& p) {
+  const double x = p.bw_words_per_cycle;
+  const double load_a = static_cast<double>(p.mc) * p.kc / x;
+  const double stream = (2.0 * p.mc + p.kc) * p.n / x;  // C in+out, B in
+  const double compute = core_peak_cycles(p);
+  if (p.overlap == Overlap::Partial) {
+    return load_a + std::max(stream, compute);
+  }
+  return std::max(load_a + stream, compute);
+}
+
+double core_utilization(const CoreGemmParams& p) {
+  return core_peak_cycles(p) / core_cycles(p);
+}
+
+double min_bw_for_peak(const CoreGemmParams& p) {
+  // Full overlap: need (mc*kc + (2mc+kc)*n)/x <= mc*kc*n/nr^2.
+  const double nr2 = static_cast<double>(p.nr) * p.nr;
+  const double words = static_cast<double>(p.mc) * p.kc + (2.0 * p.mc + p.kc) * p.n;
+  return words * nr2 / (static_cast<double>(p.mc) * p.kc * p.n);
+}
+
+BestPoint best_core_utilization(int nr, index_t n, double bw_words_per_cycle,
+                                double local_kb_per_pe, int bytes_per_word) {
+  BestPoint best;
+  const double budget_words_total =
+      local_kb_per_pe * 1024.0 / bytes_per_word * nr * nr;
+  for (Overlap ov : {Overlap::Partial, Overlap::Full}) {
+    // Largest square mc = kc (multiple of nr) fitting the budget.
+    for (index_t mc = nr; mc <= n; mc += nr) {
+      CoreGemmParams p;
+      p.nr = nr;
+      p.mc = p.kc = mc;
+      p.n = n;
+      p.bw_words_per_cycle = bw_words_per_cycle;
+      p.overlap = ov;
+      if (local_store_words(p) > budget_words_total) break;
+      const double u = core_utilization(p);
+      if (u > best.utilization) {
+        best = {u, p.mc, p.kc, ov};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace lac::model

@@ -1,0 +1,59 @@
+#pragma once
+// Analytical core-level GEMM performance model (§3.4).
+//
+// One LAC holds an mc x kc block of A resident in the PE local stores,
+// streams kc x nr panels of B (replicated) and nr x nr blocks of C through
+// the memory interface, and retires nr^2 MACs per cycle at peak. The model
+// answers: for a given local-store size and core<->on-chip bandwidth, what
+// utilization is achievable, and what is the cheapest (mc, kc) that attains
+// it?
+#include "common/types.hpp"
+
+namespace lac::model {
+
+/// Data-transfer overlap regime (§3.4):
+///  Partial: B/C streaming overlaps compute, the A block load does not.
+///  Full: the next A block is prefetched during compute too (needs 2x the
+///        A storage in the local stores).
+enum class Overlap { Partial, Full };
+
+struct CoreGemmParams {
+  int nr = 4;
+  index_t mc = 128;
+  index_t kc = 128;
+  index_t n = 512;                  ///< width of the C panel being updated
+  double bw_words_per_cycle = 1.0;  ///< x: core <-> on-chip memory
+  Overlap overlap = Overlap::Partial;
+};
+
+/// Aggregate local-store demand in words (over all PEs): A block (+double
+/// buffer under Full) plus current & next replicated B panels.
+double local_store_words(const CoreGemmParams& p);
+/// Same, per PE, in KB for the given element size.
+double local_store_kb_per_pe(const CoreGemmParams& p, int bytes_per_word = 8);
+
+/// Cycles to compute Ci += Ai,p * Bp for the whole n-wide panel sweep.
+double core_cycles(const CoreGemmParams& p);
+
+/// Cycles at theoretical peak (mc*kc*n / nr^2).
+double core_peak_cycles(const CoreGemmParams& p);
+
+/// Utilization = peak / actual, in [0, 1].
+double core_utilization(const CoreGemmParams& p);
+
+/// Minimum bandwidth (words/cycle) for 100% utilization at this (mc,kc,n)
+/// under full overlap (Fig 3.5 / Table 4.1 core row).
+double min_bw_for_peak(const CoreGemmParams& p);
+
+/// Best achievable utilization for a local store budget (KB/PE) and
+/// bandwidth: optimizes square mc = kc under both overlap regimes.
+struct BestPoint {
+  double utilization = 0.0;
+  index_t mc = 0;
+  index_t kc = 0;
+  Overlap overlap = Overlap::Partial;
+};
+BestPoint best_core_utilization(int nr, index_t n, double bw_words_per_cycle,
+                                double local_kb_per_pe, int bytes_per_word = 8);
+
+}  // namespace lac::model

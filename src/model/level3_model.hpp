@@ -1,0 +1,38 @@
+#pragma once
+// Analytical utilization models for the level-3 BLAS generalization (Ch. 5):
+// SYRK, SYR2K and TRSM on the LAC, plus the GEMM baseline for comparison.
+#include "common/types.hpp"
+#include "model/core_model.hpp"
+
+namespace lac::model {
+
+enum class Level3Op { Gemm, Trsm, Syrk, Syr2k, Trmm, Symm };
+
+const char* to_string(Level3Op op);
+
+/// TRSM inner-kernel utilization (§5.3.1): software-pipelined stacked TRSM
+/// of an nr x (g*p*nr) panel of B: g(nr+1)/(2(g+1)nr).
+double trsm_inner_utilization(int nr, int g);
+
+/// Blocked TRSM utilization (§5.3.3): sum_{i=0..k}(i+1/2)/sum_{i=0..k}(i+1)
+/// for a (k*nr) x m panel.
+double trsm_blocked_utilization(index_t k_blocks);
+
+/// TRSM average bandwidth demand (words/cycle), <= 4*nr/k (§5.3.3).
+double trsm_avg_bw_words(int nr, index_t k_blocks);
+
+/// SYRK compute-side utilization: only the lower triangle of C is useful;
+/// diagonal blocks run the transpose-overlapped unblocked kernel.
+double syrk_compute_utilization(int nr, index_t mc);
+
+/// Best utilization of a level-3 op for a local-store / bandwidth budget
+/// (the Figs 5.8-5.10 model). GEMM delegates to best_core_utilization.
+BestPoint best_level3_utilization(Level3Op op, int nr, index_t n,
+                                  double bw_words_per_cycle, double local_kb_per_pe,
+                                  int bytes_per_word = 8);
+
+/// The Table 5.1 utilization at the paper's operating point (problem large
+/// enough that lower-order terms follow the printed percentages).
+double table51_utilization(Level3Op op, int nr);
+
+}  // namespace lac::model

@@ -1,0 +1,27 @@
+#include "power/bus_model.hpp"
+
+namespace lac::power {
+namespace {
+constexpr double kPeWidthMm = 0.4;       // §3.6: each PE no wider than 0.4mm
+constexpr double kPjPerBitPerMm = 0.04;  // low-swing local wire at 45nm
+constexpr double kBusAreaPerPe = 0.023;  // §3.6 printed value
+}  // namespace
+
+double bus_max_freq_ghz(int nr) { return nr <= 8 ? 2.2 : 1.4; }
+
+double bus_area_per_pe_mm2() { return kBusAreaPerPe; }
+
+double bus_transfer_pj(int nr, Precision prec) {
+  const int bits = bytes_of(prec) * 8;
+  const double length_mm = kPeWidthMm * nr;
+  return kPjPerBitPerMm * bits * length_mm;
+}
+
+double bus_power_per_pe_mw(int nr, Precision prec, double clock_ghz, double activity) {
+  // Each PE sees 2 broadcasts/cycle (one row, one column) but shares each
+  // bus with nr PEs: charge 2/nr transfers per PE per cycle.
+  const double transfers_per_cycle = 2.0 / nr * activity;
+  return bus_transfer_pj(nr, prec) * transfers_per_cycle * clock_ghz;
+}
+
+}  // namespace lac::power

@@ -1,0 +1,28 @@
+#pragma once
+// Row/column broadcast-bus model (§3.2.1, §3.6).
+//
+// The LAC uses data-only broadcast buses with no arbitration or address
+// decoding, so only the wire (+repeater) power counts. CACTI's "30% latency
+// overhead" wire class is assumed: repeater spacing > 1.62mm means a 4x4 or
+// 8x8 core needs no repeaters at all.
+#include "common/types.hpp"
+
+namespace lac::power {
+
+/// Maximum broadcast frequency (GHz) achievable for an nr x nr mesh with
+/// single-cycle broadcasts (wire model of §3.6: >2.2 GHz for nr<=8,
+/// ~1.4 GHz for nr=16).
+double bus_max_freq_ghz(int nr);
+
+/// Bus area charged to one PE (mm^2).
+double bus_area_per_pe_mm2();
+
+/// Dynamic power (mW) of the row+column bus segments charged to one PE,
+/// at `activity` transfers per cycle (two broadcasts feed each PE's MAC
+/// every cycle during rank-1 updates; per-PE share is 2/nr of a bus).
+double bus_power_per_pe_mw(int nr, Precision prec, double clock_ghz, double activity = 1.0);
+
+/// Energy of one 64-bit (or 32-bit) broadcast on a bus spanning nr PEs (pJ).
+double bus_transfer_pj(int nr, Precision prec);
+
+}  // namespace lac::power

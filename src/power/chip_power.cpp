@@ -1,0 +1,38 @@
+#include "power/chip_power.hpp"
+
+#include "power/nuca_model.hpp"
+#include "power/sram_model.hpp"
+
+namespace lac::power {
+
+ChipReport chip_report(const arch::ChipConfig& chip, double utilization,
+                       double onchip_words_per_cycle) {
+  ChipReport out;
+  const arch::CoreConfig& core = chip.core;
+  PeActivity act = gemm_activity(core.nr);
+  act.mac = utilization;  // scale datapath activity by sustained utilization
+
+  out.cores_area_mm2 = core_area_mm2(core) * chip.cores;
+  out.cores_power_mw = core_power_mw(core, act) * chip.cores;
+
+  const double f = core.pe.clock_ghz;
+  if (chip.mem_kind == arch::OnChipMemKind::BankedSram) {
+    out.mem_area_mm2 = onchip_sram_area_mm2(chip.onchip_mem_mbytes);
+    out.mem_power_mw =
+        onchip_sram_dynamic_mw(chip.onchip_mem_mbytes, onchip_words_per_cycle, f) +
+        onchip_sram_leakage_mw(chip.onchip_mem_mbytes);
+  } else {
+    out.mem_area_mm2 = nuca_area_mm2(chip.onchip_mem_mbytes, onchip_words_per_cycle);
+    out.mem_power_mw =
+        nuca_dynamic_mw(chip.onchip_mem_mbytes, onchip_words_per_cycle, f) +
+        nuca_leakage_mw(chip.onchip_mem_mbytes, onchip_words_per_cycle);
+  }
+
+  out.chip_area_mm2 = out.cores_area_mm2 + out.mem_area_mm2;
+  out.chip_power_mw = out.cores_power_mw + out.mem_power_mw;
+  out.utilization = utilization;
+  out.gflops = chip.peak_gflops() * utilization;
+  return out;
+}
+
+}  // namespace lac::power

@@ -1,0 +1,29 @@
+#pragma once
+// Chip-level (LAP) power & area aggregation: S cores + on-chip memory
+// (banked SRAM or NUCA), the model behind Figs 4.9-4.12.
+#include "arch/configs.hpp"
+#include "power/pe_power.hpp"
+
+namespace lac::power {
+
+struct ChipReport {
+  double cores_area_mm2 = 0.0;
+  double mem_area_mm2 = 0.0;
+  double chip_area_mm2 = 0.0;
+  double cores_power_mw = 0.0;
+  double mem_power_mw = 0.0;
+  double chip_power_mw = 0.0;
+  double gflops = 0.0;          ///< sustained (peak * utilization)
+  double utilization = 1.0;
+  /// Efficiency helpers.
+  double gflops_per_w() const { return chip_power_mw > 0 ? gflops / (chip_power_mw / 1000.0) : 0; }
+  double gflops_per_mm2() const { return chip_area_mm2 > 0 ? gflops / chip_area_mm2 : 0; }
+  double mw_per_gflop() const { return gflops > 0 ? chip_power_mw / gflops : 0; }
+};
+
+/// Evaluate chip power/area for a given sustained utilization and the
+/// on-chip bandwidth actually streamed (words/cycle).
+ChipReport chip_report(const arch::ChipConfig& chip, double utilization,
+                       double onchip_words_per_cycle);
+
+}  // namespace lac::power

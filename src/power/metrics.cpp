@@ -1,0 +1,3 @@
+#include "power/metrics.hpp"
+
+// Header-only arithmetic; this TU anchors the module for the build.

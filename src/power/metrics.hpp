@@ -1,0 +1,23 @@
+#pragma once
+// Efficiency metrics used across the dissertation's comparisons:
+// GFLOPS/W, GFLOPS/mm^2, W/mm^2, energy-delay (W/GFLOPS^2) and its inverse
+// (GFLOPS^2/W, "inverse E-D" -- bigger is better).
+namespace lac::power {
+
+struct Metrics {
+  double gflops = 0.0;
+  double watts = 0.0;
+  double area_mm2 = 0.0;
+
+  double gflops_per_w() const { return watts > 0 ? gflops / watts : 0.0; }
+  double gflops_per_mm2() const { return area_mm2 > 0 ? gflops / area_mm2 : 0.0; }
+  double w_per_mm2() const { return area_mm2 > 0 ? watts / area_mm2 : 0.0; }
+  double mw_per_gflop() const { return gflops > 0 ? watts * 1000.0 / gflops : 0.0; }
+  double mm2_per_gflop() const { return gflops > 0 ? area_mm2 / gflops : 0.0; }
+  /// Energy-delay product in mW/GFLOPS^2 (lower is better, Fig 3.6).
+  double energy_delay() const { return gflops > 0 ? watts * 1000.0 / (gflops * gflops) : 0.0; }
+  /// Inverse energy-delay in GFLOPS^2/W (higher is better, Tables 4.2).
+  double inverse_energy_delay() const { return watts > 0 ? gflops * gflops / watts : 0.0; }
+};
+
+}  // namespace lac::power

@@ -1,0 +1,30 @@
+#include "power/nuca_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lac::power {
+namespace {
+// Tag + cache-controller overhead makes NUCA ~1.8x the area of plain SRAM
+// per byte; sustaining more words/cycle multiplies bank count.
+constexpr double kNucaAreaPerMb = 5.6;           // mm^2/MB baseline
+constexpr double kNucaBwAreaFactor = 0.35;       // extra area per word/cycle
+constexpr double kNucaPjPerWordAt1Mb = 80.0;     // HP banks + tag lookup
+constexpr double kNucaLeakMwPerMb = 45.0;        // HP transistors leak
+constexpr double kNucaLeakBwFactor = 50.0;       // more live banks -> leak
+}  // namespace
+
+double nuca_area_mm2(double mbytes, double words_per_cycle) {
+  return kNucaAreaPerMb * mbytes * (1.0 + kNucaBwAreaFactor * std::sqrt(words_per_cycle));
+}
+
+double nuca_dynamic_mw(double mbytes, double words_per_cycle, double clock_ghz) {
+  const double pj = kNucaPjPerWordAt1Mb * std::pow(std::max(mbytes, 0.125), 0.45);
+  return pj * words_per_cycle * clock_ghz;
+}
+
+double nuca_leakage_mw(double mbytes, double words_per_cycle) {
+  return kNucaLeakMwPerMb * mbytes + kNucaLeakBwFactor * words_per_cycle;
+}
+
+}  // namespace lac::power

@@ -1,0 +1,19 @@
+#pragma once
+// NUCA cache model for the §4.4 sensitivity study (Figs 4.11/4.12): what
+// happens when the domain-specific banked SRAM is replaced by a general
+// NUCA cache. Small-capacity/high-bandwidth NUCA points require
+// high-performance (high-power) banks, so area *and* power grow as capacity
+// shrinks -- the opposite of the SRAM design.
+namespace lac::power {
+
+/// Area (mm^2) of a NUCA cache of `mbytes` able to sustain
+/// `words_per_cycle` of bandwidth.
+double nuca_area_mm2(double mbytes, double words_per_cycle);
+
+/// Dynamic power (mW) at the given streamed bandwidth and clock.
+double nuca_dynamic_mw(double mbytes, double words_per_cycle, double clock_ghz);
+
+/// Leakage power (mW): high-performance banks leak substantially.
+double nuca_leakage_mw(double mbytes, double words_per_cycle);
+
+}  // namespace lac::power

@@ -1,0 +1,75 @@
+#include "power/pe_power.hpp"
+
+#include "power/bus_model.hpp"
+#include "power/fmac_model.hpp"
+#include "power/sfu_model.hpp"
+#include "power/sram_model.hpp"
+
+namespace lac::power {
+namespace {
+constexpr double kRfMwPerGhz = 0.30;      // 32-byte, 2-port register file
+constexpr double kRfAreaMm2 = 0.002;
+constexpr double kControlAreaMm2 = 0.004; // micro-coded FSM + counters
+constexpr double kIdleFraction = 0.25;    // §1.3.3 idle = 25-30% of dynamic
+// Faster operating points pay a small area premium (sized-up SRAM/FMAC
+// variants); fitted to the area column of Table 3.1.
+constexpr double kAreaPerGhzSp = 0.0029;
+constexpr double kAreaPerGhzDp = 0.0080;
+}  // namespace
+
+PeActivity gemm_activity(int nr) {
+  PeActivity a;
+  a.mac = 1.0;
+  a.mem_a = 1.0 / nr;  // one A-element broadcast per row per nr cycles
+  a.mem_b = 1.0;       // replicated B read feeds the MAC every cycle
+  a.rf = 0.25;
+  a.bus = 1.0;
+  return a;
+}
+
+PePower pe_power(const arch::CoreConfig& core, const PeActivity& activity) {
+  const arch::PeConfig& pe = core.pe;
+  const double f = pe.clock_ghz;
+  PePower out;
+  out.mac_mw = fmac_dynamic_mw(pe.precision, f) * activity.mac;
+  const double mem_a =
+      pe_sram_dynamic_mw(pe.mem_a_kbytes, pe.mem_a_ports, f, activity.mem_a);
+  const double mem_b =
+      pe_sram_dynamic_mw(pe.mem_b_kbytes, pe.mem_b_ports, f, activity.mem_b);
+  const double rf = kRfMwPerGhz * f * activity.rf;
+  out.memory_mw = mem_a + mem_b + rf;
+  out.bus_mw = bus_power_per_pe_mw(core.nr, pe.precision, f, activity.bus);
+  const double dyn = out.mac_mw + out.memory_mw + out.bus_mw;
+  out.leakage_mw = kIdleFraction * dyn;
+  out.total_mw = dyn + out.leakage_mw;
+  return out;
+}
+
+double pe_area_mm2(const arch::CoreConfig& core) {
+  const arch::PeConfig& pe = core.pe;
+  const double freq_premium =
+      (pe.precision == Precision::Double ? kAreaPerGhzDp : kAreaPerGhzSp) * pe.clock_ghz;
+  return fmac_area_mm2(pe.precision) +
+         pe_sram_area_mm2(pe.mem_a_kbytes, pe.mem_a_ports) +
+         pe_sram_area_mm2(pe.mem_b_kbytes, pe.mem_b_ports) + kRfAreaMm2 +
+         kControlAreaMm2 + bus_area_per_pe_mm2() / core.nr + freq_premium;
+}
+
+double pe_peak_gflops(const arch::PeConfig& pe) { return kFlopsPerMac * pe.clock_ghz; }
+
+double core_power_mw(const arch::CoreConfig& core, const PeActivity& activity) {
+  const PePower p = pe_power(core, activity);
+  double total = p.total_mw * core.pes();
+  if (core.sfu != arch::SfuOption::Software) {
+    // SFU idles during GEMM-class work: charge its leakage share.
+    total += kIdleFraction * 0.1 * sfu_active_mw(core);
+  }
+  return total;
+}
+
+double core_area_mm2(const arch::CoreConfig& core) {
+  const SfuAreaBreakdown sfu = sfu_area_breakdown(core);
+  return pe_area_mm2(core) * core.pes() + sfu.total();
+}
+
+}  // namespace lac::power

@@ -1,0 +1,46 @@
+#pragma once
+// Aggregate PE / core power & area (the Table 3.1 model and the
+// local-store sensitivity studies of Figs 4.7/4.8).
+#include "arch/configs.hpp"
+
+namespace lac::power {
+
+/// GEMM-steady-state activity factors of PE components (§3.4 access
+/// pattern: MEM-A one read every nr cycles, MEM-B one read every cycle,
+/// MAC issues every cycle, both buses toggling).
+struct PeActivity {
+  double mac = 1.0;
+  double mem_a = 0.0;  ///< accesses per cycle (set from nr by default)
+  double mem_b = 1.0;
+  double rf = 0.25;
+  double bus = 1.0;
+};
+
+/// Default GEMM activity for a core of dimension nr.
+PeActivity gemm_activity(int nr);
+
+/// Per-PE power report in mW.
+struct PePower {
+  double mac_mw = 0.0;
+  double memory_mw = 0.0;  ///< MEM-A + MEM-B + RF
+  double bus_mw = 0.0;
+  double leakage_mw = 0.0;
+  double total_mw = 0.0;
+  /// Dynamic power only -- the Table 3.1 "PE" column convention.
+  double dynamic_mw() const { return total_mw - leakage_mw; }
+};
+
+/// Dynamic + idle power of one PE inside an nr x nr core.
+PePower pe_power(const arch::CoreConfig& core, const PeActivity& activity);
+
+/// Area of one PE (FMAC + local stores + RF + bus share) in mm^2.
+double pe_area_mm2(const arch::CoreConfig& core);
+
+/// Peak GFLOPS of one PE (2 flops per cycle).
+double pe_peak_gflops(const arch::PeConfig& pe);
+
+/// Whole-core power (nr^2 PEs + SFU idle share) in mW and area in mm^2.
+double core_power_mw(const arch::CoreConfig& core, const PeActivity& activity);
+double core_area_mm2(const arch::CoreConfig& core);
+
+}  // namespace lac::power

@@ -1,0 +1,69 @@
+#include "power/sfu_model.hpp"
+
+#include "power/fmac_model.hpp"
+
+namespace lac::power {
+namespace {
+// Minimax seed tables: ~2 KB of ROM per supported function pair.
+constexpr double kLookupAreaMm2 = 0.045;
+constexpr double kSpecialLogicMm2 = 0.035;
+// Widening a MAC for special-function support costs ~30% of its area.
+constexpr double kMacExtensionFactor = 0.30;
+}  // namespace
+
+SfuAreaBreakdown sfu_area_breakdown(const arch::CoreConfig& core) {
+  SfuAreaBreakdown out;
+  const double fmac = fmac_area_mm2(core.pe.precision);
+  // PE base area: handled by pe_power; here we only need the relative adds.
+  out.pe_base_mm2 = 0.0;
+  switch (core.sfu) {
+    case arch::SfuOption::Software:
+      // Micro-coded Goldschmidt on the existing MACs: control only.
+      out.special_logic_mm2 = 0.012;
+      break;
+    case arch::SfuOption::IsolatedUnit:
+      out.lookup_table_mm2 = kLookupAreaMm2;
+      out.special_logic_mm2 = kSpecialLogicMm2;
+      out.mac_extension_mm2 = fmac;  // the unit embeds one MAC-class datapath
+      break;
+    case arch::SfuOption::DiagonalPEs:
+      out.lookup_table_mm2 = kLookupAreaMm2;
+      out.special_logic_mm2 = 0.5 * kSpecialLogicMm2;
+      out.mac_extension_mm2 = core.nr * kMacExtensionFactor * fmac;
+      break;
+  }
+  return out;
+}
+
+double sfu_active_mw(const arch::CoreConfig& core) {
+  const double mac_mw = fmac_dynamic_mw(core.pe.precision, core.pe.clock_ghz);
+  switch (core.sfu) {
+    case arch::SfuOption::Software: return mac_mw;          // runs on the MAC
+    case arch::SfuOption::IsolatedUnit: return 1.15 * mac_mw;
+    case arch::SfuOption::DiagonalPEs: return 1.25 * mac_mw;
+  }
+  return mac_mw;
+}
+
+double sfu_op_energy_pj(const arch::CoreConfig& core) {
+  const double f = core.pe.clock_ghz;
+  int cycles = 0;
+  switch (core.sfu) {
+    case arch::SfuOption::Software: cycles = core.sw_emulation_cycles; break;
+    case arch::SfuOption::IsolatedUnit: cycles = core.sfu_latency_recip; break;
+    case arch::SfuOption::DiagonalPEs: cycles = core.sfu_latency_recip + 2; break;
+  }
+  return sfu_active_mw(core) / f * cycles;
+}
+
+std::vector<SfuOpRow> sfu_operation_table(const arch::CoreConfig& core) {
+  const int r = core.sfu_latency_recip;
+  return {
+      {"1/x", "recip seed", 2, r, "sel=RECIP, feed x, bypass sqrt stage"},
+      {"x/y", "recip seed", 2, r + 1, "sel=DIV, feed y then multiply by x"},
+      {"1/sqrt(x)", "rsqrt seed", 2, core.sfu_latency_rsqrt, "sel=RSQRT, square-refine"},
+      {"sqrt(x)", "rsqrt seed", 2, core.sfu_latency_sqrt, "sel=SQRT, rsqrt then *x"},
+  };
+}
+
+}  // namespace lac::power

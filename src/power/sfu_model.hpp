@@ -1,0 +1,46 @@
+#pragma once
+// Special-function (divide / reciprocal / sqrt / inverse-sqrt) hardware
+// options and their area/power cost (§6.1.4, Appendix A.3).
+#include <string>
+#include <vector>
+
+#include "arch/configs.hpp"
+
+namespace lac::power {
+
+/// Extra core area (mm^2) of an SFU option over the plain GEMM LAC.
+/// Split into the pieces plotted in Fig 6.5.
+struct SfuAreaBreakdown {
+  double pe_base_mm2 = 0.0;       ///< nr^2 unmodified PEs
+  double mac_extension_mm2 = 0.0; ///< widened MAC datapath on affected PEs
+  double lookup_table_mm2 = 0.0;  ///< minimax coefficient tables
+  double special_logic_mm2 = 0.0; ///< sequencing/control for the unit
+  double total() const {
+    return pe_base_mm2 + mac_extension_mm2 + lookup_table_mm2 + special_logic_mm2;
+  }
+};
+
+SfuAreaBreakdown sfu_area_breakdown(const arch::CoreConfig& core);
+
+/// Dynamic power (mW) while a special-function op is in flight.
+double sfu_active_mw(const arch::CoreConfig& core);
+
+/// Energy (pJ) of a single special-function operation (latency x power, or
+/// MAC-iteration energy for the software option).
+double sfu_op_energy_pj(const arch::CoreConfig& core);
+
+/// One row of the Appendix A (Table A.1) operation table of the
+/// divide/square-root unit: operation, control-signal settings, iteration
+/// counts and resulting latency.
+struct SfuOpRow {
+  std::string op;          ///< "1/x", "x/y", "sqrt(x)", "1/sqrt(x)"
+  std::string seed;        ///< minimax seed table used
+  int goldschmidt_iters;   ///< multiplicative refinement steps
+  int latency_cycles;      ///< total latency on the isolated unit
+  std::string control;     ///< control-signal summary
+};
+
+/// The full operation table (Table A.1 reproduction).
+std::vector<SfuOpRow> sfu_operation_table(const arch::CoreConfig& core);
+
+}  // namespace lac::power

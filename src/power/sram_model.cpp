@@ -1,0 +1,52 @@
+#include "power/sram_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lac::power {
+namespace {
+constexpr double kRef16Kb2PMwPerGhz = 7.318;  // Table 3.1 calibration
+constexpr double kRef16Kb2PAreaMm2 = 0.13;    // §3.6
+// Capacity exponents: access energy ~ sqrt(capacity) (bitline/wordline
+// growth), area slightly sub-linear thanks to amortized periphery.
+constexpr double kEnergyCapExp = 0.5;
+constexpr double kAreaCapExp = 0.92;
+// Extra cost of each additional port (CACTI multi-port arrays).
+constexpr double kPortAreaFactor = 0.45;
+constexpr double kPortEnergyFactor = 0.5;
+
+constexpr double kOnchipAreaPerMb = 3.1;       // mm^2 / MB at 45nm
+constexpr double kOnchipPjPerWordAt1Mb = 8.0;  // pJ per 64-bit word access
+constexpr double kOnchipLeakMwPerMb = 2.0;     // low-power ITRS: small
+}  // namespace
+
+double pe_sram_dynamic_mw(double kbytes, int ports, double clock_ghz, double activity) {
+  const double cap_scale = std::pow(std::max(kbytes, 0.25) / 16.0, kEnergyCapExp);
+  const double port_scale = (1.0 + kPortEnergyFactor * (ports - 1)) / (1.0 + kPortEnergyFactor);
+  return kRef16Kb2PMwPerGhz * cap_scale * port_scale * clock_ghz * activity;
+}
+
+double pe_sram_area_mm2(double kbytes, int ports) {
+  const double cap_scale = std::pow(std::max(kbytes, 0.25) / 16.0, kAreaCapExp);
+  const double port_scale = (1.0 + kPortAreaFactor * (ports - 1)) / (1.0 + kPortAreaFactor);
+  return kRef16Kb2PAreaMm2 * cap_scale * port_scale;
+}
+
+double pe_sram_access_pj(double kbytes, int ports) {
+  // One access per cycle per port at activity 1 -> mW/GHz equals pJ/cycle;
+  // divide by port count to get the single-access cost.
+  return pe_sram_dynamic_mw(kbytes, ports, 1.0, 1.0) / ports;
+}
+
+double onchip_sram_area_mm2(double mbytes) { return kOnchipAreaPerMb * mbytes; }
+
+double onchip_sram_dynamic_mw(double mbytes, double words_per_cycle, double clock_ghz) {
+  const double pj_per_word =
+      kOnchipPjPerWordAt1Mb * std::pow(std::max(mbytes, 0.125), kEnergyCapExp);
+  // pJ/word * words/cycle * Gcycles/s = mW.
+  return pj_per_word * words_per_cycle * clock_ghz;
+}
+
+double onchip_sram_leakage_mw(double mbytes) { return kOnchipLeakMwPerMb * mbytes; }
+
+}  // namespace lac::power

@@ -1,0 +1,35 @@
+#pragma once
+// CACTI-style model for the PE local stores and banked on-chip SRAM
+// (low-power ITRS device model, aggressive interconnect projection).
+//
+// Anchors:
+//  * 16 KB dual-ported PE store: 0.13 mm^2, 7.318 mW/GHz streaming power
+//    (reproduces the "Memory" column of Table 3.1 exactly).
+//  * On-chip banked SRAM: ~3.1 mm^2/MB and ~8 mW/GHz per read port at 1 MB
+//    bank granularity; leakage negligible in the low-power model (§1.3.3).
+#include "common/types.hpp"
+
+namespace lac::power {
+
+/// Dynamic power (mW) of a PE-local SRAM of `kbytes` with `ports` ports
+/// streaming at `activity` accesses/port/cycle and clock `clock_ghz`.
+double pe_sram_dynamic_mw(double kbytes, int ports, double clock_ghz, double activity = 1.0);
+
+/// Area (mm^2) of a PE-local SRAM at 45nm.
+double pe_sram_area_mm2(double kbytes, int ports);
+
+/// Energy (pJ) of a single access to a PE-local SRAM port.
+double pe_sram_access_pj(double kbytes, int ports);
+
+/// Banked low-power on-chip SRAM: area in mm^2 for a given capacity.
+double onchip_sram_area_mm2(double mbytes);
+
+/// Dynamic power (mW) of the on-chip SRAM moving `words_per_cycle` at
+/// `clock_ghz` for a capacity of `mbytes` (energy/access grows slowly with
+/// capacity: bank count grows, wire length grows ~sqrt).
+double onchip_sram_dynamic_mw(double mbytes, double words_per_cycle, double clock_ghz);
+
+/// Leakage power (mW) of the on-chip SRAM (small for low-power ITRS).
+double onchip_sram_leakage_mw(double mbytes);
+
+}  // namespace lac::power

@@ -1,0 +1,41 @@
+#pragma once
+// Multi-core LAP simulation (Ch. 4): S cores share the on-chip memory
+// interface; each core runs the same schedule on its own row-panel slice
+// of C, and the shared interface resource serializes their transfers.
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arch/configs.hpp"
+#include "sim/core.hpp"
+
+namespace lac::sim {
+
+class Chip {
+ public:
+  explicit Chip(const arch::ChipConfig& cfg);
+
+  const arch::ChipConfig& config() const { return cfg_; }
+  int cores() const { return static_cast<int>(cores_.size()); }
+  Core& core(int s) { return *cores_[static_cast<std::size_t>(s)]; }
+
+  /// Stream `words` over the *shared* on-chip interface on behalf of core
+  /// s (also charges that core's private port). Returns completion time.
+  time_t_ shared_dma(int s, double words, time_t_ earliest);
+
+  /// Stream `words` over the external (off-chip) interface.
+  time_t_ offchip_dma(double words, time_t_ earliest);
+
+  time_t_ finish_time() const;
+  Stats stats() const;
+  double mac_utilization() const;
+
+ private:
+  arch::ChipConfig cfg_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  Resource shared_if_;   ///< y words/cycle aggregated over cores
+  Resource offchip_if_;  ///< z words/cycle
+  std::int64_t offchip_words_ = 0;
+};
+
+}  // namespace lac::sim

@@ -1,0 +1,85 @@
+#pragma once
+// The simulated Linear Algebra Core: an nr x nr mesh of PEs, row/column
+// broadcast buses, a bandwidth-limited memory interface to the on-chip
+// memory, and a special-function unit (Fig 1.1 / Fig 3.1).
+#include <memory>
+#include <vector>
+
+#include "arch/configs.hpp"
+#include "sim/engine.hpp"
+#include "sim/local_store.hpp"
+#include "sim/mac_pipeline.hpp"
+#include "sim/sfu.hpp"
+
+namespace lac::sim {
+
+/// One processing element: MAC pipeline + MEM-A + MEM-B + register file.
+struct Pe {
+  Pe(const arch::CoreConfig& cfg, int accumulators);
+
+  MacPipeline mac;
+  LocalStore mem_a;
+  LocalStore mem_b;
+  RegisterFile rf;
+};
+
+class Core {
+ public:
+  /// `bw_words_per_cycle` is the core <-> on-chip memory bandwidth x of
+  /// §3.4; `accumulators` sizes the per-PE accumulator register set.
+  Core(const arch::CoreConfig& cfg, double bw_words_per_cycle, int accumulators = 4);
+
+  const arch::CoreConfig& config() const { return cfg_; }
+  int nr() const { return cfg_.nr; }
+
+  Pe& pe(int row, int col);
+  const Pe& pe(int row, int col) const;
+
+  /// ---- broadcast communication ----------------------------------------
+  /// One-cycle broadcast on row bus `row`; all PEs of the row observe the
+  /// value `bus_latency` cycles after the slot is granted.
+  TimedVal broadcast_row(int row, TimedVal v);
+  TimedVal broadcast_col(int col, TimedVal v);
+
+  /// ---- memory interface -------------------------------------------------
+  /// Stream `words` over the core's memory interface starting no earlier
+  /// than `earliest`; returns the completion time. Charged at the
+  /// configured words/cycle. Used for loads and stores alike (the column
+  /// buses are multiplexed for external transfers, §3.2.1).
+  time_t_ dma(double words, time_t_ earliest);
+
+  /// ---- special functions -------------------------------------------------
+  Sfu& sfu() { return sfu_; }
+  /// Issue a special function from PE (row, col): under the Software
+  /// option it occupies that PE's MAC; under DiagonalPEs the request is
+  /// serviced locally when row == col, otherwise routed over the buses
+  /// (one extra hop each way).
+  TimedVal special(SfuKind kind, int row, int col, TimedVal x, time_t_ earliest = 0.0);
+
+  /// ---- bookkeeping --------------------------------------------------------
+  /// Latest completion time over every resource and accumulator: the
+  /// makespan of everything issued so far.
+  time_t_ finish_time() const;
+  /// Barrier: no resource may start before `t` afterwards.
+  void barrier(time_t_ t);
+
+  Stats stats() const;
+  double bw_words_per_cycle() const { return bw_; }
+  /// MAC issue-slot utilization over the makespan.
+  double mac_utilization() const;
+
+ private:
+  arch::CoreConfig cfg_;
+  double bw_;
+  std::vector<std::unique_ptr<Pe>> pes_;
+  std::vector<Resource> row_bus_;
+  std::vector<Resource> col_bus_;
+  Resource mem_if_;
+  Sfu sfu_;
+  std::int64_t row_xfers_ = 0;
+  std::int64_t col_xfers_ = 0;
+  std::int64_t dma_words_ = 0;
+  time_t_ user_finish_ = 0.0;  ///< extra completion constraints (barriers)
+};
+
+}  // namespace lac::sim

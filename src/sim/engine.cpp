@@ -1,0 +1,3 @@
+#include "sim/engine.hpp"
+
+// Engine types are header-only; this TU anchors the module for the build.

@@ -1,0 +1,34 @@
+#include "sim/local_store.hpp"
+
+namespace lac::sim {
+
+TimedVal LocalStore::read(index_t addr, time_t_ earliest) {
+  assert(addr >= 0 && addr < size());
+  // `ports_` accesses fit in one cycle: charge 1/ports_ of a cycle each.
+  const time_t_ start = port_.acquire(earliest, 1.0 / ports_);
+  ++reads_;
+  return {data_[static_cast<std::size_t>(addr)], start + 1.0};
+}
+
+time_t_ LocalStore::write(index_t addr, double v, time_t_ earliest) {
+  assert(addr >= 0 && addr < size());
+  const time_t_ start = port_.acquire(earliest, 1.0 / ports_);
+  data_[static_cast<std::size_t>(addr)] = v;
+  ++writes_;
+  return start + 1.0;
+}
+
+TimedVal RegisterFile::read(int idx, time_t_ earliest) {
+  assert(idx >= 0 && idx < static_cast<int>(regs_.size()));
+  ++reads_;
+  const TimedVal& r = regs_[static_cast<std::size_t>(idx)];
+  return {r.v, std::max(r.ready, earliest)};
+}
+
+void RegisterFile::write(int idx, TimedVal v) {
+  assert(idx >= 0 && idx < static_cast<int>(regs_.size()));
+  ++writes_;
+  regs_[static_cast<std::size_t>(idx)] = v;
+}
+
+}  // namespace lac::sim

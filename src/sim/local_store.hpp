@@ -1,0 +1,63 @@
+#pragma once
+// PE-local storage: MEM-A (large, single-ported), MEM-B (small,
+// dual-ported) and the 4-entry register file (§3.2.2).
+//
+// Functional contents are flat word arrays addressed by the kernel mappers
+// (access patterns are sequential/auto-incrementing in the real hardware,
+// so explicit addresses carry no modeling cost). Port contention is timed
+// through one Resource per port group; block arrival times are tracked at
+// DMA granularity by the kernels.
+#include <cassert>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace lac::sim {
+
+class LocalStore {
+ public:
+  LocalStore(index_t words, int ports) : data_(static_cast<std::size_t>(words), 0.0),
+                                         ports_(ports) {}
+
+  index_t size() const { return static_cast<index_t>(data_.size()); }
+  int ports() const { return ports_; }
+
+  /// Timed read: charges a port slot, value ready one cycle later.
+  TimedVal read(index_t addr, time_t_ earliest);
+  /// Timed write: charges a port slot.
+  time_t_ write(index_t addr, double v, time_t_ earliest);
+
+  /// Untimed accessors for DMA fills (timing charged on the DMA engine).
+  double peek(index_t addr) const { return data_[static_cast<std::size_t>(addr)]; }
+  void poke(index_t addr, double v) { data_[static_cast<std::size_t>(addr)] = v; }
+
+  std::int64_t reads() const { return reads_; }
+  std::int64_t writes() const { return writes_; }
+  void reset_counters() { reads_ = 0; writes_ = 0; port_.reset(); }
+
+ private:
+  std::vector<double> data_;
+  int ports_;
+  Resource port_;  ///< aggregated: `ports_` accesses per cycle
+  std::int64_t reads_ = 0;
+  std::int64_t writes_ = 0;
+};
+
+/// Small multi-ported register file (1 write + 2 read ports).
+class RegisterFile {
+ public:
+  explicit RegisterFile(int entries) : regs_(static_cast<std::size_t>(entries)) {}
+
+  TimedVal read(int idx, time_t_ earliest);
+  void write(int idx, TimedVal v);
+
+  std::int64_t reads() const { return reads_; }
+  std::int64_t writes() const { return writes_; }
+
+ private:
+  std::vector<TimedVal> regs_;
+  std::int64_t reads_ = 0;
+  std::int64_t writes_ = 0;
+};
+
+}  // namespace lac::sim

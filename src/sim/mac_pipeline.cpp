@@ -1,0 +1,70 @@
+#include "sim/mac_pipeline.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lac::sim {
+
+time_t_ MacPipeline::mac_into_acc(int idx, TimedVal a, TimedVal b, time_t_ earliest) {
+  assert(idx >= 0 && idx < static_cast<int>(accs_.size()));
+  Acc& acc = accs_[static_cast<std::size_t>(idx)];
+  const time_t_ operands = std::max({a.ready, b.ready, acc.chain_free, earliest});
+  const time_t_ issue = issue_.acquire(operands, 1.0);
+  acc.value = std::fma(a.v, b.v, acc.value);
+  acc.ready = issue + p_;
+  acc.chain_free = issue + 1.0;  // delayed normalization: 1 acc/cycle
+  ++mac_ops_;
+  return issue;
+}
+
+TimedVal MacPipeline::fma(TimedVal a, TimedVal b, TimedVal c, time_t_ earliest) {
+  const time_t_ operands = std::max({a.ready, b.ready, c.ready, earliest});
+  const time_t_ issue = issue_.acquire(operands, 1.0);
+  ++mac_ops_;
+  return {std::fma(a.v, b.v, c.v), issue + p_};
+}
+
+TimedVal MacPipeline::mul(TimedVal a, TimedVal b, time_t_ earliest) {
+  const time_t_ operands = std::max({a.ready, b.ready, earliest});
+  const time_t_ issue = issue_.acquire(operands, 1.0);
+  ++mul_ops_;
+  return {a.v * b.v, issue + p_};
+}
+
+TimedVal MacPipeline::add(TimedVal a, TimedVal b, time_t_ earliest) {
+  const time_t_ operands = std::max({a.ready, b.ready, earliest});
+  const time_t_ issue = issue_.acquire(operands, 1.0);
+  ++mul_ops_;
+  return {a.v + b.v, issue + p_};
+}
+
+TimedVal MacPipeline::compare_abs_max(TimedVal a, TimedVal b, bool comparator_ext,
+                                      time_t_ earliest) {
+  const time_t_ operands = std::max({a.ready, b.ready, earliest});
+  ++cmp_ops_;
+  if (comparator_ext) {
+    // Dedicated exponent/mantissa comparator beside the MAC: 1 cycle.
+    const time_t_ issue = issue_.acquire(operands, 1.0);
+    return {std::abs(a.v) >= std::abs(b.v) ? a.v : b.v, issue + 1.0};
+  }
+  // Emulated: subtract magnitudes on the MAC and examine the sign; costs
+  // two issue slots and the result is only known after the pipeline drain.
+  const time_t_ issue = issue_.acquire(operands, 2.0);
+  return {std::abs(a.v) >= std::abs(b.v) ? a.v : b.v, issue + 2.0 + p_};
+}
+
+TimedVal MacPipeline::read_acc(int idx, time_t_ earliest) const {
+  assert(idx >= 0 && idx < static_cast<int>(accs_.size()));
+  const Acc& acc = accs_[static_cast<std::size_t>(idx)];
+  return {acc.value, std::max(acc.ready, earliest)};
+}
+
+void MacPipeline::set_acc(int idx, TimedVal v) {
+  assert(idx >= 0 && idx < static_cast<int>(accs_.size()));
+  Acc& acc = accs_[static_cast<std::size_t>(idx)];
+  acc.value = v.v;
+  acc.ready = v.ready;
+  acc.chain_free = v.ready;
+}
+
+}  // namespace lac::sim

@@ -1,0 +1,68 @@
+#pragma once
+// Pipelined fused multiply-accumulate unit with a local accumulator
+// (§3.2): throughput of one MAC per cycle via delayed normalization, so
+// back-to-back accumulations into the same accumulator issue every cycle,
+// while any consumer of the accumulated value (or of a general FMA result)
+// waits the full pipeline depth p.
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace lac::sim {
+
+class MacPipeline {
+ public:
+  MacPipeline(int pipeline_stages, int accumulators)
+      : p_(pipeline_stages), accs_(static_cast<std::size_t>(accumulators)) {}
+
+  int depth() const { return p_; }
+
+  /// acc[idx] += a.v * b.v. Single-cycle accumulation: a chained MAC into
+  /// the same accumulator may issue one cycle after the previous one.
+  /// Returns the issue time.
+  time_t_ mac_into_acc(int idx, TimedVal a, TimedVal b, time_t_ earliest = 0.0);
+
+  /// General 3-input FMA: returns a*b + c as a new value, ready p cycles
+  /// after issue (used by TRSM updates, butterflies, ...).
+  TimedVal fma(TimedVal a, TimedVal b, TimedVal c, time_t_ earliest = 0.0);
+
+  /// 2-input multiply (counted separately from MACs in the stats).
+  TimedVal mul(TimedVal a, TimedVal b, time_t_ earliest = 0.0);
+  TimedVal add(TimedVal a, TimedVal b, time_t_ earliest = 0.0);
+
+  /// Magnitude compare on the MAC datapath. With the comparator extension
+  /// it is a 1-cycle dedicated op; without it, emulation costs two issue
+  /// slots and a pipeline drain before the outcome is known.
+  TimedVal compare_abs_max(TimedVal a, TimedVal b, bool comparator_ext,
+                           time_t_ earliest = 0.0);
+
+  /// Read the accumulated value (forces normalization: pipeline drain).
+  TimedVal read_acc(int idx, time_t_ earliest = 0.0) const;
+  /// Preload an accumulator (e.g. with an incoming C element).
+  void set_acc(int idx, TimedVal v);
+
+  std::int64_t mac_ops() const { return mac_ops_; }
+  std::int64_t mul_ops() const { return mul_ops_; }
+  std::int64_t cmp_ops() const { return cmp_ops_; }
+  time_t_ issue_port_free() const { return issue_.next_free(); }
+  time_t_ busy_cycles() const { return issue_.busy_cycles(); }
+
+  /// Block the issue port (e.g. software-emulated divide on this MAC).
+  time_t_ occupy(time_t_ earliest, time_t_ cycles) { return issue_.acquire(earliest, cycles); }
+
+ private:
+  struct Acc {
+    double value = 0.0;
+    time_t_ ready = 0.0;       ///< when the value can be consumed
+    time_t_ chain_free = 0.0;  ///< when the next chained MAC may issue
+  };
+
+  int p_;
+  std::vector<Acc> accs_;
+  Resource issue_;
+  std::int64_t mac_ops_ = 0;
+  std::int64_t mul_ops_ = 0;
+  std::int64_t cmp_ops_ = 0;
+};
+
+}  // namespace lac::sim

@@ -1,0 +1,67 @@
+#include "sim/sfu.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lac::sim {
+
+int Sfu::latency(SfuKind kind) const {
+  using arch::SfuOption;
+  const int extra = cfg_.sfu == SfuOption::DiagonalPEs ? 2 : 0;
+  switch (cfg_.sfu) {
+    case SfuOption::Software:
+      // Goldschmidt on the MAC: seed lookup + multiplicative refinement.
+      switch (kind) {
+        case SfuKind::Recip: return cfg_.sw_emulation_cycles;
+        case SfuKind::Div: return cfg_.sw_emulation_cycles + 1;
+        case SfuKind::Rsqrt: return cfg_.sw_emulation_cycles + 6;
+        case SfuKind::Sqrt: return cfg_.sw_emulation_cycles + 8;
+      }
+      break;
+    case SfuOption::IsolatedUnit:
+    case SfuOption::DiagonalPEs:
+      switch (kind) {
+        case SfuKind::Recip: return cfg_.sfu_latency_recip + extra;
+        case SfuKind::Div: return cfg_.sfu_latency_recip + 1 + extra;
+        case SfuKind::Rsqrt: return cfg_.sfu_latency_rsqrt + extra;
+        case SfuKind::Sqrt: return cfg_.sfu_latency_sqrt + extra;
+      }
+      break;
+  }
+  return cfg_.sfu_latency_recip;
+}
+
+double Sfu::apply(SfuKind kind, double x) const {
+  switch (kind) {
+    case SfuKind::Recip: return 1.0 / x;
+    case SfuKind::Div: return x;  // handled in execute_div
+    case SfuKind::Sqrt: return std::sqrt(x);
+    case SfuKind::Rsqrt: return 1.0 / std::sqrt(x);
+  }
+  return x;
+}
+
+TimedVal Sfu::execute(SfuKind kind, TimedVal x, MacPipeline* mac, time_t_ earliest) {
+  ++ops_;
+  const int lat = latency(kind);
+  const time_t_ ready_in = std::max(x.ready, earliest);
+  if (cfg_.sfu == arch::SfuOption::Software) {
+    assert(mac != nullptr && "software SFU emulation runs on the PE MAC");
+    const time_t_ start = mac->occupy(ready_in, static_cast<time_t_>(lat));
+    return {apply(kind, x.v), start + lat};
+  }
+  // Isolated / diagonal-PE unit: not pipelined across requests in the
+  // factorization kernels (one special op in flight at a time).
+  const time_t_ start = unit_.acquire(ready_in, static_cast<time_t_>(lat));
+  return {apply(kind, x.v), start + lat};
+}
+
+TimedVal Sfu::execute_div(TimedVal num, TimedVal den, MacPipeline* mac,
+                          time_t_ earliest) {
+  TimedVal r = execute(SfuKind::Div, {den.v, std::max(den.ready, num.ready)}, mac,
+                       earliest);
+  r.v = num.v / den.v;
+  return r;
+}
+
+}  // namespace lac::sim

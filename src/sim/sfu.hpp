@@ -1,0 +1,40 @@
+#pragma once
+// Special-function unit: reciprocal, divide, square root, inverse square
+// root (§6.1.4, Appendix A.3). Three hardware options are modeled:
+//   Software     - micro-coded Goldschmidt iterations occupying a PE MAC,
+//   IsolatedUnit - one pipelined minimax-seeded unit per core,
+//   DiagonalPEs  - the diagonal PEs' MACs are widened to run the same
+//                  recurrence locally (saves the bus round trip).
+#include "arch/configs.hpp"
+#include "sim/engine.hpp"
+#include "sim/mac_pipeline.hpp"
+
+namespace lac::sim {
+
+enum class SfuKind { Recip, Div, Sqrt, Rsqrt };
+
+class Sfu {
+ public:
+  explicit Sfu(const arch::CoreConfig& cfg) : cfg_(cfg) {}
+
+  /// Latency of the given function under the configured option.
+  int latency(SfuKind kind) const;
+
+  /// Execute f(x) (or x/y for Div) on the isolated unit. `mac` must be the
+  /// issuing PE's MAC when the Software option is configured (the
+  /// iterations occupy it); it may be null otherwise.
+  TimedVal execute(SfuKind kind, TimedVal x, MacPipeline* mac, time_t_ earliest = 0.0);
+  TimedVal execute_div(TimedVal num, TimedVal den, MacPipeline* mac,
+                       time_t_ earliest = 0.0);
+
+  std::int64_t ops() const { return ops_; }
+  time_t_ busy_cycles() const { return unit_.busy_cycles(); }
+
+ private:
+  double apply(SfuKind kind, double x) const;
+  arch::CoreConfig cfg_;
+  Resource unit_;  ///< the isolated / diagonal-PE function pipeline
+  std::int64_t ops_ = 0;
+};
+
+}  // namespace lac::sim

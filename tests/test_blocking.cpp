@@ -1,0 +1,58 @@
+#include "model/blocking.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lac::model {
+namespace {
+
+TEST(Blocking, FormulaMatchesPaper) {
+  // (2k + (k+1)d) / (k n) elements/cycle.
+  ExternalBlocking b{2048, 512, 2};
+  EXPECT_EQ(b.d(), 4);
+  EXPECT_DOUBLE_EQ(external_bw_words(b), (2.0 * 2 + 3.0 * 4) / (2.0 * 2048));
+}
+
+TEST(Blocking, MoreResidentBlocksLowerBandwidth) {
+  double prev = 1e9;
+  for (index_t k = 1; k <= 8; ++k) {
+    ExternalBlocking b{4096, 512, k};
+    const double bw = external_bw_words(b);
+    EXPECT_LT(bw, prev);
+    prev = bw;
+  }
+}
+
+TEST(Blocking, LargerProblemNeedsLessBandwidthAtSameMemory) {
+  // Fig 4.5: for a fixed on-chip budget, growing n drops the demand.
+  BlockingChoice small = best_blocking(512, 2.0, 128);
+  BlockingChoice mid = best_blocking(1024, 2.0, 128);
+  BlockingChoice large = best_blocking(2048, 2.0, 128);
+  ASSERT_LT(small.bw_words, 1e300);
+  EXPECT_GT(small.bw_words, mid.bw_words);
+  EXPECT_GT(mid.bw_words, large.bw_words);
+}
+
+TEST(Blocking, BandwidthDropsWithMemoryBudget) {
+  double prev = 1e300;
+  for (double mb : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    BlockingChoice c = best_blocking(2048, mb, 128);
+    EXPECT_LE(c.bw_words, prev + 1e-15);
+    prev = c.bw_words;
+  }
+}
+
+TEST(Blocking, ChoiceFitsBudget) {
+  BlockingChoice c = best_blocking(2048, 4.0, 128);
+  EXPECT_LE(c.mem_words * 8.0, 4.0 * 1024 * 1024);
+  EXPECT_GE(c.blocking.k, 1);
+  EXPECT_LE(c.blocking.k, c.blocking.d());
+}
+
+TEST(Blocking, MemoryFormulaCountsResidentBlocksAndPanels) {
+  ExternalBlocking b{1024, 256, 3};
+  EXPECT_DOUBLE_EQ(blocked_onchip_words(b, 64),
+                   3.0 * 256 * 256 + 2.0 * 64 * 256 * 4.0);
+}
+
+}  // namespace
+}  // namespace lac::model

@@ -1,0 +1,75 @@
+#include "kernels/chip_gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hpp"
+#include "blas/ref_blas.hpp"
+#include "common/numeric.hpp"
+#include "common/random.hpp"
+
+namespace lac::kernels {
+namespace {
+
+arch::ChipConfig small_chip(int cores, double y, double z) {
+  arch::ChipConfig chip = arch::lap_s8();
+  chip.cores = cores;
+  chip.onchip_bw_words_per_cycle = y;
+  chip.offchip_bw_words_per_cycle = z;
+  return chip;
+}
+
+TEST(ChipGemm, MatchesReferenceAcrossCores) {
+  arch::ChipConfig chip = small_chip(2, 8.0, 4.0);
+  const index_t m = 32, n = 16, k = 16;
+  MatrixD a = random_matrix(m, k, 1);
+  MatrixD b = random_matrix(k, n, 2);
+  MatrixD c = random_matrix(m, n, 3);
+  ChipGemmResult r = chip_gemm(chip, 16, 16, a.view(), b.view(), c.view());
+  MatrixD expect = to_matrix<double>(ConstViewD(c.view()));
+  blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, a.view(), b.view(), 1.0,
+             expect.view());
+  EXPECT_LT(rel_error(r.out.view(), expect.view()), 1e-12);
+  EXPECT_EQ(r.stats.mac_ops, m * n * k);
+}
+
+TEST(ChipGemm, MoreCoresReduceMakespan) {
+  const index_t m = 32, n = 32, k = 16;
+  MatrixD a = random_matrix(m, k, 4);
+  MatrixD b = random_matrix(k, n, 5);
+  MatrixD c(m, n, 0.0);
+  ChipGemmResult one = chip_gemm(small_chip(1, 8.0, 8.0), 16, 16, a.view(), b.view(), c.view());
+  ChipGemmResult two = chip_gemm(small_chip(2, 8.0, 8.0), 16, 16, a.view(), b.view(), c.view());
+  EXPECT_LT(two.cycles, one.cycles);
+  EXPECT_GT(one.cycles / two.cycles, 1.4);  // near-linear at ample bandwidth
+  EXPECT_LT(rel_error(one.out.view(), two.out.view()), 1e-15);
+}
+
+TEST(ChipGemm, SharedBandwidthLimitsScaling) {
+  // With a starved shared interface, doubling the cores buys little --
+  // the Fig 4.3 observation on the simulator.
+  const index_t m = 32, n = 32, k = 16;
+  MatrixD a = random_matrix(m, k, 6);
+  MatrixD b = random_matrix(k, n, 7);
+  MatrixD c(m, n, 0.0);
+  ChipGemmResult one = chip_gemm(small_chip(1, 1.0, 8.0), 16, 16, a.view(), b.view(), c.view());
+  ChipGemmResult two = chip_gemm(small_chip(2, 1.0, 8.0), 16, 16, a.view(), b.view(), c.view());
+  EXPECT_LT(one.cycles / two.cycles, 1.3);  // far from the 2x ideal
+}
+
+TEST(ChipGemm, OffchipInterfaceChargesPanels) {
+  arch::ChipConfig chip = small_chip(2, 16.0, 0.5);
+  const index_t m = 16, n = 16, k = 32;  // two rank-kc passes
+  MatrixD a = random_matrix(m, k, 8);
+  MatrixD b = random_matrix(k, n, 9);
+  MatrixD c(m, n, 0.0);
+  ChipGemmResult r = chip_gemm(chip, 8, 16, a.view(), b.view(), c.view());
+  // Off-chip words: (m*kc + kc*n) per pass * 2 passes.
+  EXPECT_GE(r.offchip_words, 2.0 * (m * 16 + 16 * n));
+  MatrixD expect = to_matrix<double>(ConstViewD(c.view()));
+  blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, a.view(), b.view(), 1.0,
+             expect.view());
+  EXPECT_LT(rel_error(r.out.view(), expect.view()), 1e-12);
+}
+
+}  // namespace
+}  // namespace lac::kernels

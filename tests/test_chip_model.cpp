@@ -1,0 +1,111 @@
+#include "model/chip_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lac::model {
+namespace {
+
+ChipGemmParams fermi() {
+  // §4.3 Fermi C2050 configuration.
+  ChipGemmParams p;
+  p.nr = 4;
+  p.cores = 14;
+  p.mc = p.kc = 20;
+  p.n = 280;
+  p.b_sharing = BSharing::Replicated;
+  return p;
+}
+
+TEST(ChipModel, FermiOnChipBandwidthReproduced) {
+  // (2S/kc + S/mc)*nr^2 = (28/20 + 14/20)*16 = 33.6 words/cycle
+  // -> 33.6 * 1.15 GHz * 8 B = 309 GB/s (paper: ~310 GB/s).
+  const double words = table41_intra_chip_bw_words(fermi());
+  EXPECT_NEAR(words, 33.6, 1e-9);
+  EXPECT_NEAR(words * 1.15 * 8.0, 309.0, 1.0);
+}
+
+TEST(ChipModel, BroadcastVsReplicatedBSharing) {
+  ChipGemmParams p = fermi();
+  p.b_sharing = BSharing::Broadcast;
+  // B term drops from S/mc to 1/mc.
+  EXPECT_NEAR(table41_intra_chip_bw_words(p), (28.0 / 20 + 1.0 / 20) * 16, 1e-9);
+}
+
+TEST(ChipModel, OnchipMemoryFormula) {
+  ChipGemmParams p = fermi();
+  // n^2 + S*mc*kc + 2*kc*n words; the §4.3 example fills ~700 KB of 768 KB.
+  const double words = table41_onchip_mem_words(p);
+  EXPECT_DOUBLE_EQ(words, 280.0 * 280 + 14.0 * 20 * 20 + 2.0 * 20 * 280);
+  // ~744 KB: fills the 768 KB L2 with panels ("~700 KB" in the text).
+  EXPECT_NEAR(words * 8.0 / 1024.0, 744.0, 50.0);
+  EXPECT_LT(words * 8.0 / 1024.0, 768.0);
+}
+
+TEST(ChipModel, OffchipBandwidthFullOverlapFermi) {
+  // 4*S*nr^2/n * 1.15 GHz * 8 B = 30 GB/s (paper's printed value).
+  ChipGemmParams p = fermi();
+  p.overlap = Overlap::Full;
+  EXPECT_NEAR(table41_offchip_bw_words(p) * 1.15 * 8.0, 29.4, 1.0);
+}
+
+TEST(ChipModel, UtilizationBoundedAndMonotone) {
+  ChipGemmParams p;
+  p.nr = 4;
+  p.cores = 8;
+  p.mc = p.kc = 64;
+  p.n = 1024;
+  double prev = 0.0;
+  for (double y : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    p.onchip_bw_words = y;
+    p.offchip_bw_words = 1e9;
+    const double u = chip_utilization(p);
+    EXPECT_GE(u, prev - 1e-12);
+    EXPECT_LE(u, 1.0);
+    prev = u;
+  }
+}
+
+TEST(ChipModel, MoreCoresNeedSuperlinearBandwidth) {
+  // Fig 4.3's observation: scaling S with proportional (linear) bandwidth
+  // does not improve performance at small memory; utilization drops.
+  auto util = [](int s, double y) {
+    ChipGemmParams p;
+    p.nr = 4;
+    p.cores = s;
+    p.mc = p.kc = 32;  // small memory regime
+    p.n = 32 * s;
+    p.onchip_bw_words = y;
+    p.offchip_bw_words = 1e9;
+    return chip_utilization_onchip(p);
+  };
+  const double u4 = util(4, 2.0);
+  const double u16_linear = util(16, 8.0);
+  EXPECT_LE(u16_linear, u4 + 0.02);  // no gain from linear scaling
+  const double u16_quad = util(16, 32.0);
+  EXPECT_GT(u16_quad, u16_linear + 0.05);  // superlinear scaling helps
+}
+
+TEST(ChipModel, BestChipUtilizationRespectsMemoryBudget) {
+  ChipBestPoint pt = best_chip_utilization(4, 8, 2.0, 16.0, 2.0, 2048);
+  EXPECT_GT(pt.ns, 0);
+  ChipGemmParams p;
+  p.nr = 4;
+  p.cores = 8;
+  p.n = pt.ns;
+  p.mc = p.kc = pt.mc;
+  EXPECT_LE(table41_onchip_mem_words(p) * 8.0, 2.0 * 1024 * 1024 + 1.0);
+  // More memory cannot hurt.
+  ChipBestPoint big = best_chip_utilization(4, 8, 8.0, 16.0, 2.0, 2048);
+  EXPECT_GE(big.utilization, pt.utilization - 1e-12);
+}
+
+TEST(ChipModel, IntraCoreBwMatchesTable41) {
+  ChipGemmParams p = fermi();
+  EXPECT_NEAR(table41_intra_core_bw_words(p), 4.0 * (1.0 + 2.0 / 20 + 1.0 / 20), 1e-12);
+  p.overlap = Overlap::Full;
+  EXPECT_NEAR(table41_intra_core_bw_words(p),
+              4.0 * (1.0 + 2.0 / 20 + 1.0 / 20 + 1.0 / 280), 1e-12);
+}
+
+}  // namespace
+}  // namespace lac::model

@@ -1,0 +1,67 @@
+#include "kernels/cholesky_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hpp"
+#include "blas/ref_lapack.hpp"
+#include "common/numeric.hpp"
+#include "common/random.hpp"
+#include "model/factor_model.hpp"
+
+namespace lac::kernels {
+namespace {
+
+TEST(CholeskyKernel, InnerMatchesReference) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a = random_spd(4, 1);
+  KernelResult r = cholesky_inner(cfg, a.view());
+  MatrixD expect = to_matrix<double>(ConstViewD(a.view()));
+  ASSERT_TRUE(blas::cholesky(expect.view()));
+  EXPECT_LT(rel_error(r.out.view(), expect.view()), 1e-12);
+}
+
+TEST(CholeskyKernel, InnerCycleCountTracksClosedForm) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  cfg.pe.pipeline_stages = 5;
+  cfg.sfu = arch::SfuOption::IsolatedUnit;
+  MatrixD a = random_spd(4, 2);
+  KernelResult r = cholesky_inner(cfg, a.view());
+  // Published closed form: 2p(nr-1) + q*nr with q the rsqrt latency.
+  const double closed =
+      model::cholesky_unblocked_cycles(4, 5, cfg.sfu_latency_rsqrt);
+  EXPECT_GE(r.cycles, 0.7 * closed);
+  EXPECT_LE(r.cycles, 1.9 * closed);  // simulator adds bus/routing latency
+}
+
+TEST(CholeskyKernel, SfuOptionChangesLatencyNotValues) {
+  MatrixD a = random_spd(4, 3);
+  arch::CoreConfig sw = arch::lac_4x4_dp();
+  sw.sfu = arch::SfuOption::Software;
+  arch::CoreConfig iso = arch::lac_4x4_dp();
+  iso.sfu = arch::SfuOption::IsolatedUnit;
+  KernelResult r_sw = cholesky_inner(sw, a.view());
+  KernelResult r_iso = cholesky_inner(iso, a.view());
+  EXPECT_LT(rel_error(r_sw.out.view(), r_iso.out.view()), 1e-15);
+  EXPECT_GT(r_sw.cycles, r_iso.cycles);  // Goldschmidt on the MAC is slower
+}
+
+TEST(CholeskyKernel, BlockedMatchesReference) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a = random_spd(16, 4);
+  KernelResult r = cholesky_core(cfg, 2.0, a.view());
+  MatrixD expect = to_matrix<double>(ConstViewD(a.view()));
+  ASSERT_TRUE(blas::cholesky(expect.view()));
+  EXPECT_LT(rel_error(r.out.view(), expect.view()), 1e-10);
+}
+
+TEST(CholeskyKernel, BiggerKernelsAmortizeIrregularWork) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD small = random_spd(8, 5);
+  MatrixD large = random_spd(24, 6);
+  KernelResult rs = cholesky_core(cfg, 4.0, small.view());
+  KernelResult rl = cholesky_core(cfg, 4.0, large.view());
+  EXPECT_GT(rl.utilization, rs.utilization);
+}
+
+}  // namespace
+}  // namespace lac::kernels

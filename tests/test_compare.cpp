@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "compare/arch_db.hpp"
+#include "compare/breakdown.hpp"
+
+namespace lac::compare {
+namespace {
+
+TEST(ArchDb, PublishedTablesPopulated) {
+  EXPECT_GE(table32_published().size(), 10u);
+  EXPECT_GE(table42_published().size(), 15u);
+  for (const auto& r : table42_published()) {
+    EXPECT_GT(r.gflops, 0.0);
+    EXPECT_GT(r.gflops_per_w, 0.0);
+    EXPECT_GT(r.utilization, 0.0);
+    EXPECT_LE(r.utilization, 1.0);
+  }
+}
+
+TEST(ArchDb, LacRowBeatsEveryPublishedCoreOnEfficiency) {
+  // The thesis claim (Table 3.2): an order of magnitude over GPUs, ~50x
+  // over CPUs at the same precision.
+  ArchRow dp = lac_core_row(Precision::Double);
+  ArchRow sp = lac_core_row(Precision::Single);
+  EXPECT_TRUE(dp.from_model);
+  for (const auto& r : table32_published()) {
+    const ArchRow& ours = r.precision == Precision::Double ? dp : sp;
+    EXPECT_GT(ours.gflops_per_w, r.gflops_per_w) << r.name;
+  }
+  // Headline numbers: DP ~45-55, SP ~100+ GFLOPS/W.
+  EXPECT_GT(dp.gflops_per_w, 30.0);
+  EXPECT_GT(sp.gflops_per_w, 70.0);
+}
+
+TEST(ArchDb, LapChipRowsInHeadlineRange) {
+  ArchRow dp = lap_chip_row(Precision::Double);
+  ArchRow sp = lap_chip_row(Precision::Single);
+  // Abstract: up to 55 SP / 25 DP GFLOPS/W at chip level.
+  EXPECT_GT(dp.gflops_per_w, 15.0);
+  EXPECT_LT(dp.gflops_per_w, 60.0);
+  EXPECT_GT(sp.gflops_per_w, 35.0);
+  EXPECT_GT(sp.gflops, 1000.0);  // ~1200 SGEMM GFLOPS
+  EXPECT_GT(dp.gflops, 500.0);   // ~600 DGEMM GFLOPS
+}
+
+TEST(ArchDb, DesignChoiceTableComplete) {
+  auto rows = table43_design_choices();
+  ASSERT_GE(rows.size(), 6u);
+  for (const auto& r : rows) {
+    EXPECT_FALSE(r.dimension.empty());
+    EXPECT_FALSE(r.cpus.empty());
+    EXPECT_FALSE(r.gpus.empty());
+    EXPECT_FALSE(r.lap.empty());
+  }
+}
+
+TEST(Breakdown, LapComponentsFromModel) {
+  PowerBreakdown b = lap_breakdown(false, "LAP");
+  ASSERT_EQ(b.components.size(), 4u);
+  EXPECT_GT(b.total_mw_per_gflop(), 0.0);
+  // DP MAC dominates the PE power budget.
+  EXPECT_GT(b.components[0].mw_per_gflop, b.components[1].mw_per_gflop);
+}
+
+TEST(Breakdown, GpusOrderOfMagnitudeWorseThanLap) {
+  for (auto& figure : {fig413_gtx280_vs_lap(), fig414_gtx480_vs_lap()}) {
+    double gpu_gemm = 0.0, lap_sp = 0.0;
+    for (const auto& b : figure) {
+      if (b.machine.find("LAP (SP") != std::string::npos)
+        lap_sp = b.total_mw_per_gflop();
+      if (b.workload.find("SGEMM") != std::string::npos)
+        gpu_gemm = b.total_mw_per_gflop();
+    }
+    ASSERT_GT(gpu_gemm, 0.0);
+    ASSERT_GT(lap_sp, 0.0);
+    EXPECT_GT(gpu_gemm / lap_sp, 8.0);
+  }
+}
+
+TEST(Breakdown, RegisterFileDominatesGtx280) {
+  // §4.5: "in some cases the register file alone contributes more than 30%".
+  auto figure = fig413_gtx280_vs_lap();
+  const auto& gpu = figure[0];
+  double rf = 0.0;
+  for (const auto& c : gpu.components)
+    if (c.name == "Register file") rf = c.mw_per_gflop;
+  EXPECT_GT(rf / gpu.total_mw_per_gflop(), 0.30);
+}
+
+TEST(Breakdown, PenrynOooAndFrontendShare) {
+  // §4.5: OOO + frontend = 40% of Penryn core power.
+  auto figure = fig415_penryn_vs_lap();
+  const auto& cpu = figure[0];
+  double ooo_fe = 0.0;
+  for (const auto& c : cpu.components)
+    if (c.name.find("order") != std::string::npos ||
+        c.name.find("Frontend") != std::string::npos)
+      ooo_fe += c.mw_per_gflop;
+  EXPECT_NEAR(ooo_fe / cpu.total_mw_per_gflop(), 0.40, 0.02);
+}
+
+TEST(Breakdown, Fig416PairsLapAgainstEachPlatform) {
+  auto pairs = fig416_efficiency_comparison();
+  ASSERT_EQ(pairs.size(), 8u);
+  // Every LAP row must beat the platform row preceding it.
+  for (std::size_t i = 0; i + 1 < pairs.size(); i += 2) {
+    EXPECT_GT(pairs[i + 1].core_gflops_per_w, pairs[i].core_gflops_per_w)
+        << pairs[i].name;
+    EXPECT_GT(pairs[i + 1].chip_gflops_per_w, pairs[i].chip_gflops_per_w)
+        << pairs[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace lac::compare

@@ -1,0 +1,127 @@
+#include "model/core_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lac::model {
+namespace {
+
+CoreGemmParams base(double bw, Overlap ov = Overlap::Partial) {
+  CoreGemmParams p;
+  p.nr = 4;
+  p.mc = p.kc = 128;
+  p.n = 512;
+  p.bw_words_per_cycle = bw;
+  p.overlap = ov;
+  return p;
+}
+
+TEST(CoreModel, PeakCyclesFormula) {
+  CoreGemmParams p = base(1.0);
+  EXPECT_DOUBLE_EQ(core_peak_cycles(p), 128.0 * 128.0 * 512.0 / 16.0);
+}
+
+TEST(CoreModel, LocalStoreFormulas) {
+  CoreGemmParams p = base(1.0);
+  // Partial: (mc + 2*nr^2)*kc = (128 + 32)*128 words.
+  EXPECT_DOUBLE_EQ(local_store_words(p), (128.0 + 32.0) * 128.0);
+  p.overlap = Overlap::Full;
+  EXPECT_DOUBLE_EQ(local_store_words(p), 2.0 * (128.0 + 16.0) * 128.0);
+  // Per-PE KB at 8 bytes/word.
+  p.overlap = Overlap::Partial;
+  EXPECT_NEAR(local_store_kb_per_pe(p), (128.0 + 32.0) * 128.0 / 16.0 * 8.0 / 1024.0,
+              1e-12);
+}
+
+TEST(CoreModel, UtilizationMonotonicInBandwidth) {
+  double prev = 0.0;
+  for (double bw : {0.125, 0.25, 0.5, 1.0, 2.0}) {
+    const double u = core_utilization(base(bw));
+    EXPECT_GE(u, prev);
+    EXPECT_LE(u, 1.0);
+    prev = u;
+  }
+}
+
+TEST(CoreModel, FullOverlapReachesPeakWithEnoughBandwidth) {
+  CoreGemmParams p = base(1.0, Overlap::Full);
+  const double need = min_bw_for_peak(p);
+  p.bw_words_per_cycle = need;
+  EXPECT_NEAR(core_utilization(p), 1.0, 1e-9);
+  p.bw_words_per_cycle = need * 0.5;
+  EXPECT_LT(core_utilization(p), 1.0);
+}
+
+TEST(CoreModel, PartialOverlapCannotReach100Percent) {
+  CoreGemmParams p = base(1e6, Overlap::Partial);  // infinite bandwidth
+  EXPECT_LT(core_utilization(p), 1.0);
+  EXPECT_GT(core_utilization(p), 0.99);  // but asymptotically close
+}
+
+TEST(CoreModel, MinBwForPeakMatchesTable41CoreRow) {
+  // Full-overlap core<->chip BW: (2/kc + 1/mc + 1/n) * nr^2.
+  CoreGemmParams p = base(1.0, Overlap::Full);
+  const double expect = (2.0 / 128 + 1.0 / 128 + 1.0 / 512) * 16.0;
+  EXPECT_NEAR(min_bw_for_peak(p), expect, 1e-12);
+}
+
+TEST(CoreModel, DoublingNrQuadruplesComputeDoublesBandwidth) {
+  // §3.5: fixing the local store, doubling nr doubles the bandwidth demand
+  // and quadruples performance.
+  CoreGemmParams p4 = base(1.0, Overlap::Full);
+  CoreGemmParams p8 = p4;
+  p8.nr = 8;
+  const double bw4 = min_bw_for_peak(p4);
+  const double bw8 = min_bw_for_peak(p8);
+  EXPECT_NEAR(bw8 / bw4, 4.0, 1e-9);  // same (mc,kc): nr^2 scaling
+  // At the same *local store per PE*, mc scales with nr: mc8 = 2*mc4 ->
+  // bandwidth doubles (not quadruples).
+  CoreGemmParams q8 = p8;
+  q8.mc = q8.kc = 256;  // same mc*kc/nr^2 words per PE
+  EXPECT_NEAR(min_bw_for_peak(q8) / bw4, 2.0, 0.25);
+}
+
+class BestUtilization
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(BestUtilization, IsMonotoneInBothResources) {
+  const auto [nr, bw, kb] = GetParam();
+  BestPoint pt = best_core_utilization(nr, 512, bw, kb);
+  EXPECT_GE(pt.utilization, 0.0);
+  EXPECT_LE(pt.utilization, 1.0);
+  BestPoint more_bw = best_core_utilization(nr, 512, bw * 2.0, kb);
+  EXPECT_GE(more_bw.utilization, pt.utilization - 1e-12);
+  BestPoint more_mem = best_core_utilization(nr, 512, bw, kb * 2.0);
+  EXPECT_GE(more_mem.utilization, pt.utilization - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BestUtilization,
+    ::testing::Combine(::testing::Values(4, 8),
+                       ::testing::Values(0.125, 0.25, 0.5, 1.0),
+                       ::testing::Values(4.0, 8.0, 16.0, 24.0)));
+
+TEST(CoreModel, Figure34Shape) {
+  // The 4 B/cycle (0.5 words DP) nr=4 curve must exceed 90% utilization
+  // once ~16 KB/PE of local store is available (Fig 3.4).
+  BestPoint small = best_core_utilization(4, 512, 0.5, 2.0);
+  BestPoint big = best_core_utilization(4, 512, 0.5, 16.0);
+  EXPECT_LT(small.utilization, big.utilization);
+  EXPECT_GT(big.utilization, 0.90);
+  // 1 B/cycle saturates lower.
+  BestPoint starved = best_core_utilization(4, 512, 0.125, 16.0);
+  EXPECT_LT(starved.utilization, big.utilization);
+}
+
+TEST(CoreModel, BestPointRespectsBudget) {
+  BestPoint pt = best_core_utilization(4, 512, 0.5, 8.0);
+  CoreGemmParams p;
+  p.nr = 4;
+  p.mc = pt.mc;
+  p.kc = pt.kc;
+  p.n = 512;
+  p.overlap = pt.overlap;
+  EXPECT_LE(local_store_kb_per_pe(p), 8.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace lac::model

@@ -1,0 +1,67 @@
+#include "fft/fft_large.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/presets.hpp"
+#include "common/random.hpp"
+#include "fft/fft_model.hpp"
+#include "fft/reference_fft.hpp"
+
+namespace lac::fft {
+namespace {
+
+std::vector<cplx> random_signal(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cplx> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  return x;
+}
+
+TEST(FftLarge, FourStep4096MatchesReference) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  auto x = random_signal(4096, 1);
+  FftResult r = fft4096_four_step(cfg, 4.0, x);
+  auto ref = fft_radix4(x);
+  double err = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    err = std::max(err, std::abs(r.out[i] - ref[i]));
+  EXPECT_LT(err, 1e-8);
+}
+
+TEST(FftLarge, CycleBudgetNearAnalyticalModel) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  auto x = random_signal(4096, 2);
+  FftResult r = fft4096_four_step(cfg, 4.0, x);
+  // Compute floor: 128 line FFTs of 64 pts (84 cycles each) + the twiddle
+  // pass (4096 cmuls / 16 PEs at 4 slots each = 1024 issue cycles).
+  const double compute_floor = 128.0 * core_fft_compute_cycles(64) + 1024.0;
+  EXPECT_GE(r.cycles, compute_floor);
+  EXPECT_LE(r.cycles, 3.0 * compute_floor);  // I/O + pipeline overheads
+}
+
+TEST(FftLarge, BandwidthSensitivity) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  auto x = random_signal(4096, 3);
+  FftResult fast = fft4096_four_step(cfg, 4.0, x);
+  FftResult slow = fft4096_four_step(cfg, 1.0, x);
+  EXPECT_GT(slow.cycles, fast.cycles);
+  // Results identical regardless of bandwidth.
+  double err = 0.0;
+  for (std::size_t i = 0; i < fast.out.size(); ++i)
+    err = std::max(err, std::abs(fast.out[i] - slow.out[i]));
+  EXPECT_EQ(err, 0.0);
+}
+
+TEST(FftLarge, ImpulseSpectrumFlat) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  std::vector<cplx> x(4096, cplx{0, 0});
+  x[0] = {1, 0};
+  FftResult r = fft4096_four_step(cfg, 4.0, x);
+  for (index_t k = 0; k < 4096; k += 97)
+    EXPECT_NEAR(std::abs(r.out[static_cast<std::size_t>(k)]), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lac::fft

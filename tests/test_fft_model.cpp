@@ -1,0 +1,74 @@
+#include "fft/fft_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fft/radix4_schedule.hpp"
+
+namespace lac::fft {
+namespace {
+
+TEST(FftModel, ComputeCyclesFormula) {
+  // 64 points: 16 butterflies/stage over 16 PEs, 3 stages, 28 slots each.
+  EXPECT_DOUBLE_EQ(core_fft_compute_cycles(64), 3.0 * 28.0);
+  // 256 points: 4 stages, 4 butterflies per PE per stage.
+  EXPECT_DOUBLE_EQ(core_fft_compute_cycles(256), 4.0 * 4.0 * 28.0);
+}
+
+TEST(FftModel, EffectiveFlopsConvention) {
+  EXPECT_DOUBLE_EQ(effective_flops(64), 5.0 * 64.0 * 6.0);
+}
+
+TEST(FftModel, RequiredBandwidthDecreasesWithSize) {
+  // Fig B.5: larger cache-contained transforms need less streaming BW, and
+  // the demand never exceeds the 4 words/cycle the column buses provide.
+  double prev = 5.0;
+  for (index_t n : {64, 256, 1024, 4096}) {
+    const double bw = required_bw_full_overlap(n);
+    EXPECT_LE(bw, 4.0);
+    EXPECT_LT(bw, prev);
+    EXPECT_GT(bw, 0.5);
+    prev = bw;
+  }
+}
+
+TEST(FftModel, OverlapDoublesDataStoreButLiftsUtilization) {
+  // Fig B.6: the overlapped design needs roughly twice the data store but
+  // sustains the higher utilization.
+  auto non = fft_core_point(256, false, 2.0);
+  auto ovl = fft_core_point(256, true, 2.0);
+  EXPECT_GT(ovl.local_store_kb_per_pe, non.local_store_kb_per_pe);
+  EXPECT_GT(ovl.utilization, non.utilization);
+  EXPECT_LE(ovl.utilization, 1.0);
+}
+
+TEST(FftModel, TableB1RowsConsistent) {
+  auto r2d = fft2d_requirements(256, true);
+  EXPECT_EQ(r2d.problem, "256x256 2D");
+  EXPECT_DOUBLE_EQ(r2d.core_ffts, 512.0);
+  EXPECT_GT(r2d.total_io_words, 0.0);
+  auto r1d = fft1d_four_step_requirements(256, true);
+  // The four-step 1D adds a twiddle pass on top of the 2D structure.
+  EXPECT_GT(r1d.total_io_words, r2d.total_io_words);
+  EXPECT_GT(r1d.compute_cycles, r2d.compute_cycles);
+  EXPECT_NE(r1d.problem.find("64K"), std::string::npos);
+}
+
+TEST(FftModel, NonOverlappedNeedsLessBandwidth) {
+  auto ovl = fft2d_requirements(256, true);
+  auto non = fft2d_requirements(256, false);
+  EXPECT_LT(non.bw_words_needed, ovl.bw_words_needed);
+}
+
+TEST(FftModel, CommLoad64kPhases) {
+  auto phases = comm_load_64k_1d();
+  ASSERT_EQ(phases.size(), 3u);
+  for (const auto& p : phases) {
+    EXPECT_GT(p.words_per_cycle, 0.0);
+    EXPECT_LE(p.words_per_cycle, 4.0);  // column-bus ceiling (Fig B.5)
+  }
+  // The twiddle pass is pure streaming: the heaviest phase.
+  EXPECT_GE(phases[1].words_per_cycle, phases[0].words_per_cycle);
+}
+
+}  // namespace
+}  // namespace lac::fft

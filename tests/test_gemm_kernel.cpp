@@ -1,0 +1,132 @@
+#include "kernels/gemm_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hpp"
+#include "blas/ref_blas.hpp"
+#include "common/numeric.hpp"
+#include "common/random.hpp"
+
+namespace lac::kernels {
+namespace {
+
+MatrixD reference_gemm(ConstViewD a, ConstViewD b, ConstViewD c) {
+  MatrixD out = to_matrix<double>(c);
+  blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, a, b, 1.0, out.view());
+  return out;
+}
+
+TEST(GemmKernel, InnerRank1IsNumericallyExact) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const index_t kc = 32;
+  MatrixD a = random_matrix(4, kc, 1);
+  MatrixD b = random_matrix(kc, 4, 2);
+  MatrixD c = random_matrix(4, 4, 3);
+  KernelResult r = gemm_rank1_inner(cfg, a.view(), b.view(), c.view());
+  MatrixD expect = reference_gemm(a.view(), b.view(), c.view());
+  EXPECT_LT(max_abs_diff(r.out.view(), expect.view()), 1e-12);
+}
+
+TEST(GemmKernel, InnerRank1CycleCountNearKc) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const index_t kc = 128;
+  MatrixD a = random_matrix(4, kc, 4);
+  MatrixD b = random_matrix(kc, 4, 5);
+  MatrixD c(4, 4, 0.0);
+  KernelResult r = gemm_rank1_inner(cfg, a.view(), b.view(), c.view());
+  // kc rank-1 updates at one per cycle plus pipeline drain and bus fill.
+  EXPECT_GE(r.cycles, static_cast<double>(kc));
+  EXPECT_LE(r.cycles, kc + 2.0 * cfg.pe.pipeline_stages + 8.0);
+  EXPECT_EQ(r.stats.mac_ops, 16 * kc);
+}
+
+TEST(GemmKernel, BlockedCoreMatchesReference) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const index_t mc = 16, kc = 16, n = 24;
+  MatrixD a = random_matrix(mc, kc, 6);
+  MatrixD b = random_matrix(kc, n, 7);
+  MatrixD c = random_matrix(mc, n, 8);
+  KernelResult r = gemm_core(cfg, 1.0, a.view(), b.view(), c.view());
+  MatrixD expect = reference_gemm(a.view(), b.view(), c.view());
+  EXPECT_LT(rel_error(r.out.view(), expect.view()), 1e-13);
+}
+
+class GemmBandwidth : public ::testing::TestWithParam<double> {};
+
+TEST_P(GemmBandwidth, UtilizationTracksAnalyticalModel) {
+  const double bw = GetParam();
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const index_t mc = 32, kc = 32, n = 64;
+  MatrixD a = random_matrix(mc, kc, 9);
+  MatrixD b = random_matrix(kc, n, 10);
+  MatrixD c = random_matrix(mc, n, 11);
+  KernelResult r = gemm_core(cfg, bw, a.view(), b.view(), c.view());
+
+  model::CoreGemmParams p;
+  p.nr = 4;
+  p.mc = mc;
+  p.kc = kc;
+  p.n = n;
+  p.bw_words_per_cycle = bw;
+  p.overlap = model::Overlap::Partial;
+  const double predicted = model::core_utilization(p);
+  // The simulator adds pipeline-drain and bus-fill overheads the closed
+  // form ignores; agreement within 12% relative validates both.
+  EXPECT_NEAR(r.utilization, predicted, 0.12 * predicted);
+}
+
+INSTANTIATE_TEST_SUITE_P(BandwidthSweep, GemmBandwidth,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 8.0));
+
+TEST(GemmKernel, FullOverlapBeatsPartialWhenComputeCoversStreams) {
+  // Once compute covers the streams (x well above (A+S)/C ~ 1.75 w/c for
+  // mc=kc=32, n=64), hiding the A-block load saves its full serial cost.
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const index_t mc = 32, kc = 32, n = 64;
+  MatrixD a = random_matrix(mc, kc, 12);
+  MatrixD b = random_matrix(kc, n, 13);
+  MatrixD c = random_matrix(mc, n, 14);
+  KernelResult partial =
+      gemm_core(cfg, 4.0, a.view(), b.view(), c.view(), model::Overlap::Partial);
+  KernelResult full =
+      gemm_core(cfg, 4.0, a.view(), b.view(), c.view(), model::Overlap::Full);
+  EXPECT_LT(full.cycles, partial.cycles);
+  EXPECT_LT(rel_error(full.out.view(), partial.out.view()), 1e-15);
+  // When the interface is the bottleneck both regimes move the same words
+  // and tie.
+  KernelResult p2 =
+      gemm_core(cfg, 0.25, a.view(), b.view(), c.view(), model::Overlap::Partial);
+  KernelResult f2 =
+      gemm_core(cfg, 0.25, a.view(), b.view(), c.view(), model::Overlap::Full);
+  EXPECT_NEAR(f2.cycles, p2.cycles, 0.02 * p2.cycles);
+}
+
+TEST(GemmKernel, StatsAccountAllTraffic) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const index_t mc = 16, kc = 16, n = 16;
+  MatrixD a = random_matrix(mc, kc, 15);
+  MatrixD b = random_matrix(kc, n, 16);
+  MatrixD c(mc, n, 0.0);
+  KernelResult r = gemm_core(cfg, 1.0, a.view(), b.view(), c.view());
+  // MACs: mc*kc*n / nr^2 per PE * 16 PEs = mc*kc*n.
+  EXPECT_EQ(r.stats.mac_ops, mc * kc * n);
+  // DMA: A once + B panels + C in/out.
+  EXPECT_EQ(r.stats.dma_words, mc * kc + kc * n + 2 * mc * n);
+  // Row buses carry one A element per rank-1 step per row.
+  EXPECT_EQ(r.stats.row_bus_xfers, kc * (n / 4) * (mc / 4) * 4);
+}
+
+TEST(GemmKernel, EightByEightCoreWorks) {
+  arch::CoreConfig cfg = arch::lac_8x8_dp();
+  const index_t mc = 16, kc = 16, n = 16;
+  MatrixD a = random_matrix(mc, kc, 17);
+  MatrixD b = random_matrix(kc, n, 18);
+  MatrixD c = random_matrix(mc, n, 19);
+  KernelResult r = gemm_core(cfg, 2.0, a.view(), b.view(), c.view());
+  MatrixD expect = reference_gemm(a.view(), b.view(), c.view());
+  EXPECT_LT(rel_error(r.out.view(), expect.view()), 1e-13);
+  EXPECT_EQ(r.stats.mac_ops, mc * kc * n);
+}
+
+}  // namespace
+}  // namespace lac::kernels

@@ -1,0 +1,80 @@
+#include "model/level3_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lac::model {
+namespace {
+
+TEST(Level3, TrsmInnerUtilizationFormula) {
+  // g(nr+1)/(2(g+1)nr) -> ~60% for nr=4 and large g (§5.3.1).
+  EXPECT_NEAR(trsm_inner_utilization(4, 100), 0.625 * 100.0 / 101.0, 1e-12);
+  EXPECT_LT(trsm_inner_utilization(4, 4), 0.625);
+  EXPECT_GT(trsm_inner_utilization(4, 16), 0.55);
+}
+
+TEST(Level3, TrsmBlockedUtilizationMatchesPaperExample) {
+  // 32 x 128 TRSM (k = 8 blocks) -> 90% (§5.3.3).
+  EXPECT_NEAR(trsm_blocked_utilization(8), 0.90, 1e-9);
+  // Monotone to 1 as the panel grows.
+  EXPECT_GT(trsm_blocked_utilization(64), trsm_blocked_utilization(8));
+  EXPECT_GT(trsm_blocked_utilization(512), 0.99);
+}
+
+TEST(Level3, TrsmAverageBandwidthBound) {
+  EXPECT_DOUBLE_EQ(trsm_avg_bw_words(4, 8), 2.0);  // 4nr/k
+  EXPECT_LT(trsm_avg_bw_words(4, 64), trsm_avg_bw_words(4, 8));
+}
+
+TEST(Level3, SyrkComputeUtilizationApproachesOne) {
+  EXPECT_LT(syrk_compute_utilization(4, 16), syrk_compute_utilization(4, 64));
+  EXPECT_GT(syrk_compute_utilization(4, 256), 0.95);
+  EXPECT_LE(syrk_compute_utilization(4, 256), 1.0);
+}
+
+struct OpBudget {
+  Level3Op op;
+  double min_util_20kb_4b;  // expected floor at 20KB/PE, 4B/cycle (Fig 5.10)
+};
+
+class Level3Budget : public ::testing::TestWithParam<OpBudget> {};
+
+TEST_P(Level3Budget, Figure510OperatingPoint) {
+  const OpBudget ob = GetParam();
+  BestPoint pt = best_level3_utilization(ob.op, 4, 512, 0.5, 20.0);
+  EXPECT_GE(pt.utilization, ob.min_util_20kb_4b);
+  EXPECT_LE(pt.utilization, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig510, Level3Budget,
+    ::testing::Values(OpBudget{Level3Op::Gemm, 0.93}, OpBudget{Level3Op::Trsm, 0.85},
+                      OpBudget{Level3Op::Syrk, 0.80},
+                      OpBudget{Level3Op::Syr2k, 0.70}));
+
+TEST(Level3, OperationOrderingAtOperatingPoint) {
+  // Fig 5.10 / Table 5.1: GEMM >= TRSM >= SYRK >= SYR2K.
+  const double g = best_level3_utilization(Level3Op::Gemm, 4, 512, 0.5, 20.0).utilization;
+  const double t = best_level3_utilization(Level3Op::Trsm, 4, 512, 0.5, 20.0).utilization;
+  const double s = best_level3_utilization(Level3Op::Syrk, 4, 512, 0.5, 20.0).utilization;
+  const double s2 = best_level3_utilization(Level3Op::Syr2k, 4, 512, 0.5, 20.0).utilization;
+  EXPECT_GE(g, t - 0.02);
+  EXPECT_GE(t, s - 0.02);
+  EXPECT_GT(s, s2);
+}
+
+TEST(Level3, Table51PublishedUtilizations) {
+  EXPECT_DOUBLE_EQ(table51_utilization(Level3Op::Gemm, 4), 1.00);
+  EXPECT_DOUBLE_EQ(table51_utilization(Level3Op::Trsm, 4), 0.95);
+  EXPECT_DOUBLE_EQ(table51_utilization(Level3Op::Syrk, 4), 0.90);
+  EXPECT_DOUBLE_EQ(table51_utilization(Level3Op::Syr2k, 4), 0.79);
+  EXPECT_DOUBLE_EQ(table51_utilization(Level3Op::Syrk, 8), 0.87);
+  EXPECT_DOUBLE_EQ(table51_utilization(Level3Op::Syr2k, 8), 0.73);
+}
+
+TEST(Level3, Names) {
+  EXPECT_STREQ(to_string(Level3Op::Gemm), "GEMM");
+  EXPECT_STREQ(to_string(Level3Op::Syr2k), "SYR2K");
+}
+
+}  // namespace
+}  // namespace lac::model

@@ -1,0 +1,97 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/numeric.hpp"
+
+namespace lac {
+namespace {
+
+TEST(Matrix, ConstructsWithDimensionsAndInit) {
+  MatrixD m(3, 5, 1.5);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 5);
+  EXPECT_EQ(m.ld(), 3);
+  for (index_t j = 0; j < 5; ++j)
+    for (index_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(m(i, j), 1.5);
+}
+
+TEST(Matrix, ColumnMajorLayout) {
+  MatrixD m(2, 2);
+  m(0, 0) = 1;
+  m(1, 0) = 2;
+  m(0, 1) = 3;
+  m(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(m.data()[0], 1);
+  EXPECT_DOUBLE_EQ(m.data()[1], 2);
+  EXPECT_DOUBLE_EQ(m.data()[2], 3);
+  EXPECT_DOUBLE_EQ(m.data()[3], 4);
+}
+
+TEST(Matrix, BlockViewAliasesParentStorage) {
+  MatrixD m(4, 4, 0.0);
+  auto blk = m.block(1, 2, 2, 2);
+  blk(0, 0) = 7.0;
+  blk(1, 1) = 8.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(m(2, 3), 8.0);
+  EXPECT_EQ(blk.ld(), 4);
+}
+
+TEST(Matrix, NestedBlockViews) {
+  MatrixD m(6, 6, 0.0);
+  auto outer = m.block(1, 1, 4, 4);
+  auto inner = outer.block(1, 1, 2, 2);
+  inner(0, 0) = 5.0;
+  EXPECT_DOUBLE_EQ(m(2, 2), 5.0);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  MatrixD m(3, 2);
+  int v = 0;
+  for (index_t j = 0; j < 2; ++j)
+    for (index_t i = 0; i < 3; ++i) m(i, j) = ++v;
+  MatrixD t = transpose(m.view());
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  MatrixD tt = transpose(t.view());
+  EXPECT_TRUE(tt == m);
+}
+
+TEST(Matrix, IdentityHasUnitDiagonal) {
+  MatrixD i = identity(4);
+  for (index_t r = 0; r < 4; ++r)
+    for (index_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, CopyIntoAndToMatrix) {
+  MatrixD src(2, 3, 0.0);
+  src(1, 2) = 9.0;
+  MatrixD dst(2, 3, 1.0);
+  copy_into<double>(src.view(), dst.view());
+  EXPECT_TRUE(src == dst);
+  MatrixD owned = to_matrix<double>(src.view());
+  EXPECT_TRUE(owned == src);
+}
+
+TEST(Numeric, RelErrorAndAllclose) {
+  MatrixD a(2, 2, 1.0);
+  MatrixD b(2, 2, 1.0);
+  EXPECT_DOUBLE_EQ(rel_error(a.view(), b.view()), 0.0);
+  b(0, 0) = 1.0 + 1e-12;
+  EXPECT_TRUE(allclose(a.view(), b.view(), 1e-10));
+  b(0, 0) = 2.0;
+  EXPECT_FALSE(allclose(a.view(), b.view(), 1e-10));
+}
+
+TEST(Numeric, MaxAbsDiffAndFrob) {
+  MatrixD a(2, 2, 0.0);
+  a(0, 0) = 3.0;
+  a(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(frob_norm(a.view()), 5.0);
+  MatrixD b(2, 2, 0.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a.view(), b.view()), 4.0);
+}
+
+}  // namespace
+}  // namespace lac

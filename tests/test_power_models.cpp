@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "arch/presets.hpp"
+#include "power/bus_model.hpp"
+#include "power/chip_power.hpp"
+#include "power/fmac_model.hpp"
+#include "power/metrics.hpp"
+#include "power/nuca_model.hpp"
+#include "power/pe_power.hpp"
+#include "power/sfu_model.hpp"
+#include "power/sram_model.hpp"
+
+namespace lac::power {
+namespace {
+
+// Table 3.1 anchors: the fitted FMAC model must land within a few percent
+// of every published (frequency, power) pair.
+struct FmacPoint {
+  Precision prec;
+  double ghz;
+  double mw;
+};
+
+class FmacCalibration : public ::testing::TestWithParam<FmacPoint> {};
+
+TEST_P(FmacCalibration, MatchesPublishedPoint) {
+  const FmacPoint p = GetParam();
+  EXPECT_NEAR(fmac_dynamic_mw(p.prec, p.ghz), p.mw, 0.05 * p.mw + 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table31, FmacCalibration,
+    ::testing::Values(FmacPoint{Precision::Single, 2.08, 32.3},
+                      FmacPoint{Precision::Single, 1.32, 13.4},
+                      FmacPoint{Precision::Single, 0.98, 8.7},
+                      FmacPoint{Precision::Single, 0.50, 3.3},
+                      FmacPoint{Precision::Double, 1.81, 105.5},
+                      FmacPoint{Precision::Double, 0.95, 31.0},
+                      FmacPoint{Precision::Double, 0.33, 6.0},
+                      FmacPoint{Precision::Double, 0.20, 3.4}));
+
+TEST(FmacModel, PowerIsSuperlinearInFrequency) {
+  const double p1 = fmac_dynamic_mw(Precision::Double, 0.5);
+  const double p2 = fmac_dynamic_mw(Precision::Double, 1.0);
+  EXPECT_GT(p2, 2.0 * p1);  // voltage scaling makes it worse than linear
+}
+
+TEST(SramModel, MemoryPowerMatchesTable31Column) {
+  // 16KB dual-ported at the Table 3.1 frequencies: 7.318 mW/GHz.
+  EXPECT_NEAR(pe_sram_dynamic_mw(16.0, 2, 0.95), 6.95, 0.1);
+  EXPECT_NEAR(pe_sram_dynamic_mw(16.0, 2, 1.81), 13.25, 0.15);
+  EXPECT_NEAR(pe_sram_dynamic_mw(16.0, 2, 2.08), 15.22, 0.15);
+}
+
+TEST(SramModel, AreaMatchesReference) {
+  EXPECT_NEAR(pe_sram_area_mm2(16.0, 2), 0.13, 0.005);
+  // Fewer ports and smaller capacity both shrink area.
+  EXPECT_LT(pe_sram_area_mm2(16.0, 1), pe_sram_area_mm2(16.0, 2));
+  EXPECT_LT(pe_sram_area_mm2(8.0, 2), pe_sram_area_mm2(16.0, 2));
+}
+
+TEST(SramModel, EnergyGrowsSublinearlyWithCapacity) {
+  const double e8 = pe_sram_access_pj(8.0, 1);
+  const double e32 = pe_sram_access_pj(32.0, 1);
+  EXPECT_GT(e32, e8);
+  EXPECT_LT(e32, 4.0 * e8);  // sqrt-like growth, not linear x4
+}
+
+TEST(NucaModel, CostsMoreThanSramEverywhere) {
+  for (double mb : {0.5, 1.0, 4.0, 8.0}) {
+    EXPECT_GT(nuca_area_mm2(mb, 8.0), onchip_sram_area_mm2(mb));
+    EXPECT_GT(nuca_dynamic_mw(mb, 8.0, 1.0), onchip_sram_dynamic_mw(mb, 8.0, 1.0));
+    EXPECT_GT(nuca_leakage_mw(mb, 8.0), onchip_sram_leakage_mw(mb));
+  }
+}
+
+TEST(BusModel, FrequencyHeadroomAndNegligiblePower) {
+  EXPECT_GE(bus_max_freq_ghz(4), 2.2);
+  EXPECT_GE(bus_max_freq_ghz(8), 2.2);
+  EXPECT_LT(bus_max_freq_ghz(16), 2.2);
+  // §3.6: bus power is negligible next to the MAC.
+  const double bus = bus_power_per_pe_mw(4, Precision::Double, 1.0);
+  const double mac = fmac_dynamic_mw(Precision::Double, 1.0);
+  EXPECT_LT(bus, 0.1 * mac);
+}
+
+TEST(PePower, Table31TotalsReproduced) {
+  // Table 3.1 "PE" column is dynamic power (leakage reported separately).
+  // DP PE at 0.95 GHz: ~38 mW, area ~0.174 mm^2.
+  arch::CoreConfig c = arch::lac_4x4_dp(0.95);
+  PePower p = pe_power(c, gemm_activity(4));
+  EXPECT_NEAR(p.dynamic_mw(), 38.0, 6.0);
+  EXPECT_NEAR(pe_area_mm2(c), 0.174, 0.012);
+  // SP PE at 0.98 GHz: ~15.9 mW, ~0.144 mm^2.
+  arch::CoreConfig s = arch::lac_4x4_sp(0.98);
+  PePower ps = pe_power(s, gemm_activity(4));
+  EXPECT_NEAR(ps.dynamic_mw(), 15.9, 4.0);
+  EXPECT_NEAR(pe_area_mm2(s), 0.144, 0.012);
+}
+
+TEST(PePower, GemmActivityScalesMemAWithNr) {
+  EXPECT_DOUBLE_EQ(gemm_activity(4).mem_a, 0.25);
+  EXPECT_DOUBLE_EQ(gemm_activity(8).mem_a, 0.125);
+}
+
+TEST(PePower, EfficiencySweetSpotNearOneGhz) {
+  // Fig 3.6: energy-delay keeps improving to ~1 GHz and flattens after;
+  // power efficiency (GFLOPS/W) degrades monotonically with frequency.
+  auto eff = [](double f) {
+    arch::CoreConfig c = arch::lac_4x4_dp(f);
+    PePower p = pe_power(c, gemm_activity(4));
+    Metrics m;
+    m.gflops = pe_peak_gflops(c.pe);
+    m.watts = p.total_mw / 1000.0;
+    m.area_mm2 = pe_area_mm2(c);
+    return m;
+  };
+  EXPECT_GT(eff(0.5).gflops_per_w(), eff(1.0).gflops_per_w());
+  EXPECT_GT(eff(1.0).gflops_per_w(), eff(1.8).gflops_per_w());
+  // Energy-delay: 1.0 GHz much better than 0.33, little gain after 1.4.
+  EXPECT_LT(eff(1.0).energy_delay(), eff(0.33).energy_delay());
+  EXPECT_LT(std::abs(eff(1.8).energy_delay() - eff(1.4).energy_delay()),
+            eff(0.33).energy_delay());
+}
+
+TEST(SfuModel, AreaBreakdownByOption) {
+  arch::CoreConfig c = arch::lac_4x4_dp();
+  c.sfu = arch::SfuOption::Software;
+  const double sw = sfu_area_breakdown(c).total();
+  c.sfu = arch::SfuOption::IsolatedUnit;
+  const double iso = sfu_area_breakdown(c).total();
+  c.sfu = arch::SfuOption::DiagonalPEs;
+  const double diag = sfu_area_breakdown(c).total();
+  EXPECT_LT(sw, iso);
+  EXPECT_LT(sw, diag);
+  EXPECT_GT(sfu_op_energy_pj(c), 0.0);
+}
+
+TEST(SfuModel, OperationTableCoversAllFunctions) {
+  arch::CoreConfig c = arch::lac_4x4_dp();
+  auto rows = sfu_operation_table(c);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].op, "1/x");
+  for (const auto& r : rows) EXPECT_GT(r.latency_cycles, 0);
+}
+
+TEST(ChipPower, SramMemorySubordinateToCores) {
+  // Fig 4.10: with the banked SRAM design the cores dominate chip power.
+  arch::ChipConfig chip = arch::lap_s8(4.0);
+  ChipReport r = chip_report(chip, 0.95, 8.0);
+  EXPECT_LT(r.mem_power_mw, 0.35 * r.cores_power_mw);
+  EXPECT_GT(r.gflops_per_w(), 20.0);  // DP LAP headline 15-25 GFLOPS/W
+  EXPECT_LT(r.gflops_per_w(), 60.0);
+}
+
+TEST(ChipPower, NucaDominatesAtSmallCapacityHighBandwidth) {
+  // Fig 4.12: small NUCA + high bandwidth out-consumes the cores.
+  arch::ChipConfig chip = arch::lap_s8(0.5);
+  chip.mem_kind = arch::OnChipMemKind::Nuca;
+  ChipReport small = chip_report(chip, 0.95, 64.0);
+  EXPECT_GT(small.mem_power_mw, small.cores_power_mw);
+  chip.onchip_mem_mbytes = 8.0;
+  ChipReport big = chip_report(chip, 0.95, 8.0);
+  EXPECT_LT(big.mem_power_mw / big.chip_power_mw,
+            small.mem_power_mw / small.chip_power_mw);
+}
+
+TEST(Metrics, Definitions) {
+  Metrics m;
+  m.gflops = 100.0;
+  m.watts = 2.0;
+  m.area_mm2 = 10.0;
+  EXPECT_DOUBLE_EQ(m.gflops_per_w(), 50.0);
+  EXPECT_DOUBLE_EQ(m.gflops_per_mm2(), 10.0);
+  EXPECT_DOUBLE_EQ(m.w_per_mm2(), 0.2);
+  EXPECT_DOUBLE_EQ(m.mw_per_gflop(), 20.0);
+  EXPECT_DOUBLE_EQ(m.energy_delay(), 0.2);
+  EXPECT_DOUBLE_EQ(m.inverse_energy_delay(), 5000.0);
+}
+
+}  // namespace
+}  // namespace lac::power

@@ -1,0 +1,141 @@
+// Property-style sweeps over the simulator and models: invariants that
+// must hold across the whole parameter grid, not just hand-picked points.
+#include <gtest/gtest.h>
+
+#include "arch/presets.hpp"
+#include "common/numeric.hpp"
+#include "common/random.hpp"
+#include "kernels/cholesky_kernel.hpp"
+#include "kernels/gemm_kernel.hpp"
+#include "kernels/lu_kernel.hpp"
+#include "model/core_model.hpp"
+#include "power/pe_power.hpp"
+
+namespace lac {
+namespace {
+
+// ---- Simulator invariants ------------------------------------------------
+
+class GemmGrid
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, double>> {};
+
+TEST_P(GemmGrid, InvariantsHoldEverywhere) {
+  const auto [mk, n, bw] = GetParam();
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a = random_matrix(mk, mk, 11);
+  MatrixD b = random_matrix(mk, n, 12);
+  MatrixD c = random_matrix(mk, n, 13);
+  kernels::KernelResult r = kernels::gemm_core(cfg, bw, a.view(), b.view(), c.view());
+
+  // 1. Functional: reference accumulated with plain loops (fma-tolerant
+  // comparison).
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < mk; ++i) {
+      double acc = c(i, j);
+      for (index_t p = 0; p < mk; ++p) acc += a(i, p) * b(p, j);
+      EXPECT_NEAR(r.out(i, j), acc, 1e-10 * std::max(1.0, std::abs(acc)));
+    }
+
+  // 2. Work conservation: exactly mc*kc*n MAC issues.
+  EXPECT_EQ(r.stats.mac_ops, mk * mk * n);
+
+  // 3. Cycles bounded below by both compute and transfer floors.
+  const double compute_floor = static_cast<double>(mk) * mk * n / 16.0;
+  const double transfer_floor = r.stats.dma_words / bw;
+  EXPECT_GE(r.cycles + 1e-9, compute_floor);
+  EXPECT_GE(r.cycles + 1e-9, transfer_floor);
+
+  // 4. Utilization in (0, 1].
+  EXPECT_GT(r.utilization, 0.0);
+  EXPECT_LE(r.utilization, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, GemmGrid,
+                         ::testing::Combine(::testing::Values(16, 32),
+                                            ::testing::Values(16, 48),
+                                            ::testing::Values(0.25, 1.0, 4.0)));
+
+class LuGrid : public ::testing::TestWithParam<std::tuple<index_t, bool>> {};
+
+TEST_P(LuGrid, FactorizationInvariants) {
+  const auto [k, cmp] = GetParam();
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  cfg.pe.extensions.comparator = cmp;
+  MatrixD a = random_matrix(k, 4, 100 + k);
+  kernels::LuResult r = kernels::lu_panel(cfg, a.view());
+  // Pivot indices in range and non-decreasing validity.
+  for (std::size_t j = 0; j < r.pivots.size(); ++j) {
+    EXPECT_GE(r.pivots[j], static_cast<index_t>(j));
+    EXPECT_LT(r.pivots[j], k);
+  }
+  // |L| <= 1 below the diagonal (the partial-pivoting guarantee).
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = j + 1; i < k; ++i)
+      EXPECT_LE(std::abs(r.kernel.out(i, j)), 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, LuGrid,
+                         ::testing::Combine(::testing::Values(16, 32, 64),
+                                            ::testing::Bool()));
+
+class CholeskyGrid : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(CholeskyGrid, FactorReproducesInput) {
+  const index_t n = GetParam();
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a = random_spd(n, 200 + n);
+  kernels::KernelResult r = kernels::cholesky_core(cfg, 4.0, a.view());
+  // L * L^T == A on the lower triangle.
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i) {
+      double acc = 0.0;
+      for (index_t p = 0; p <= j; ++p) acc += r.out(i, p) * r.out(j, p);
+      EXPECT_NEAR(acc, a(i, j), 1e-8 * std::max(1.0, std::abs(a(i, j))));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyGrid, ::testing::Values(8, 16, 24));
+
+// ---- Model invariants ------------------------------------------------------
+
+class ModelMonotone
+    : public ::testing::TestWithParam<std::tuple<int, index_t>> {};
+
+TEST_P(ModelMonotone, UtilizationMonotoneInMemoryAndBandwidth) {
+  const auto [nr, n] = GetParam();
+  double prev = -1.0;
+  for (double kb : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    const double u = model::best_core_utilization(nr, n, 0.5, kb).utilization;
+    EXPECT_GE(u, prev - 1e-12);
+    prev = u;
+  }
+  prev = -1.0;
+  for (double bw : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const double u = model::best_core_utilization(nr, n, bw, 16.0).utilization;
+    EXPECT_GE(u, prev - 1e-12);
+    prev = u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ModelMonotone,
+                         ::testing::Combine(::testing::Values(4, 8),
+                                            ::testing::Values(256, 512, 1024)));
+
+TEST(PowerProperty, PePowerMonotoneInFrequencyAndActivity) {
+  double prev = 0.0;
+  for (double f : {0.2, 0.5, 1.0, 1.5, 1.8}) {
+    arch::CoreConfig c = arch::lac_4x4_dp(f);
+    const double p = power::pe_power(c, power::gemm_activity(4)).total_mw;
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  arch::CoreConfig c = arch::lac_4x4_dp(1.0);
+  power::PeActivity idle = power::gemm_activity(4);
+  idle.mac = 0.25;
+  idle.mem_b = 0.25;
+  EXPECT_LT(power::pe_power(c, idle).total_mw,
+            power::pe_power(c, power::gemm_activity(4)).total_mw);
+}
+
+}  // namespace
+}  // namespace lac

@@ -1,0 +1,75 @@
+#include "kernels/qr_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/presets.hpp"
+#include "blas/ref_blas.hpp"
+#include "blas/ref_lapack.hpp"
+#include "common/numeric.hpp"
+#include "common/random.hpp"
+
+namespace lac::kernels {
+namespace {
+
+TEST(QrKernel, PanelMatchesReferenceFactorization) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a = random_matrix(16, 4, 1);
+  QrResult r = qr_panel(cfg, a.view());
+  MatrixD expect = to_matrix<double>(ConstViewD(a.view()));
+  auto taus = blas::qr_householder(expect.view());
+  EXPECT_LT(rel_error(r.kernel.out.view(), expect.view()), 1e-10);
+  ASSERT_EQ(r.taus.size(), taus.size());
+  for (std::size_t j = 0; j < taus.size(); ++j)
+    EXPECT_NEAR(r.taus[j], taus[j], 1e-10 * std::max(1.0, std::abs(taus[j])));
+}
+
+TEST(QrKernel, RDiagonalSignsFollowConvention) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a = random_matrix(24, 4, 2);
+  QrResult r = qr_panel(cfg, a.view());
+  // rho = -sign(alpha)*||x||: diagonal entries are nonzero for a random
+  // full-rank panel.
+  for (int j = 0; j < 4; ++j) EXPECT_GT(std::abs(r.kernel.out(j, j)), 1e-12);
+}
+
+TEST(QrKernel, ReconstructsPanelThroughQ) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a = random_matrix(12, 4, 3);
+  QrResult r = qr_panel(cfg, a.view());
+  MatrixD q = blas::qr_form_q(r.kernel.out.view(), r.taus);
+  MatrixD rmat(4, 4, 0.0);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i <= j; ++i) rmat(i, j) = r.kernel.out(i, j);
+  MatrixD rec(12, 4, 0.0);
+  blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, q.view(), rmat.view(), 0.0,
+             rec.view());
+  EXPECT_TRUE(allclose(rec.view(), a.view(), 1e-9));
+}
+
+TEST(QrKernel, TallerPanelsAmortizeOverheads) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD small = random_matrix(8, 4, 4);
+  MatrixD tall = random_matrix(64, 4, 5);
+  QrResult rs = qr_panel(cfg, small.view());
+  QrResult rt = qr_panel(cfg, tall.view());
+  const double eff_s = rs.kernel.stats.flops() / rs.kernel.cycles;
+  const double eff_t = rt.kernel.stats.flops() / rt.kernel.cycles;
+  EXPECT_GT(eff_t, eff_s);
+}
+
+TEST(QrKernel, SfuLatencyVisibleInCycles) {
+  MatrixD a = random_matrix(32, 4, 6);
+  arch::CoreConfig fast = arch::lac_4x4_dp();
+  fast.sfu = arch::SfuOption::IsolatedUnit;
+  arch::CoreConfig slow = fast;
+  slow.sfu = arch::SfuOption::Software;
+  QrResult rf = qr_panel(fast, a.view());
+  QrResult rsw = qr_panel(slow, a.view());
+  EXPECT_GT(rsw.kernel.cycles, rf.kernel.cycles);
+  EXPECT_LT(rel_error(rsw.kernel.out.view(), rf.kernel.out.view()), 1e-14);
+}
+
+}  // namespace
+}  // namespace lac::kernels

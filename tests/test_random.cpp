@@ -1,0 +1,47 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lac {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, RandomSpdIsSymmetricWithDominantDiagonal) {
+  MatrixD a = random_spd(8, 3);
+  for (index_t j = 0; j < 8; ++j) {
+    for (index_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(a(i, j), a(j, i));
+    EXPECT_GT(a(j, j), 0.0);
+  }
+}
+
+TEST(Rng, RandomLowerTriangularShape) {
+  MatrixD l = random_lower_triangular(6, 5);
+  for (index_t j = 0; j < 6; ++j) {
+    for (index_t i = 0; i < j; ++i) EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+    EXPECT_GE(l(j, j), 1.0);  // diagonal kept away from zero
+  }
+}
+
+}  // namespace
+}  // namespace lac

@@ -1,0 +1,149 @@
+#include "blas/ref_blas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/numeric.hpp"
+#include "common/random.hpp"
+
+namespace lac::blas {
+namespace {
+
+TEST(RefBlas, GemmIdentityLeavesOperandUnchanged) {
+  MatrixD i = identity(4);
+  MatrixD b = random_matrix(4, 3, 11);
+  MatrixD c(4, 3, 0.0);
+  gemm(Trans::No, Trans::No, 1.0, i.view(), b.view(), 0.0, c.view());
+  EXPECT_TRUE(allclose(c.view(), b.view(), 1e-14));
+}
+
+TEST(RefBlas, GemmAlphaBetaScaling) {
+  MatrixD a = random_matrix(3, 3, 1);
+  MatrixD b = random_matrix(3, 3, 2);
+  MatrixD c0 = random_matrix(3, 3, 3);
+  MatrixD c1 = to_matrix<double>(ConstViewD(c0.view()));
+  gemm(Trans::No, Trans::No, 2.0, a.view(), b.view(), 0.5, c1.view());
+  MatrixD ab(3, 3, 0.0);
+  gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0, ab.view());
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 3; ++i)
+      EXPECT_NEAR(c1(i, j), 2.0 * ab(i, j) + 0.5 * c0(i, j), 1e-12);
+}
+
+TEST(RefBlas, GemmTransposeConsistency) {
+  MatrixD a = random_matrix(4, 6, 21);
+  MatrixD b = random_matrix(4, 5, 22);
+  MatrixD c1(6, 5, 0.0), c2(6, 5, 0.0);
+  gemm(Trans::Yes, Trans::No, 1.0, a.view(), b.view(), 0.0, c1.view());
+  MatrixD at = transpose(a.view());
+  gemm(Trans::No, Trans::No, 1.0, at.view(), b.view(), 0.0, c2.view());
+  EXPECT_TRUE(allclose(c1.view(), c2.view(), 1e-13));
+}
+
+TEST(RefBlas, SyrkMatchesGemmOnLowerTriangle) {
+  MatrixD a = random_matrix(6, 4, 31);
+  MatrixD c(6, 6, 0.0);
+  syrk(Uplo::Lower, 1.0, a.view(), 0.0, c.view());
+  MatrixD full(6, 6, 0.0);
+  MatrixD at = transpose(a.view());
+  gemm(Trans::No, Trans::No, 1.0, a.view(), at.view(), 0.0, full.view());
+  for (index_t j = 0; j < 6; ++j)
+    for (index_t i = j; i < 6; ++i) EXPECT_NEAR(c(i, j), full(i, j), 1e-12);
+}
+
+TEST(RefBlas, Syr2kMatchesExplicitCrossProducts) {
+  MatrixD a = random_matrix(5, 3, 41);
+  MatrixD b = random_matrix(5, 3, 42);
+  MatrixD c(5, 5, 0.0);
+  syr2k(Uplo::Lower, 1.0, a.view(), b.view(), 0.0, c.view());
+  for (index_t j = 0; j < 5; ++j)
+    for (index_t i = j; i < 5; ++i) {
+      double acc = 0.0;
+      for (index_t p = 0; p < 3; ++p) acc += a(i, p) * b(j, p) + b(i, p) * a(j, p);
+      EXPECT_NEAR(c(i, j), acc, 1e-12);
+    }
+}
+
+TEST(RefBlas, TrsmLeftLowerSolvesSystem) {
+  MatrixD l = random_lower_triangular(6, 51);
+  MatrixD x_true = random_matrix(6, 4, 52);
+  MatrixD b(6, 4, 0.0);
+  gemm(Trans::No, Trans::No, 1.0, l.view(), x_true.view(), 0.0, b.view());
+  trsm(Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, 1.0, l.view(), b.view());
+  EXPECT_TRUE(allclose(b.view(), x_true.view(), 1e-10));
+}
+
+TEST(RefBlas, TrsmUnitDiagonalIgnoresStoredDiagonal) {
+  MatrixD l = random_lower_triangular(5, 61);
+  MatrixD lu = to_matrix<double>(ConstViewD(l.view()));
+  for (index_t i = 0; i < 5; ++i) lu(i, i) = 1.0;
+  MatrixD x_true = random_matrix(5, 2, 62);
+  MatrixD b(5, 2, 0.0);
+  gemm(Trans::No, Trans::No, 1.0, lu.view(), x_true.view(), 0.0, b.view());
+  // Solve with the *unmodified* diagonal but Diag::Unit: must ignore it.
+  trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0, l.view(), b.view());
+  EXPECT_TRUE(allclose(b.view(), x_true.view(), 1e-10));
+}
+
+TEST(RefBlas, TrsmTransposedAndRightSide) {
+  MatrixD l = random_lower_triangular(5, 71);
+  MatrixD x_true = random_matrix(3, 5, 72);
+  // X * L^T = B.
+  MatrixD lt = transpose(l.view());
+  MatrixD b(3, 5, 0.0);
+  gemm(Trans::No, Trans::No, 1.0, x_true.view(), lt.view(), 0.0, b.view());
+  trsm(Side::Right, Uplo::Lower, Trans::Yes, Diag::NonUnit, 1.0, l.view(), b.view());
+  EXPECT_TRUE(allclose(b.view(), x_true.view(), 1e-10));
+}
+
+TEST(RefBlas, TrmmMatchesGemmWithTriangle) {
+  MatrixD l = random_lower_triangular(4, 81);
+  MatrixD b = random_matrix(4, 3, 82);
+  MatrixD expect(4, 3, 0.0);
+  gemm(Trans::No, Trans::No, 1.0, l.view(), b.view(), 0.0, expect.view());
+  MatrixD got = to_matrix<double>(ConstViewD(b.view()));
+  trmm(Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, 1.0, l.view(), got.view());
+  EXPECT_TRUE(allclose(got.view(), expect.view(), 1e-12));
+}
+
+TEST(RefBlas, SymmUsesOnlyStoredTriangle) {
+  MatrixD a = random_spd(4, 91);
+  MatrixD a_lower = to_matrix<double>(ConstViewD(a.view()));
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < j; ++i) a_lower(i, j) = -999.0;  // poison upper
+  MatrixD b = random_matrix(4, 3, 92);
+  MatrixD c1(4, 3, 0.0), c2(4, 3, 0.0);
+  symm(Side::Left, Uplo::Lower, 1.0, a_lower.view(), b.view(), 0.0, c1.view());
+  gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0, c2.view());
+  EXPECT_TRUE(allclose(c1.view(), c2.view(), 1e-12));
+}
+
+TEST(RefBlas, GemvAndGerAgreeWithGemm) {
+  MatrixD a = random_matrix(4, 3, 93);
+  std::vector<double> x{1.0, -2.0, 0.5};
+  std::vector<double> y(4, 0.0);
+  gemv(Trans::No, 1.0, a.view(), x.data(), 0.0, y.data());
+  for (index_t i = 0; i < 4; ++i) {
+    double acc = 0.0;
+    for (index_t p = 0; p < 3; ++p) acc += a(i, p) * x[static_cast<std::size_t>(p)];
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], acc, 1e-13);
+  }
+  MatrixD g(4, 3, 0.0);
+  ger(2.0, y.data(), x.data(), g.view());
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 4; ++i)
+      EXPECT_NEAR(g(i, j), 2.0 * y[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(j)], 1e-13);
+}
+
+TEST(RefBlas, Nrm2OverflowSafe) {
+  std::vector<double> x{3e200, 4e200};
+  EXPECT_NEAR(nrm2(2, x.data()) / 5e200, 1.0, 1e-12);
+  std::vector<double> tiny{3e-200, 4e-200};
+  EXPECT_NEAR(nrm2(2, tiny.data()) / 5e-200, 1.0, 1e-12);
+  std::vector<double> zero{0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(nrm2(3, zero.data()), 0.0);
+}
+
+}  // namespace
+}  // namespace lac::blas

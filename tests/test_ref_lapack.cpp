@@ -1,0 +1,110 @@
+#include "blas/ref_lapack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/ref_blas.hpp"
+#include "common/numeric.hpp"
+#include "common/random.hpp"
+
+namespace lac::blas {
+namespace {
+
+TEST(RefLapack, CholeskyReconstructs) {
+  MatrixD a = random_spd(8, 7);
+  MatrixD l = to_matrix<double>(ConstViewD(a.view()));
+  ASSERT_TRUE(cholesky(l.view()));
+  MatrixD lt = transpose(l.view());
+  MatrixD rec(8, 8, 0.0);
+  gemm(Trans::No, Trans::No, 1.0, l.view(), lt.view(), 0.0, rec.view());
+  EXPECT_TRUE(allclose(rec.view(), a.view(), 1e-10));
+}
+
+TEST(RefLapack, CholeskyRejectsIndefinite) {
+  MatrixD a(2, 2, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  EXPECT_FALSE(cholesky(a.view()));
+}
+
+TEST(RefLapack, LuReconstructsWithPivoting) {
+  const index_t n = 8;
+  MatrixD a = random_matrix(n, n, 17);
+  MatrixD lu = to_matrix<double>(ConstViewD(a.view()));
+  std::vector<index_t> piv;
+  ASSERT_TRUE(lu_partial_pivot(lu.view(), piv));
+  // Reconstruct P*A = L*U.
+  MatrixD l = identity(n), u(n, n, 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j + 1; i < n; ++i) l(i, j) = lu(i, j);
+    for (index_t i = 0; i <= j; ++i) u(i, j) = lu(i, j);
+  }
+  MatrixD pa = to_matrix<double>(ConstViewD(a.view()));
+  apply_pivots(pa.view(), piv);
+  MatrixD rec(n, n, 0.0);
+  gemm(Trans::No, Trans::No, 1.0, l.view(), u.view(), 0.0, rec.view());
+  EXPECT_TRUE(allclose(rec.view(), pa.view(), 1e-10));
+}
+
+TEST(RefLapack, LuPivotsBoundMultipliers) {
+  MatrixD a = random_matrix(12, 12, 19);
+  MatrixD lu = to_matrix<double>(ConstViewD(a.view()));
+  std::vector<index_t> piv;
+  ASSERT_TRUE(lu_partial_pivot(lu.view(), piv));
+  for (index_t j = 0; j < 12; ++j)
+    for (index_t i = j + 1; i < 12; ++i) EXPECT_LE(std::abs(lu(i, j)), 1.0 + 1e-12);
+}
+
+TEST(RefLapack, LuSolveMatchesDirectSolve) {
+  const index_t n = 6;
+  MatrixD a = random_matrix(n, n, 23);
+  MatrixD x_true = random_matrix(n, 2, 24);
+  MatrixD b(n, 2, 0.0);
+  gemm(Trans::No, Trans::No, 1.0, a.view(), x_true.view(), 0.0, b.view());
+  MatrixD lu = to_matrix<double>(ConstViewD(a.view()));
+  std::vector<index_t> piv;
+  ASSERT_TRUE(lu_partial_pivot(lu.view(), piv));
+  lu_solve(lu.view(), piv, b.view());
+  EXPECT_TRUE(allclose(b.view(), x_true.view(), 1e-9));
+}
+
+TEST(RefLapack, HouseholderAnnihilatesTail) {
+  std::vector<double> x2{1.0, -2.0, 0.5};
+  double alpha = 3.0;
+  const double norm_before = std::sqrt(alpha * alpha + 1 + 4 + 0.25);
+  Householder h = house(alpha, 3, x2.data());
+  // rho = -sign(alpha)*||x||, and applying H to x yields (rho, 0, 0, 0).
+  EXPECT_NEAR(std::abs(alpha), norm_before, 1e-12);
+  EXPECT_LT(alpha, 0.0);
+  EXPECT_GT(h.tau, 0.0);
+}
+
+TEST(RefLapack, QrReconstructsThinFactorization) {
+  const index_t m = 10, n = 4;
+  MatrixD a = random_matrix(m, n, 29);
+  MatrixD fact = to_matrix<double>(ConstViewD(a.view()));
+  auto taus = qr_householder(fact.view());
+  ASSERT_EQ(taus.size(), static_cast<std::size_t>(n));
+  MatrixD q = qr_form_q(fact.view(), taus);
+  MatrixD r(n, n, 0.0);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= j; ++i) r(i, j) = fact(i, j);
+  MatrixD rec(m, n, 0.0);
+  gemm(Trans::No, Trans::No, 1.0, q.view(), r.view(), 0.0, rec.view());
+  EXPECT_TRUE(allclose(rec.view(), a.view(), 1e-10));
+}
+
+TEST(RefLapack, QrQHasOrthonormalColumns) {
+  const index_t m = 12, n = 4;
+  MatrixD a = random_matrix(m, n, 31);
+  MatrixD fact = to_matrix<double>(ConstViewD(a.view()));
+  auto taus = qr_householder(fact.view());
+  MatrixD q = qr_form_q(fact.view(), taus);
+  MatrixD qtq(n, n, 0.0);
+  gemm(Trans::Yes, Trans::No, 1.0, q.view(), q.view(), 0.0, qtq.view());
+  EXPECT_TRUE(allclose(qtq.view(), identity(n).view(), 1e-10));
+}
+
+}  // namespace
+}  // namespace lac::blas

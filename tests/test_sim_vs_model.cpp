@@ -1,0 +1,110 @@
+// Cross-validation of the cycle-accurate simulator against the paper's
+// closed-form performance models -- the §1.3.1 methodology ("we verified
+// our analytical formulae against our cycle-accurate simulator").
+#include <gtest/gtest.h>
+
+#include "arch/presets.hpp"
+#include "common/random.hpp"
+#include "kernels/gemm_kernel.hpp"
+#include "kernels/syrk_kernel.hpp"
+#include "kernels/trsm_kernel.hpp"
+#include "model/core_model.hpp"
+#include "model/factor_model.hpp"
+#include "model/level3_model.hpp"
+
+namespace lac {
+namespace {
+
+struct GemmCase {
+  index_t mc, kc, n;
+  double bw;
+};
+
+class GemmSimVsModel : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmSimVsModel, CyclesWithinTenPercent) {
+  const GemmCase gc = GetParam();
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a = random_matrix(gc.mc, gc.kc, 1);
+  MatrixD b = random_matrix(gc.kc, gc.n, 2);
+  MatrixD c(gc.mc, gc.n, 0.0);
+  kernels::KernelResult r = kernels::gemm_core(cfg, gc.bw, a.view(), b.view(), c.view());
+
+  model::CoreGemmParams p;
+  p.nr = 4;
+  p.mc = gc.mc;
+  p.kc = gc.kc;
+  p.n = gc.n;
+  p.bw_words_per_cycle = gc.bw;
+  const double predicted = model::core_cycles(p);
+  EXPECT_NEAR(r.cycles, predicted, 0.10 * predicted + 50.0)
+      << "mc=" << gc.mc << " kc=" << gc.kc << " n=" << gc.n << " bw=" << gc.bw;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GemmSimVsModel,
+    ::testing::Values(GemmCase{16, 16, 32, 0.5}, GemmCase{16, 16, 32, 2.0},
+                      GemmCase{32, 32, 64, 0.5}, GemmCase{32, 32, 64, 1.0},
+                      GemmCase{32, 32, 64, 8.0}, GemmCase{48, 48, 96, 1.0}));
+
+TEST(SimVsModel, GemmBandwidthStarvationMatchesModelTrend) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a = random_matrix(32, 32, 3);
+  MatrixD b = random_matrix(32, 64, 4);
+  MatrixD c(32, 64, 0.0);
+  double prev_sim = 0.0, prev_model = 0.0;
+  for (double bw : {0.25, 0.5, 1.0, 2.0}) {
+    kernels::KernelResult r = kernels::gemm_core(cfg, bw, a.view(), b.view(), c.view());
+    model::CoreGemmParams p{4, 32, 32, 64, bw, model::Overlap::Partial};
+    const double mu = model::core_utilization(p);
+    EXPECT_GE(r.utilization, prev_sim - 1e-9);
+    EXPECT_GE(mu, prev_model - 1e-9);
+    prev_sim = r.utilization;
+    prev_model = mu;
+  }
+}
+
+TEST(SimVsModel, TrsmVariantRatiosFollowClosedForms) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  cfg.pe.pipeline_stages = 8;
+  const int p = 8, nr = 4;
+  MatrixD l = random_lower_triangular(4, 5);
+  MatrixD b1 = random_matrix(4, 4, 6);
+  MatrixD bp = random_matrix(4, 4 * p, 7);
+  auto basic = kernels::trsm_inner(cfg, kernels::TrsmVariant::Basic, l.view(), b1.view());
+  auto stacked =
+      kernels::trsm_inner(cfg, kernels::TrsmVariant::Stacked, l.view(), bp.view());
+  // Closed forms: basic 2p*nr, stacked 2p*nr + p; the simulator adds the
+  // reciprocal/bus chain to both, so compare the *increment*.
+  const double model_increment =
+      static_cast<double>(model::trsm_stacked_cycles(nr, p) -
+                          model::trsm_basic_cycles(nr, p));
+  EXPECT_LE(stacked.cycles - basic.cycles, 8.0 * model_increment);
+  EXPECT_GE(stacked.cycles, basic.cycles);
+}
+
+TEST(SimVsModel, SyrkUtilizationMatchesTriangularFactor) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const index_t mc = 32, kc = 32;
+  MatrixD a = random_matrix(mc, kc, 8);
+  MatrixD c(mc, mc, 0.0);
+  kernels::KernelResult r = kernels::syrk_core(cfg, 8.0, a.view(), c.view());
+  // Compute-side ceiling from the model: (m*nr+1)/((m+1)*nr).
+  const double ceiling = model::syrk_compute_utilization(4, mc);
+  EXPECT_LE(r.utilization, ceiling + 0.02);
+  EXPECT_GT(r.utilization, 0.5 * ceiling);
+}
+
+TEST(SimVsModel, GemmDmaWordsMatchModelTraffic) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const index_t mc = 16, kc = 16, n = 32;
+  MatrixD a = random_matrix(mc, kc, 9);
+  MatrixD b = random_matrix(kc, n, 10);
+  MatrixD c(mc, n, 0.0);
+  kernels::KernelResult r = kernels::gemm_core(cfg, 1.0, a.view(), b.view(), c.view());
+  // Model traffic: A once + B panel + C in/out = mc*kc + (2mc+kc)*n.
+  EXPECT_EQ(r.stats.dma_words, mc * kc + (2 * mc + kc) * n);
+}
+
+}  // namespace
+}  // namespace lac

@@ -1,0 +1,92 @@
+#include "kernels/syrk_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hpp"
+#include "blas/ref_blas.hpp"
+#include "common/numeric.hpp"
+#include "common/random.hpp"
+
+namespace lac::kernels {
+namespace {
+
+TEST(SyrkKernel, InnerMatchesReference) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const index_t kc = 24;
+  MatrixD a = random_matrix(4, kc, 1);
+  MatrixD c = random_matrix(4, 4, 2);
+  // Symmetrize C so the full-matrix comparison is meaningful.
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < i; ++j) c(j, i) = c(i, j);
+  KernelResult r = syrk_inner(cfg, a.view(), c.view());
+  MatrixD expect = to_matrix<double>(ConstViewD(c.view()));
+  MatrixD at = transpose(a.view());
+  blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, a.view(), at.view(), 1.0,
+             expect.view());
+  EXPECT_LT(max_abs_diff(r.out.view(), expect.view()), 1e-12);
+}
+
+TEST(SyrkKernel, InnerOverlapsTransposeWithCompute) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const index_t kc = 128;
+  MatrixD a = random_matrix(4, kc, 3);
+  MatrixD c(4, 4, 0.0);
+  KernelResult r = syrk_inner(cfg, a.view(), c.view());
+  // One rank-1 update per cycle: the column-bus transpose pipelines behind
+  // the row broadcast, costing only a constant extra latency.
+  EXPECT_LE(r.cycles, kc + 2.0 * cfg.pe.pipeline_stages + 10.0);
+  // The whole a_p column is transposed each step: nr column broadcasts.
+  EXPECT_EQ(r.stats.col_bus_xfers, 4 * kc);
+}
+
+TEST(SyrkKernel, BlockedLowerTriangleMatchesReference) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const index_t mc = 16, kc = 12;
+  MatrixD a = random_matrix(mc, kc, 4);
+  MatrixD c = random_matrix(mc, mc, 5);
+  KernelResult r = syrk_core(cfg, 1.0, a.view(), c.view());
+  MatrixD expect = to_matrix<double>(ConstViewD(c.view()));
+  blas::syrk(blas::Uplo::Lower, 1.0, a.view(), 1.0, expect.view());
+  for (index_t j = 0; j < mc; ++j)
+    for (index_t i = j; i < mc; ++i)
+      EXPECT_NEAR(r.out(i, j), expect(i, j), 1e-11) << i << "," << j;
+}
+
+TEST(SyrkKernel, UtilizationBelowGemmButHigh) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const index_t mc = 32, kc = 32;
+  MatrixD a = random_matrix(mc, kc, 6);
+  MatrixD c(mc, mc, 0.0);
+  KernelResult r = syrk_core(cfg, 2.0, a.view(), c.view());
+  EXPECT_GT(r.utilization, 0.35);  // triangular waste bounds it below GEMM
+  EXPECT_LE(r.utilization, 1.0);
+}
+
+TEST(Syr2kKernel, MatchesReference) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const index_t mc = 12, kc = 8;
+  MatrixD a = random_matrix(mc, kc, 7);
+  MatrixD b = random_matrix(mc, kc, 8);
+  MatrixD c = random_matrix(mc, mc, 9);
+  KernelResult r = syr2k_core(cfg, 1.0, a.view(), b.view(), c.view());
+  MatrixD expect = to_matrix<double>(ConstViewD(c.view()));
+  blas::syr2k(blas::Uplo::Lower, 1.0, a.view(), b.view(), 1.0, expect.view());
+  for (index_t j = 0; j < mc; ++j)
+    for (index_t i = j; i < mc; ++i)
+      EXPECT_NEAR(r.out(i, j), expect(i, j), 1e-11) << i << "," << j;
+}
+
+TEST(Syr2kKernel, DoublesSyrkWork) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const index_t mc = 16, kc = 16;
+  MatrixD a = random_matrix(mc, kc, 10);
+  MatrixD b = random_matrix(mc, kc, 11);
+  MatrixD c(mc, mc, 0.0);
+  KernelResult s1 = syrk_core(cfg, 2.0, a.view(), c.view());
+  KernelResult s2 = syr2k_core(cfg, 2.0, a.view(), b.view(), c.view());
+  EXPECT_GT(s2.stats.mac_ops, 1.8 * s1.stats.mac_ops);
+  EXPECT_GT(s2.stats.dma_words, 1.5 * s1.stats.dma_words);
+}
+
+}  // namespace
+}  // namespace lac::kernels

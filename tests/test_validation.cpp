@@ -1,0 +1,40 @@
+#include "model/validation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lac::model {
+namespace {
+
+TEST(Validation, FermiPredictionNearPublishedAnalysis) {
+  ValidationCase v = validate_fermi_c2050();
+  EXPECT_EQ(v.ns, 280);
+  EXPECT_EQ(v.mc, 20);
+  // Required on-chip bandwidth ~310 GB/s against 230 available -> ~74%.
+  EXPECT_NEAR(v.required_onchip_gbs, 310.0, 3.0);
+  EXPECT_NEAR(v.predicted_utilization, 0.74, 0.01);
+  // Off-chip demand fits comfortably in the 144 GB/s budget.
+  EXPECT_LT(v.required_offchip_gbs, v.avail_offchip_gbs);
+  // Predicted utilization within a few points of the measured 70%.
+  EXPECT_NEAR(v.predicted_utilization, v.measured_utilization, 0.06);
+}
+
+TEST(Validation, ClearspeedPrediction) {
+  ValidationCase v = validate_clearspeed_csx();
+  EXPECT_NEAR(v.required_offchip_gbs, 4.7, 0.1);
+  // 4.0 / 4.7 = 85%; the dissertation rounds its prediction to 83%.
+  EXPECT_NEAR(v.predicted_utilization, 0.85, 0.03);
+  EXPECT_NEAR(v.predicted_utilization, v.measured_utilization, 0.08);
+}
+
+TEST(Validation, BothCasesExported) {
+  auto all = all_validation_cases();
+  ASSERT_EQ(all.size(), 2u);
+  for (const auto& v : all) {
+    EXPECT_GT(v.predicted_utilization, 0.0);
+    EXPECT_LE(v.predicted_utilization, 1.0);
+    EXPECT_GT(v.measured_utilization, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace lac::model

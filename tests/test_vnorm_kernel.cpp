@@ -1,0 +1,88 @@
+#include "kernels/vnorm_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/presets.hpp"
+#include "blas/ref_blas.hpp"
+#include "common/random.hpp"
+
+namespace lac::kernels {
+namespace {
+
+std::vector<double> random_vector(index_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(k));
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+TEST(VnormKernel, MatchesReferenceNorm) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  auto x = random_vector(64, 1);
+  VnormResult r = vnorm(cfg, x);
+  EXPECT_NEAR(r.norm, blas::nrm2(64, x.data()), 1e-10);
+}
+
+TEST(VnormKernel, GuardPassHandlesHugeValues) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();  // no extended exponent
+  auto x = random_vector(32, 2);
+  for (auto& v : x) v *= 1e200;  // squares would overflow without scaling
+  VnormResult r = vnorm(cfg, x);
+  EXPECT_NEAR(r.norm / blas::nrm2(32, x.data()), 1.0, 1e-10);
+  EXPECT_TRUE(std::isfinite(r.norm));
+}
+
+TEST(VnormKernel, ExponentExtensionRemovesGuardPass) {
+  auto x = random_vector(256, 3);
+  arch::CoreConfig base = arch::lac_4x4_dp();
+  arch::CoreConfig ext = base;
+  ext.pe.extensions.extended_exponent = true;
+  VnormResult guarded = vnorm(base, x);
+  VnormResult direct = vnorm(ext, x);
+  EXPECT_NEAR(guarded.norm, direct.norm, 1e-10);
+  EXPECT_LT(direct.cycles, guarded.cycles);
+  // No comparator traffic on the extended datapath.
+  EXPECT_EQ(direct.stats.cmp_ops, 0);
+  EXPECT_GT(guarded.stats.cmp_ops, 0);
+}
+
+TEST(VnormKernel, ComparatorSpeedsGuardPass) {
+  auto x = random_vector(512, 4);
+  arch::CoreConfig base = arch::lac_4x4_dp();
+  arch::CoreConfig cmp = base;
+  cmp.pe.extensions.comparator = true;
+  VnormResult slow = vnorm(base, x);
+  VnormResult fast = vnorm(cmp, x);
+  EXPECT_LT(fast.cycles, slow.cycles);
+  EXPECT_NEAR(fast.norm, slow.norm, 1e-12);
+}
+
+class VnormSizes : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(VnormSizes, EfficiencyImprovesWithLength) {
+  // Fig 6.6: fixed reduction/sqrt overheads amortize over longer vectors.
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  cfg.pe.extensions.extended_exponent = true;
+  const index_t k = GetParam();
+  auto x = random_vector(k, 5);
+  VnormResult r = vnorm(cfg, x);
+  const double flops_per_cycle = 2.0 * static_cast<double>(k) / r.cycles;
+  auto x2 = random_vector(k * 2, 6);
+  VnormResult r2 = vnorm(cfg, x2);
+  EXPECT_GT(2.0 * static_cast<double>(2 * k) / r2.cycles, flops_per_cycle);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, VnormSizes, ::testing::Values(64, 128, 256));
+
+TEST(VnormKernel, UsesBothColumnsOfPes) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  auto x = random_vector(64, 7);
+  VnormResult r = vnorm(cfg, x, /*owner_col=*/2);
+  // Half the elements travel to the neighbour column over the row buses.
+  EXPECT_GE(r.stats.row_bus_xfers, 32);
+}
+
+}  // namespace
+}  // namespace lac::kernels
