@@ -1,13 +1,16 @@
-// Quickstart: run a matrix multiplication on the simulated Linear Algebra
-// Core, verify the result against the host reference, and read out the
-// cycle count, utilization and estimated power of the run.
+// Quickstart: describe a matrix multiplication once as a fabric
+// KernelRequest, run it on BOTH backends of the unified execution layer --
+// the cycle-exact simulator and the instant analytical model -- verify the
+// numerics against the host reference, and read out cycles, utilization
+// and estimated power.
 #include <cstdio>
 
 #include "arch/presets.hpp"
 #include "blas/ref_blas.hpp"
 #include "common/numeric.hpp"
 #include "common/random.hpp"
-#include "kernels/gemm_kernel.hpp"
+#include "fabric/model_executor.hpp"
+#include "fabric/sim_executor.hpp"
 #include "power/pe_power.hpp"
 
 int main() {
@@ -18,37 +21,42 @@ int main() {
   arch::CoreConfig core = arch::lac_4x4_dp(1.0);
   const double bw_words = 0.5;
 
-  // 2. Build a problem: C(64x96) += A(64x48) * B(48x96).
+  // 2. Build a problem: C(64x96) += A(64x48) * B(48x96), described once.
   MatrixD a = random_matrix(64, 48, /*seed=*/1);
   MatrixD b = random_matrix(48, 96, /*seed=*/2);
   MatrixD c = random_matrix(64, 96, /*seed=*/3);
+  fabric::KernelRequest req =
+      fabric::make_gemm(core, bw_words, a.view(), b.view(), c.view());
 
-  // 3. Run it through the cycle-accurate simulator.
-  kernels::KernelResult r = kernels::gemm_core(core, bw_words, a.view(), b.view(),
-                                               c.view());
-
-  // 4. Verify against the host triple-loop reference.
+  // 3. The host reference for the numerics check.
   MatrixD expect = to_matrix<double>(ConstViewD(c.view()));
   blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, a.view(), b.view(), 1.0,
              expect.view());
-  std::printf("numerical check: rel error vs reference = %.2e\n",
-              rel_error(r.out.view(), expect.view()));
 
-  // 5. Read the performance counters.
-  std::printf("cycles:          %.0f\n", r.cycles);
-  std::printf("MAC utilization: %.1f%%\n", 100.0 * r.utilization);
-  std::printf("MAC ops:         %lld (%lld flops)\n",
-              static_cast<long long>(r.stats.mac_ops),
-              static_cast<long long>(r.stats.flops()));
-  std::printf("DMA words:       %lld  row-bus transfers: %lld\n",
-              static_cast<long long>(r.stats.dma_words),
-              static_cast<long long>(r.stats.row_bus_xfers));
+  // 4. Run the same request through both backends of the fabric layer.
+  fabric::SimExecutor sim;
+  fabric::ModelExecutor model;
+  for (const fabric::Executor* ex :
+       {static_cast<const fabric::Executor*>(&sim),
+        static_cast<const fabric::Executor*>(&model)}) {
+    fabric::KernelResult r = ex->execute(req);
+    std::printf("---- backend: %s\n", r.backend.c_str());
+    std::printf("numerical check: rel error vs reference = %.2e\n",
+                rel_error(r.out.view(), expect.view()));
+    std::printf("cycles:          %.0f\n", r.cycles);
+    std::printf("MAC utilization: %.1f%%\n", 100.0 * r.utilization);
+    if (r.stats.mac_ops > 0)
+      std::printf("MAC ops:         %lld (%lld flops), DMA words: %lld\n",
+                  static_cast<long long>(r.stats.mac_ops),
+                  static_cast<long long>(r.stats.flops()),
+                  static_cast<long long>(r.stats.dma_words));
 
-  // 6. Estimate sustained performance and power at the design clock.
-  const double gflops = r.utilization * core.peak_gflops();
-  const double watts =
-      power::core_power_mw(core, power::gemm_activity(core.nr)) / 1000.0;
-  std::printf("sustained:       %.1f GFLOPS at ~%.2f W -> %.1f GFLOPS/W\n",
-              gflops, watts, gflops / watts);
+    // 5. Estimate sustained performance and power at the design clock.
+    const double gflops = r.utilization * core.peak_gflops();
+    const double watts =
+        power::core_power_mw(core, power::gemm_activity(core.nr)) / 1000.0;
+    std::printf("sustained:       %.1f GFLOPS at ~%.2f W -> %.1f GFLOPS/W\n",
+                gflops, watts, gflops / watts);
+  }
   return 0;
 }

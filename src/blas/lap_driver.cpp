@@ -2,18 +2,22 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "blas/ref_blas.hpp"
-#include "kernels/cholesky_kernel.hpp"
-#include "kernels/lu_kernel.hpp"
-#include "kernels/qr_kernel.hpp"
-#include "kernels/syrk_kernel.hpp"
-#include "kernels/trsm_kernel.hpp"
+#include "fabric/sim_executor.hpp"
 
 namespace lac::blas {
 namespace {
 
-void absorb(DriverReport& rep, const kernels::KernelResult& k) {
+fabric::KernelResult run(const fabric::Executor& ex, fabric::KernelRequest req) {
+  fabric::KernelResult res = ex.execute(std::move(req));
+  if (!res.ok)
+    throw std::runtime_error(std::string("lap driver kernel failed: ") + res.error);
+  return res;
+}
+
+void absorb(DriverReport& rep, const fabric::KernelResult& k) {
   rep.total_cycles += k.cycles;
   rep.stats += k.stats;
   ++rep.kernel_calls;
@@ -21,8 +25,9 @@ void absorb(DriverReport& rep, const kernels::KernelResult& k) {
 
 }  // namespace
 
-DriverReport lap_gemm(const arch::CoreConfig& cfg, double bw_words_per_cycle,
-                      index_t mc, index_t kc, ConstViewD a, ConstViewD b, ViewD c) {
+DriverReport lap_gemm(const fabric::Executor& ex, const arch::CoreConfig& cfg,
+                      double bw_words_per_cycle, index_t mc, index_t kc,
+                      ConstViewD a, ConstViewD b, ViewD c) {
   const int nr = cfg.nr;
   const index_t m = c.rows();
   const index_t n = c.cols();
@@ -40,10 +45,11 @@ DriverReport lap_gemm(const arch::CoreConfig& cfg, double bw_words_per_cycle,
       const index_t mb = std::min(mc, m - ii);
       // One resident A tile; the full n-wide sweep of B/C panels streams
       // through the core (this is exactly the §3.4 inner kernel).
-      kernels::KernelResult r = kernels::gemm_core(
-          cfg, bw_words_per_cycle, a.block(ii, pp, mb, kb), b.block(pp, 0, kb, n),
-          c.block(ii, 0, mb, n),
-          pp == 0 ? model::Overlap::Partial : model::Overlap::Full);
+      fabric::KernelResult r = run(
+          ex, fabric::make_gemm(cfg, bw_words_per_cycle, a.block(ii, pp, mb, kb),
+                                b.block(pp, 0, kb, n), c.block(ii, 0, mb, n),
+                                pp == 0 ? model::Overlap::Partial
+                                        : model::Overlap::Full));
       copy_into<double>(MatrixView<const double>(r.out.view()), c.block(ii, 0, mb, n));
       absorb(rep, r);
     }
@@ -53,17 +59,17 @@ DriverReport lap_gemm(const arch::CoreConfig& cfg, double bw_words_per_cycle,
   return rep;
 }
 
-DriverReport lap_cholesky(const arch::CoreConfig& cfg, double bw_words_per_cycle,
-                          index_t block, ViewD a) {
+DriverReport lap_cholesky(const fabric::Executor& ex, const arch::CoreConfig& cfg,
+                          double bw_words_per_cycle, index_t block, ViewD a) {
   const int nr = cfg.nr;
   const index_t n = a.rows();
   assert(a.cols() == n && n % block == 0 && block % nr == 0);
 
   DriverReport rep;
   for (index_t d = 0; d < n; d += block) {
-    // Diagonal block Cholesky on the LAC.
-    kernels::KernelResult diag =
-        kernels::cholesky_core(cfg, bw_words_per_cycle, a.block(d, d, block, block));
+    // Diagonal block Cholesky on the fabric.
+    fabric::KernelResult diag = run(
+        ex, fabric::make_cholesky(cfg, bw_words_per_cycle, a.block(d, d, block, block)));
     for (index_t j = 0; j < block; ++j)
       for (index_t i = 0; i < block; ++i)
         a(d + i, d + j) = i >= j ? diag.out(i, j) : 0.0;
@@ -74,19 +80,20 @@ DriverReport lap_cholesky(const arch::CoreConfig& cfg, double bw_words_per_cycle
 
     // Panel TRSM: A21 := A21 * L11^{-T}  <=>  solve L11 * X^T = A21^T.
     MatrixD a21t = transpose(a.block(d + block, d, rest, block));
-    kernels::KernelResult solved = kernels::trsm_core(
-        cfg, bw_words_per_cycle, a.block(d, d, block, block), a21t.view());
+    fabric::KernelResult solved =
+        run(ex, fabric::make_trsm(cfg, bw_words_per_cycle,
+                                  a.block(d, d, block, block), a21t.view()));
     for (index_t j = 0; j < block; ++j)
       for (index_t i = 0; i < rest; ++i) a(d + block + i, d + j) = solved.out(j, i);
     absorb(rep, solved);
 
-    // Trailing update: A22 -= L21 * L21^T (SYRK on the LAC).
+    // Trailing update: A22 -= L21 * L21^T (SYRK on the fabric).
     MatrixD c22 = to_matrix<double>(
         MatrixView<const double>(a.block(d + block, d + block, rest, rest)));
-    kernels::KernelResult upd = kernels::syrk_core(
-        cfg, bw_words_per_cycle,
-        MatrixView<const double>(a.block(d + block, d, rest, block)), c22.view());
-    // syrk_core computes C += A A^T; we need C -= L21 L21^T, so fold the
+    fabric::KernelResult upd = run(
+        ex, fabric::make_syrk(cfg, bw_words_per_cycle,
+                              a.block(d + block, d, rest, block), c22.view()));
+    // syrk computes C += A A^T; we need C -= L21 L21^T, so fold the
     // sign by writing back 2*C_in - result on the lower triangle.
     for (index_t j = 0; j < rest; ++j)
       for (index_t i = j; i < rest; ++i)
@@ -101,8 +108,9 @@ DriverReport lap_cholesky(const arch::CoreConfig& cfg, double bw_words_per_cycle
   return rep;
 }
 
-DriverReport lap_lu(const arch::CoreConfig& cfg, double bw_words_per_cycle,
-                    ViewD a, std::vector<index_t>& pivots) {
+DriverReport lap_lu(const fabric::Executor& ex, const arch::CoreConfig& cfg,
+                    double bw_words_per_cycle, ViewD a,
+                    std::vector<index_t>& pivots) {
   const int nr = cfg.nr;
   const index_t m = a.rows();
   const index_t n = a.cols();
@@ -112,13 +120,12 @@ DriverReport lap_lu(const arch::CoreConfig& cfg, double bw_words_per_cycle,
   DriverReport rep;
   for (index_t j = 0; j < n; j += nr) {
     const index_t rows = m - j;
-    // (1) Panel factorization on the LAC (pivot search + scale + rank-1).
-    MatrixD panel = to_matrix<double>(
-        MatrixView<const double>(a.block(j, j, rows, nr)));
-    kernels::LuResult lu = kernels::lu_panel(cfg, panel.view());
+    // (1) Panel factorization on the fabric (pivot search + scale + rank-1).
+    fabric::KernelResult lu =
+        run(ex, fabric::make_lu(cfg, a.block(j, j, rows, nr)));
     for (index_t c = 0; c < nr; ++c)
-      for (index_t i = 0; i < rows; ++i) a(j + i, j + c) = lu.kernel.out(i, c);
-    absorb(rep, lu.kernel);
+      for (index_t i = 0; i < rows; ++i) a(j + i, j + c) = lu.out(i, c);
+    absorb(rep, lu);
 
     // (2) Apply the panel's pivots to the rest of the matrix and record
     // them globally.
@@ -134,16 +141,15 @@ DriverReport lap_lu(const arch::CoreConfig& cfg, double bw_words_per_cycle,
     if (j + nr >= n) break;
     const index_t right = n - j - nr;
 
-    // (3) U row panel: solve L11 (unit lower) * U12 = A12 on the LAC.
+    // (3) U row panel: solve L11 (unit lower) * U12 = A12 on the fabric.
     MatrixD l11(nr, nr, 0.0);
     for (index_t c = 0; c < nr; ++c) {
       for (index_t i = c + 1; i < nr; ++i) l11(i, c) = a(j + i, j + c);
       l11(c, c) = 1.0;
     }
-    MatrixD a12 = to_matrix<double>(
-        MatrixView<const double>(a.block(j, j + nr, nr, right)));
-    kernels::KernelResult u12 =
-        kernels::trsm_core(cfg, bw_words_per_cycle, l11.view(), a12.view());
+    fabric::KernelResult u12 =
+        run(ex, fabric::make_trsm(cfg, bw_words_per_cycle, l11.view(),
+                                  a.block(j, j + nr, nr, right)));
     for (index_t c = 0; c < right; ++c)
       for (index_t i = 0; i < nr; ++i) a(j + i, j + nr + c) = u12.out(i, c);
     absorb(rep, u12);
@@ -155,9 +161,9 @@ DriverReport lap_lu(const arch::CoreConfig& cfg, double bw_words_per_cycle,
           MatrixView<const double>(a.block(j + nr, j, below, nr)));
       for (index_t c = 0; c < nr; ++c)
         for (index_t i = 0; i < below; ++i) l21(i, c) = -l21(i, c);
-      kernels::KernelResult upd = kernels::gemm_core(
-          cfg, bw_words_per_cycle, l21.view(), u12.out.view(),
-          MatrixView<const double>(a.block(j + nr, j + nr, below, right)));
+      fabric::KernelResult upd = run(
+          ex, fabric::make_gemm(cfg, bw_words_per_cycle, l21.view(), u12.out.view(),
+                                a.block(j + nr, j + nr, below, right)));
       for (index_t c = 0; c < right; ++c)
         for (index_t i = 0; i < below; ++i) a(j + nr + i, j + nr + c) = upd.out(i, c);
       absorb(rep, upd);
@@ -170,8 +176,8 @@ DriverReport lap_lu(const arch::CoreConfig& cfg, double bw_words_per_cycle,
   return rep;
 }
 
-DriverReport lap_qr(const arch::CoreConfig& cfg, double bw_words_per_cycle,
-                    ViewD a, std::vector<double>& taus) {
+DriverReport lap_qr(const fabric::Executor& ex, const arch::CoreConfig& cfg,
+                    double bw_words_per_cycle, ViewD a, std::vector<double>& taus) {
   const int nr = cfg.nr;
   const index_t m = a.rows();
   const index_t n = a.cols();
@@ -183,21 +189,19 @@ DriverReport lap_qr(const arch::CoreConfig& cfg, double bw_words_per_cycle,
   std::vector<double> w;
   for (index_t j = 0; j < n; j += nr) {
     const index_t rows = m - j;
-    // (1) Panel QR on the LAC.
-    MatrixD panel = to_matrix<double>(
-        MatrixView<const double>(a.block(j, j, rows, nr)));
-    kernels::QrResult qr = kernels::qr_panel(cfg, panel.view());
+    // (1) Panel QR on the fabric.
+    fabric::KernelResult qr = run(ex, fabric::make_qr(cfg, a.block(j, j, rows, nr)));
     for (index_t c = 0; c < nr; ++c)
-      for (index_t i = 0; i < rows; ++i) a(j + i, j + c) = qr.kernel.out(i, c);
+      for (index_t i = 0; i < rows; ++i) a(j + i, j + c) = qr.out(i, c);
     for (double tau : qr.taus) taus.push_back(tau);
-    absorb(rep, qr.kernel);
+    absorb(rep, qr);
 
     if (j + nr >= n) break;
     const index_t right = n - j - nr;
 
     // (2) Apply the panel's reflectors to the trailing columns, one
     // reflector at a time: w^T = (a1^T + u2^T A2)/tau; A -= u w^T.
-    // The two matrix-vector products are small GEMM calls on the LAC.
+    // The two matrix-vector products are small GEMM calls on the fabric.
     for (index_t s = 0; s < nr; ++s) {
       const double tau = qr.taus[static_cast<std::size_t>(s)];
       const index_t tail = rows - s;  // reflector length (leading 1)
@@ -222,8 +226,9 @@ DriverReport lap_qr(const arch::CoreConfig& cfg, double bw_words_per_cycle,
       MatrixD c_pad(padded, wp.cols(), 0.0);
       for (index_t c = 0; c < right; ++c)
         for (index_t i = 0; i < tail; ++i) c_pad(i, c) = a(j + s + i, j + nr + c);
-      kernels::KernelResult upd = kernels::gemm_core(
-          cfg, bw_words_per_cycle, up.view(), wp.view(), c_pad.view());
+      fabric::KernelResult upd =
+          run(ex, fabric::make_gemm(cfg, bw_words_per_cycle, up.view(), wp.view(),
+                                    c_pad.view()));
       for (index_t c = 0; c < right; ++c)
         for (index_t i = 0; i < tail; ++i) a(j + s + i, j + nr + c) = upd.out(i, c);
       absorb(rep, upd);
@@ -237,8 +242,9 @@ DriverReport lap_qr(const arch::CoreConfig& cfg, double bw_words_per_cycle,
   return rep;
 }
 
-DriverReport lap_trmm(const arch::CoreConfig& cfg, double bw_words_per_cycle,
-                      index_t block, ConstViewD l, ViewD b) {
+DriverReport lap_trmm(const fabric::Executor& ex, const arch::CoreConfig& cfg,
+                      double bw_words_per_cycle, index_t block, ConstViewD l,
+                      ViewD b) {
   const int nr = cfg.nr;
   const index_t m = b.rows();
   const index_t n = b.cols();
@@ -257,9 +263,9 @@ DriverReport lap_trmm(const arch::CoreConfig& cfg, double bw_words_per_cycle,
       for (index_t c = 0; c < block; ++c)
         for (index_t r = 0; r < block; ++r)
           if (i0 + r >= j0 + c) tile(r, c) = l(i0 + r, j0 + c);
-      kernels::KernelResult k = kernels::gemm_core(
-          cfg, bw_words_per_cycle, tile.view(),
-          MatrixView<const double>(b.block(j0, 0, block, n)), acc.view());
+      fabric::KernelResult k =
+          run(ex, fabric::make_gemm(cfg, bw_words_per_cycle, tile.view(),
+                                    b.block(j0, 0, block, n), acc.view()));
       acc = std::move(k.out);
       rep.total_cycles += k.cycles;
       rep.stats += k.stats;
@@ -275,8 +281,9 @@ DriverReport lap_trmm(const arch::CoreConfig& cfg, double bw_words_per_cycle,
   return rep;
 }
 
-DriverReport lap_symm(const arch::CoreConfig& cfg, double bw_words_per_cycle,
-                      index_t block, ConstViewD a_lower, ConstViewD b, ViewD c) {
+DriverReport lap_symm(const fabric::Executor& ex, const arch::CoreConfig& cfg,
+                      double bw_words_per_cycle, index_t block, ConstViewD a_lower,
+                      ConstViewD b, ViewD c) {
   const index_t m = c.rows();
   const index_t n = c.cols();
   assert(a_lower.rows() == m && a_lower.cols() == m && b.rows() == m &&
@@ -297,9 +304,9 @@ DriverReport lap_symm(const arch::CoreConfig& cfg, double bw_words_per_cycle,
           const index_t gj = j0 + cc;
           tile(rr, cc) = gi >= gj ? a_lower(gi, gj) : a_lower(gj, gi);
         }
-      kernels::KernelResult k = kernels::gemm_core(
-          cfg, bw_words_per_cycle, tile.view(),
-          MatrixView<const double>(b.block(j0, 0, block, n)), acc.view());
+      fabric::KernelResult k =
+          run(ex, fabric::make_gemm(cfg, bw_words_per_cycle, tile.view(),
+                                    b.block(j0, 0, block, n), acc.view()));
       acc = std::move(k.out);
       rep.total_cycles += k.cycles;
       rep.stats += k.stats;
@@ -311,6 +318,37 @@ DriverReport lap_symm(const arch::CoreConfig& cfg, double bw_words_per_cycle,
   const double useful = static_cast<double>(m) * m * n / (cfg.nr * cfg.nr);
   rep.utilization = rep.total_cycles > 0 ? useful / rep.total_cycles : 0.0;
   return rep;
+}
+
+/// ---- legacy entry points ------------------------------------------------
+DriverReport lap_gemm(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                      index_t mc, index_t kc, ConstViewD a, ConstViewD b, ViewD c) {
+  return lap_gemm(fabric::SimExecutor(), cfg, bw_words_per_cycle, mc, kc, a, b, c);
+}
+
+DriverReport lap_cholesky(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                          index_t block, ViewD a) {
+  return lap_cholesky(fabric::SimExecutor(), cfg, bw_words_per_cycle, block, a);
+}
+
+DriverReport lap_lu(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                    ViewD a, std::vector<index_t>& pivots) {
+  return lap_lu(fabric::SimExecutor(), cfg, bw_words_per_cycle, a, pivots);
+}
+
+DriverReport lap_qr(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                    ViewD a, std::vector<double>& taus) {
+  return lap_qr(fabric::SimExecutor(), cfg, bw_words_per_cycle, a, taus);
+}
+
+DriverReport lap_trmm(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                      index_t block, ConstViewD l, ViewD b) {
+  return lap_trmm(fabric::SimExecutor(), cfg, bw_words_per_cycle, block, l, b);
+}
+
+DriverReport lap_symm(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                      index_t block, ConstViewD a_lower, ConstViewD b, ViewD c) {
+  return lap_symm(fabric::SimExecutor(), cfg, bw_words_per_cycle, block, a_lower, b, c);
 }
 
 }  // namespace lac::blas

@@ -1,55 +1,78 @@
 #pragma once
 // The LAP programming model (Fig 1.2): a host-side library layer that
 // decomposes large problems into LAC-sized atomic kernels
-// (algorithms-by-blocks) and dispatches them to the simulated accelerator,
+// (algorithms-by-blocks) and dispatches them to the fabric execution layer,
 // accumulating cycle counts and activity statistics across calls.
+//
+// Every driver takes the fabric::Executor to run on: the cycle-exact
+// SimExecutor or the instant ModelExecutor produce the same numerics, so
+// the backend is a deployment choice, not an algorithm change. The legacy
+// entry points without an executor run on a SimExecutor.
 #include <vector>
 
 #include "arch/configs.hpp"
 #include "common/matrix.hpp"
-#include "kernels/gemm_kernel.hpp"
+#include "fabric/executor.hpp"
 
 namespace lac::blas {
 
 struct DriverReport {
   double total_cycles = 0.0;     ///< accumulated accelerator cycles
   double utilization = 0.0;      ///< useful MACs / (cycles * nr^2)
-  sim::Stats stats;
+  sim::Stats stats;              ///< zero when run on the analytical backend
   int kernel_calls = 0;
 };
 
 /// Accelerated GEMM: C += A * B for arbitrary (m, n, k) padded to nr
 /// multiples, blocked into mc x kc resident tiles per §3.3.
-DriverReport lap_gemm(const arch::CoreConfig& cfg, double bw_words_per_cycle,
-                      index_t mc, index_t kc, ConstViewD a, ConstViewD b, ViewD c);
+DriverReport lap_gemm(const fabric::Executor& ex, const arch::CoreConfig& cfg,
+                      double bw_words_per_cycle, index_t mc, index_t kc,
+                      ConstViewD a, ConstViewD b, ViewD c);
 
 /// Accelerated blocked Cholesky (algorithm-by-blocks, Ch. 6): diagonal
 /// Cholesky + TRSM panel + SYRK/GEMM trailing updates, every kernel run on
-/// the simulated LAC. `a` is overwritten with L (lower).
-DriverReport lap_cholesky(const arch::CoreConfig& cfg, double bw_words_per_cycle,
-                          index_t block, ViewD a);
+/// the fabric. `a` is overwritten with L (lower).
+DriverReport lap_cholesky(const fabric::Executor& ex, const arch::CoreConfig& cfg,
+                          double bw_words_per_cycle, index_t block, ViewD a);
 
 /// Accelerated blocked LU with partial pivoting (§6.1.2): the LAC factors
 /// each k x nr panel (pivot search + reciprocal scale + rank-1 updates);
 /// the trailing updates are accelerated GEMMs. `a` becomes L\U, pivots out.
-DriverReport lap_lu(const arch::CoreConfig& cfg, double bw_words_per_cycle,
-                    ViewD a, std::vector<index_t>& pivots);
+DriverReport lap_lu(const fabric::Executor& ex, const arch::CoreConfig& cfg,
+                    double bw_words_per_cycle, ViewD a,
+                    std::vector<index_t>& pivots);
 
 /// Accelerated blocked Householder QR (§6.1.3): the LAC factors each
 /// m x nr panel (vector norms + reflectors); the trailing block update
 /// A2 -= V (V^T A2 scaled by tau) runs as accelerated GEMMs.
-DriverReport lap_qr(const arch::CoreConfig& cfg, double bw_words_per_cycle,
-                    ViewD a, std::vector<double>& taus);
+DriverReport lap_qr(const fabric::Executor& ex, const arch::CoreConfig& cfg,
+                    double bw_words_per_cycle, ViewD a, std::vector<double>& taus);
 
 /// Accelerated TRMM (§5.1): B := L * B for lower-triangular L, cast into
 /// accelerated GEMM tiles over the non-zero blocks of L (panel lengths
 /// grow per iteration, exactly the paper's description).
-DriverReport lap_trmm(const arch::CoreConfig& cfg, double bw_words_per_cycle,
-                      index_t block, ConstViewD l, ViewD b);
+DriverReport lap_trmm(const fabric::Executor& ex, const arch::CoreConfig& cfg,
+                      double bw_words_per_cycle, index_t block, ConstViewD l,
+                      ViewD b);
 
 /// Accelerated SYMM (§5.1): C := C + A * B with symmetric A stored lower;
 /// above-diagonal tiles of A are recovered by transposing the mirrored
 /// block before dispatch (the paper's "some blocks need transposition").
+DriverReport lap_symm(const fabric::Executor& ex, const arch::CoreConfig& cfg,
+                      double bw_words_per_cycle, index_t block, ConstViewD a_lower,
+                      ConstViewD b, ViewD c);
+
+/// ---- legacy entry points (cycle-exact simulator backend) ----------------
+DriverReport lap_gemm(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                      index_t mc, index_t kc, ConstViewD a, ConstViewD b, ViewD c);
+DriverReport lap_cholesky(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                          index_t block, ViewD a);
+DriverReport lap_lu(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                    ViewD a, std::vector<index_t>& pivots);
+DriverReport lap_qr(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                    ViewD a, std::vector<double>& taus);
+DriverReport lap_trmm(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                      index_t block, ConstViewD l, ViewD b);
 DriverReport lap_symm(const arch::CoreConfig& cfg, double bw_words_per_cycle,
                       index_t block, ConstViewD a_lower, ConstViewD b, ViewD c);
 

@@ -1,27 +1,45 @@
 #include "common/parallel.hpp"
 
 #include <atomic>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 namespace lac {
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
-  const unsigned hw = std::thread::hardware_concurrency();
-  if (hw <= 1 || n < 4) {
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned max_threads) {
+  // max_threads > 0 is an explicit worker target (e.g. a determinism test
+  // or a dispatcher configured below the machine width); 0 defers to the
+  // hardware.
+  const unsigned hw =
+      max_threads > 0 ? max_threads : std::thread::hardware_concurrency();
+  if (hw <= 1 || n < 2) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  // Clamp to n: more workers than items would only spawn idle threads.
   const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(hw, n));
   std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) {
     pool.emplace_back([&]() {
-      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+      try {
+        for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Drain the remaining iterations so sibling workers exit promptly.
+        next.store(n);
+      }
     });
   }
   for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace lac

@@ -1,13 +1,20 @@
 #pragma once
-// Tiny fork-join helper for embarrassingly-parallel design-space sweeps in
-// the bench harness (each grid point is independent model evaluation).
+// Tiny fork-join helper for embarrassingly-parallel work: design-space
+// sweeps in the bench harness and independent kernel batches in the fabric
+// dispatch layer (each grid point / request is independent).
 #include <cstddef>
 #include <functional>
 
 namespace lac {
 
 /// Run fn(i) for i in [0, n) across hardware threads. Falls back to serial
-/// execution when the machine exposes a single core or n is small.
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+/// execution when the machine exposes a single core or n is small. The
+/// worker count is clamped to n so small grids never oversubscribe.
+/// `max_threads` sets an explicit worker target (0 = hardware concurrency;
+/// 1 forces serial execution). Exceptions thrown by fn are captured in the
+/// workers and the first one is rethrown on the calling thread after the
+/// pool joins; remaining iterations are abandoned (fail-fast).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned max_threads = 0);
 
 }  // namespace lac

@@ -1,0 +1,39 @@
+#include "fabric/batch.hpp"
+
+#include <algorithm>
+
+#include "common/parallel.hpp"
+
+namespace lac::fabric {
+
+std::vector<KernelResult> BatchDispatcher::run(
+    const std::vector<KernelRequest>& requests) const {
+  std::vector<KernelResult> results(requests.size());
+  parallel_for(
+      requests.size(),
+      [&](std::size_t i) { results[i] = executor_.execute(requests[i]); },
+      opts_.max_threads);
+  return results;
+}
+
+BatchSummary BatchDispatcher::summarize(const std::vector<KernelResult>& results) {
+  BatchSummary s;
+  double util_sum = 0.0;
+  for (const KernelResult& r : results) {
+    ++s.requests;
+    if (s.backend.empty()) s.backend = r.backend;
+    if (!r.ok) {
+      ++s.failures;
+      continue;
+    }
+    s.total_cycles += r.cycles;
+    s.max_cycles = std::max(s.max_cycles, r.cycles);
+    util_sum += r.utilization;
+    s.stats += r.stats;
+  }
+  const int ok = s.requests - s.failures;
+  s.mean_utilization = ok > 0 ? util_sum / ok : 0.0;
+  return s;
+}
+
+}  // namespace lac::fabric

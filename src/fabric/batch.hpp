@@ -1,0 +1,46 @@
+#pragma once
+// Batched kernel dispatch: run many independent KernelRequests (design-space
+// sweep grid points, multi-problem workloads) across host threads against
+// one Executor backend, with deterministic result order and aggregated
+// accounting. Results are written into a pre-sized vector so the outcome is
+// identical for any thread count.
+#include <vector>
+
+#include "fabric/executor.hpp"
+
+namespace lac::fabric {
+
+struct BatchOptions {
+  /// Worker cap handed to lac::parallel_for (0 = hardware concurrency,
+  /// 1 = serial). Results never depend on this value.
+  unsigned max_threads = 0;
+};
+
+/// Aggregate accounting over one batch (per-backend totals).
+struct BatchSummary {
+  std::string backend;
+  int requests = 0;
+  int failures = 0;
+  double total_cycles = 0.0;        ///< sum of per-request makespans
+  double max_cycles = 0.0;          ///< slowest request (sweep critical path)
+  double mean_utilization = 0.0;    ///< over successful requests
+  sim::Stats stats;                 ///< summed activity counters
+};
+
+class BatchDispatcher {
+ public:
+  explicit BatchDispatcher(const Executor& executor, BatchOptions opts = {})
+      : executor_(executor), opts_(opts) {}
+
+  /// Execute every request; result i corresponds to request i regardless of
+  /// scheduling. Requests must be independent (they own their operands).
+  std::vector<KernelResult> run(const std::vector<KernelRequest>& requests) const;
+
+  static BatchSummary summarize(const std::vector<KernelResult>& results);
+
+ private:
+  const Executor& executor_;
+  BatchOptions opts_;
+};
+
+}  // namespace lac::fabric

@@ -1,0 +1,205 @@
+#include "fabric/kernel_request.hpp"
+
+#include <sstream>
+
+namespace lac::fabric {
+namespace {
+
+MatrixD own(ConstViewD v) { return to_matrix<double>(v); }
+
+}  // namespace
+
+const char* to_string(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::Gemm: return "GEMM";
+    case KernelKind::Syrk: return "SYRK";
+    case KernelKind::Syr2k: return "SYR2K";
+    case KernelKind::Trsm: return "TRSM";
+    case KernelKind::Cholesky: return "CHOL";
+    case KernelKind::Lu: return "LU";
+    case KernelKind::Qr: return "QR";
+    case KernelKind::Vnorm: return "VNORM";
+    case KernelKind::ChipGemm: return "CHIP_GEMM";
+  }
+  return "?";
+}
+
+KernelRequest make_gemm(const arch::CoreConfig& core, double bw, ConstViewD a,
+                        ConstViewD b, ConstViewD c, model::Overlap overlap) {
+  KernelRequest req;
+  req.kind = KernelKind::Gemm;
+  req.core = core;
+  req.bw_words_per_cycle = bw;
+  req.overlap = overlap;
+  req.a = own(a);
+  req.b = own(b);
+  req.c = own(c);
+  return req;
+}
+
+KernelRequest make_syrk(const arch::CoreConfig& core, double bw, ConstViewD a,
+                        ConstViewD c) {
+  KernelRequest req;
+  req.kind = KernelKind::Syrk;
+  req.core = core;
+  req.bw_words_per_cycle = bw;
+  req.a = own(a);
+  req.c = own(c);
+  return req;
+}
+
+KernelRequest make_syr2k(const arch::CoreConfig& core, double bw, ConstViewD a,
+                         ConstViewD b, ConstViewD c) {
+  KernelRequest req;
+  req.kind = KernelKind::Syr2k;
+  req.core = core;
+  req.bw_words_per_cycle = bw;
+  req.a = own(a);
+  req.b = own(b);
+  req.c = own(c);
+  return req;
+}
+
+KernelRequest make_trsm(const arch::CoreConfig& core, double bw, ConstViewD l,
+                        ConstViewD b) {
+  KernelRequest req;
+  req.kind = KernelKind::Trsm;
+  req.core = core;
+  req.bw_words_per_cycle = bw;
+  req.a = own(l);
+  req.b = own(b);
+  return req;
+}
+
+KernelRequest make_cholesky(const arch::CoreConfig& core, double bw, ConstViewD a) {
+  KernelRequest req;
+  req.kind = KernelKind::Cholesky;
+  req.core = core;
+  req.bw_words_per_cycle = bw;
+  req.a = own(a);
+  return req;
+}
+
+KernelRequest make_lu(const arch::CoreConfig& core, ConstViewD panel) {
+  KernelRequest req;
+  req.kind = KernelKind::Lu;
+  req.core = core;
+  req.a = own(panel);
+  return req;
+}
+
+KernelRequest make_qr(const arch::CoreConfig& core, ConstViewD panel) {
+  KernelRequest req;
+  req.kind = KernelKind::Qr;
+  req.core = core;
+  req.a = own(panel);
+  return req;
+}
+
+KernelRequest make_vnorm(const arch::CoreConfig& core, std::vector<double> x,
+                         int owner_col) {
+  KernelRequest req;
+  req.kind = KernelKind::Vnorm;
+  req.core = core;
+  req.x = std::move(x);
+  req.owner_col = owner_col;
+  return req;
+}
+
+KernelRequest make_chip_gemm(const arch::ChipConfig& chip, index_t mc, index_t kc,
+                             ConstViewD a, ConstViewD b, ConstViewD c) {
+  KernelRequest req;
+  req.kind = KernelKind::ChipGemm;
+  req.chip = chip;
+  req.core = chip.core;
+  req.mc = mc;
+  req.kc = kc;
+  req.a = own(a);
+  req.b = own(b);
+  req.c = own(c);
+  return req;
+}
+
+double useful_macs(const KernelRequest& req) {
+  const double m = static_cast<double>(req.a.rows());
+  const double k = static_cast<double>(req.a.cols());
+  switch (req.kind) {
+    case KernelKind::Gemm:
+    case KernelKind::ChipGemm:
+      return m * k * req.b.cols();
+    case KernelKind::Syrk:
+      return m * (m + 1) / 2.0 * k;
+    case KernelKind::Syr2k:
+      return m * (m + 1) * k;
+    case KernelKind::Trsm:
+      return m * m / 2.0 * req.b.cols();
+    case KernelKind::Cholesky:
+      return m * m * m / 3.0 / 2.0;
+    case KernelKind::Lu:
+      return m * k * k / 2.0;
+    case KernelKind::Qr:
+      return m * k * k;
+    case KernelKind::Vnorm:
+      return static_cast<double>(req.x.size());
+  }
+  return 0.0;
+}
+
+std::string validate(const KernelRequest& req) {
+  std::ostringstream err;
+  const int nr = req.core.nr;
+  const auto mult = [&](index_t v) { return v > 0 && v % nr == 0; };
+  switch (req.kind) {
+    case KernelKind::Gemm:
+      if (!mult(req.a.rows()) || !mult(req.b.cols()) || req.a.cols() <= 0 ||
+          req.b.rows() != req.a.cols() || req.c.rows() != req.a.rows() ||
+          req.c.cols() != req.b.cols())
+        err << "GEMM shapes: C(" << req.c.rows() << "x" << req.c.cols()
+            << ") += A(" << req.a.rows() << "x" << req.a.cols() << ") * B("
+            << req.b.rows() << "x" << req.b.cols() << "), m and n multiples of nr";
+      break;
+    case KernelKind::Syrk:
+      if (!mult(req.a.rows()) || req.c.rows() != req.a.rows() ||
+          req.c.cols() != req.a.rows())
+        err << "SYRK shapes: C square of A's rows, rows multiple of nr";
+      break;
+    case KernelKind::Syr2k:
+      if (!mult(req.a.rows()) || req.b.rows() != req.a.rows() ||
+          req.b.cols() != req.a.cols() || req.c.rows() != req.a.rows() ||
+          req.c.cols() != req.a.rows())
+        err << "SYR2K shapes: A and B congruent, C square, rows multiple of nr";
+      break;
+    case KernelKind::Trsm:
+      if (!mult(req.a.rows()) || req.a.cols() != req.a.rows() ||
+          req.b.rows() != req.a.rows() || !mult(req.b.cols()))
+        err << "TRSM shapes: L square multiple of nr, B conformal";
+      break;
+    case KernelKind::Cholesky:
+      if (!mult(req.a.rows()) || req.a.cols() != req.a.rows())
+        err << "CHOL shapes: A square multiple of nr";
+      break;
+    case KernelKind::Lu:
+    case KernelKind::Qr:
+      if (req.a.cols() != nr || !mult(req.a.rows()) || req.a.rows() < nr)
+        err << to_string(req.kind) << " panel must be (k x nr) with k a multiple of nr";
+      break;
+    case KernelKind::Vnorm:
+      if (req.x.empty() || static_cast<index_t>(req.x.size()) % (2 * nr) != 0)
+        err << "VNORM vector length must be a positive multiple of 2*nr";
+      break;
+    case KernelKind::ChipGemm: {
+      const index_t m = req.c.rows();
+      const index_t s = req.chip.cores;
+      if (req.mc <= 0 || req.kc <= 0 || req.mc % nr != 0 || req.kc % nr != 0 ||
+          m % (s * nr) != 0 || (m / s) % req.mc != 0 || !mult(req.c.cols()) ||
+          req.a.cols() % req.kc != 0 || req.a.rows() != m ||
+          req.b.rows() != req.a.cols() || req.b.cols() != req.c.cols())
+        err << "CHIP_GEMM shapes/blocking: m splits into S row panels of mc, "
+               "k into kc panels";
+      break;
+    }
+  }
+  return err.str();
+}
+
+}  // namespace lac::fabric

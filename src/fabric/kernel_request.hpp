@@ -1,0 +1,85 @@
+#pragma once
+// Unified kernel descriptor for the fabric execution layer.
+//
+// One KernelRequest describes one atomic unit of accelerator work -- any of
+// the nine kernels the statically-scheduled fabric serves (the paper's core
+// claim) -- in backend-neutral form. An Executor (sim-backed and cycle-exact,
+// or model-backed and instant) turns it into a KernelResult. Requests own
+// their operands so batches can execute concurrently without aliasing.
+#include <string>
+#include <vector>
+
+#include "arch/configs.hpp"
+#include "common/matrix.hpp"
+#include "model/core_model.hpp"
+#include "sim/engine.hpp"
+
+namespace lac::fabric {
+
+enum class KernelKind {
+  Gemm,      ///< C += A * B, resident A, streamed B/C (§3.3/§3.4)
+  Syrk,      ///< C(lower) += A * A^T with on-the-fly transpose (§5.2)
+  Syr2k,     ///< C(lower) += A*B^T + B*A^T (§5.2.2)
+  Trsm,      ///< solve L * X = B, blocked (§5.3)
+  Cholesky,  ///< blocked on-core Cholesky of an SPD block (§6.1.1)
+  Lu,        ///< k x nr panel LU with partial pivoting (§6.1.2)
+  Qr,        ///< k x nr panel Householder QR (§6.1.3)
+  Vnorm,     ///< vector 2-norm (§6.1.3, Fig 6.4)
+  ChipGemm,  ///< multi-core (LAP) GEMM over the shared interfaces (Ch. 4)
+};
+
+const char* to_string(KernelKind kind);
+
+struct KernelRequest {
+  KernelKind kind = KernelKind::Gemm;
+  arch::CoreConfig core;                       ///< core-level kernels
+  arch::ChipConfig chip;                       ///< ChipGemm only
+  double bw_words_per_cycle = 1.0;             ///< core <-> on-chip memory
+  model::Overlap overlap = model::Overlap::Partial;  ///< Gemm A-load regime
+  index_t mc = 0, kc = 0;                      ///< ChipGemm blocking
+  MatrixD a, b, c;                             ///< operands (kernel-dependent)
+  std::vector<double> x;                       ///< Vnorm operand
+  int owner_col = 2;                           ///< Vnorm PE column
+  std::string tag;                             ///< caller label (batch reports)
+};
+
+struct KernelResult {
+  bool ok = false;
+  std::string error;                  ///< set when !ok
+  std::string backend;                ///< executor that produced the result
+  std::string tag;                    ///< copied from the request
+  MatrixD out;                        ///< layout follows the kernel contract
+  std::vector<index_t> pivots;        ///< Lu
+  std::vector<double> taus;           ///< Qr
+  double scalar = 0.0;                ///< Vnorm
+  double cycles = 0.0;
+  double utilization = 0.0;
+  sim::Stats stats;                   ///< zero for the analytical backend
+};
+
+/// ---- request builders ---------------------------------------------------
+KernelRequest make_gemm(const arch::CoreConfig& core, double bw, ConstViewD a,
+                        ConstViewD b, ConstViewD c,
+                        model::Overlap overlap = model::Overlap::Partial);
+KernelRequest make_syrk(const arch::CoreConfig& core, double bw, ConstViewD a,
+                        ConstViewD c);
+KernelRequest make_syr2k(const arch::CoreConfig& core, double bw, ConstViewD a,
+                         ConstViewD b, ConstViewD c);
+KernelRequest make_trsm(const arch::CoreConfig& core, double bw, ConstViewD l,
+                        ConstViewD b);
+KernelRequest make_cholesky(const arch::CoreConfig& core, double bw, ConstViewD a);
+KernelRequest make_lu(const arch::CoreConfig& core, ConstViewD panel);
+KernelRequest make_qr(const arch::CoreConfig& core, ConstViewD panel);
+KernelRequest make_vnorm(const arch::CoreConfig& core, std::vector<double> x,
+                         int owner_col = 2);
+KernelRequest make_chip_gemm(const arch::ChipConfig& chip, index_t mc, index_t kc,
+                             ConstViewD a, ConstViewD b, ConstViewD c);
+
+/// Useful MAC count of the request (the numerator of every utilization
+/// figure in the paper; lower-order terms follow each kernel's convention).
+double useful_macs(const KernelRequest& req);
+
+/// Shape/blocking sanity check; returns an empty string when valid.
+std::string validate(const KernelRequest& req);
+
+}  // namespace lac::fabric

@@ -1,0 +1,22 @@
+#pragma once
+// Analytical backend: numerics come from the host reference BLAS/LAPACK
+// (bit-identical to the golden models the simulator is tested against) and
+// cycle counts come from the paper's closed-form performance models
+// (§3.4 core GEMM, Ch. 4 chip model, Ch. 5 level-3 forms, Ch. 6/App. A
+// factorization forms). Evaluation is instant, which makes this backend the
+// one to use for large design-space sweeps; the SimExecutor cross-checks it
+// cycle-exactly (see tests/test_fabric.cpp).
+#include "fabric/executor.hpp"
+
+namespace lac::fabric {
+
+class ModelExecutor final : public Executor {
+ public:
+  const char* name() const override { return "model"; }
+  KernelResult execute(const KernelRequest& req) const override;
+};
+
+/// Closed-form cycle estimate for a request (exposed for tests/benches).
+double model_cycles(const KernelRequest& req);
+
+}  // namespace lac::fabric

@@ -1,0 +1,109 @@
+#include "fabric/sim_executor.hpp"
+
+#include <cmath>
+
+#include "kernels/chip_gemm.hpp"
+#include "kernels/cholesky_kernel.hpp"
+#include "kernels/gemm_kernel.hpp"
+#include "kernels/lu_kernel.hpp"
+#include "kernels/qr_kernel.hpp"
+#include "kernels/syrk_kernel.hpp"
+#include "kernels/trsm_kernel.hpp"
+#include "kernels/vnorm_kernel.hpp"
+
+namespace lac::fabric {
+namespace {
+
+void absorb(KernelResult& res, kernels::KernelResult&& k) {
+  res.out = std::move(k.out);
+  res.cycles = k.cycles;
+  res.utilization = k.utilization;
+  res.stats = k.stats;
+}
+
+bool all_finite(const MatrixD& m) {
+  for (index_t j = 0; j < m.cols(); ++j)
+    for (index_t i = 0; i < m.rows(); ++i)
+      if (!std::isfinite(m(i, j))) return false;
+  return true;
+}
+
+}  // namespace
+
+KernelResult SimExecutor::execute(const KernelRequest& req) const {
+  KernelResult res;
+  res.backend = name();
+  res.tag = req.tag;
+  if (std::string err = validate(req); !err.empty()) {
+    res.error = std::move(err);
+    return res;
+  }
+
+  const double bw = req.bw_words_per_cycle;
+  switch (req.kind) {
+    case KernelKind::Gemm:
+      absorb(res, kernels::gemm_core(req.core, bw, req.a.view(), req.b.view(),
+                                     req.c.view(), req.overlap));
+      break;
+    case KernelKind::Syrk:
+      absorb(res, kernels::syrk_core(req.core, bw, req.a.view(), req.c.view()));
+      break;
+    case KernelKind::Syr2k:
+      absorb(res, kernels::syr2k_core(req.core, bw, req.a.view(), req.b.view(),
+                                      req.c.view()));
+      break;
+    case KernelKind::Trsm:
+      absorb(res, kernels::trsm_core(req.core, bw, req.a.view(), req.b.view()));
+      break;
+    case KernelKind::Cholesky:
+      absorb(res, kernels::cholesky_core(req.core, bw, req.a.view()));
+      // The fabric has no PD check; a negative diagonal turns into NaNs
+      // through the inverse square root. Report it in-band so both
+      // backends fail the same way (the model backend detects it in
+      // blas::cholesky).
+      if (!all_finite(res.out)) {
+        res.error = "CHOL: matrix not positive definite";
+        return res;
+      }
+      break;
+    case KernelKind::Lu: {
+      kernels::LuResult lu = kernels::lu_panel(req.core, req.a.view());
+      res.pivots = std::move(lu.pivots);
+      absorb(res, std::move(lu.kernel));
+      if (!all_finite(res.out)) {  // zero pivot -> 1/0 through the SFU
+        res.error = "LU: zero pivot";
+        return res;
+      }
+      break;
+    }
+    case KernelKind::Qr: {
+      kernels::QrResult qr = kernels::qr_panel(req.core, req.a.view());
+      res.taus = std::move(qr.taus);
+      absorb(res, std::move(qr.kernel));
+      break;
+    }
+    case KernelKind::Vnorm: {
+      kernels::VnormResult vn = kernels::vnorm(req.core, req.x, req.owner_col);
+      res.scalar = vn.norm;
+      res.cycles = vn.cycles;
+      res.stats = vn.stats;
+      res.utilization =
+          static_cast<double>(vn.stats.mac_ops) /
+          (vn.cycles * req.core.nr * req.core.nr);
+      break;
+    }
+    case KernelKind::ChipGemm: {
+      kernels::ChipGemmResult cg = kernels::chip_gemm(
+          req.chip, req.mc, req.kc, req.a.view(), req.b.view(), req.c.view());
+      res.out = std::move(cg.out);
+      res.cycles = cg.cycles;
+      res.utilization = cg.utilization;
+      res.stats = cg.stats;
+      break;
+    }
+  }
+  res.ok = true;
+  return res;
+}
+
+}  // namespace lac::fabric

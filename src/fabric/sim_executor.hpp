@@ -1,0 +1,15 @@
+#pragma once
+// Cycle-exact backend: dispatches KernelRequests onto the timed-dataflow
+// simulator (sim::Core / sim::Chip) through the kernel schedules in
+// src/kernels. Numerics and cycle counts both come from the simulation.
+#include "fabric/executor.hpp"
+
+namespace lac::fabric {
+
+class SimExecutor final : public Executor {
+ public:
+  const char* name() const override { return "sim"; }
+  KernelResult execute(const KernelRequest& req) const override;
+};
+
+}  // namespace lac::fabric

@@ -1,0 +1,108 @@
+#include "fabric/stream_schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lac::fabric {
+
+sim::time_t_ StreamSchedule::dma(double words) {
+  cursor_ = core_.dma(words, cursor_);
+  return cursor_;
+}
+
+sim::time_t_ StreamSchedule::dma_after(double words, sim::time_t_ earliest) {
+  cursor_ = core_.dma(words, std::max(cursor_, earliest));
+  return cursor_;
+}
+
+void StreamSchedule::poke_resident(ConstViewD a, index_t base) {
+  const int nr = core_.nr();
+  const index_t rows = a.rows();
+  const index_t cols = a.cols();
+  assert(rows % nr == 0);
+  for (index_t p = 0; p < cols; ++p)
+    for (index_t i = 0; i < rows; ++i)
+      core_.pe(static_cast<int>(i % nr), static_cast<int>(p % nr))
+          .mem_a.poke(base + mem_a_addr(i, p, rows, nr), a(i, p));
+}
+
+sim::time_t_ StreamSchedule::stage_resident(ConstViewD a, index_t base) {
+  poke_resident(a, base);
+  return dma(static_cast<double>(a.rows()) * a.cols());
+}
+
+sim::time_t_ StreamSchedule::stage_resident_lower(ConstViewD l) {
+  const int nr = core_.nr();
+  const index_t n = l.rows();
+  assert(l.cols() == n && n % nr == 0);
+  for (index_t p = 0; p < n; ++p)
+    for (index_t i = p; i < n; ++i)
+      core_.pe(static_cast<int>(i % nr), static_cast<int>(p % nr))
+          .mem_a.poke(mem_a_addr(i, p, n, nr), l(i, p));
+  return dma(static_cast<double>(n) * (n + 1) / 2);
+}
+
+sim::time_t_ StreamSchedule::stage_panel(ConstViewD a) {
+  const int nr = core_.nr();
+  const index_t k = a.rows();
+  const index_t cols = a.cols();
+  assert(cols <= nr);
+  for (index_t i = 0; i < k; ++i)
+    for (index_t j = 0; j < cols; ++j)
+      core_.pe(static_cast<int>(i % nr), static_cast<int>(j))
+          .mem_a.poke(i / nr, a(i, j));
+  return dma(static_cast<double>(k) * cols);
+}
+
+void StreamSchedule::stage_panel_b(index_t slot_base, index_t kc,
+                                   const std::function<double(index_t, int)>& value) {
+  const int nr = core_.nr();
+  for (index_t p = 0; p < kc; ++p)
+    for (int c = 0; c < nr; ++c) {
+      const double v = value(p, c);
+      for (int r = 0; r < nr; ++r) core_.pe(r, c).mem_b.poke(slot_base + p, v);
+    }
+}
+
+void StreamSchedule::load_accumulators(int parity, sim::time_t_ ready,
+                                       const std::function<double(int, int)>& value) {
+  const int nr = core_.nr();
+  for (int r = 0; r < nr; ++r)
+    for (int c = 0; c < nr; ++c)
+      core_.pe(r, c).mac.set_acc(parity, sim::at(value(r, c), ready));
+}
+
+sim::time_t_ StreamSchedule::drain_accumulators(
+    int parity, const std::function<void(int, int, double)>& sink) {
+  const int nr = core_.nr();
+  sim::time_t_ ready = 0.0;
+  for (int r = 0; r < nr; ++r)
+    for (int c = 0; c < nr; ++c) {
+      sim::TimedVal v = core_.pe(r, c).mac.read_acc(parity);
+      sink(r, c, v.v);
+      ready = std::max(ready, v.ready);
+    }
+  return ready;
+}
+
+void StreamSchedule::rank1_update(int parity, index_t a_base, index_t rows,
+                                  index_t row0, index_t p_begin, index_t p_end,
+                                  index_t slot, sim::time_t_ gate, bool negate) {
+  const int nr = core_.nr();
+  for (index_t p = p_begin; p < p_end; ++p) {
+    const int owner = static_cast<int>(p % nr);
+    for (int r = 0; r < nr; ++r) {
+      sim::TimedVal av = core_.pe(r, owner).mem_a.read(
+          a_base + mem_a_addr(row0 + r, p, rows, nr), gate);
+      if (negate) av.v = -av.v;
+      sim::TimedVal a_bcast = core_.broadcast_row(r, av);
+      for (int c = 0; c < nr; ++c) {
+        sim::Pe& pe = core_.pe(r, c);
+        sim::TimedVal bv = pe.mem_b.read(slot + (p - p_begin), gate);
+        pe.mac.mac_into_acc(parity, a_bcast, bv);
+      }
+    }
+  }
+}
+
+}  // namespace lac::fabric

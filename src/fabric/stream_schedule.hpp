@@ -1,0 +1,91 @@
+#pragma once
+// Shared streaming-schedule builder for the LAC kernels.
+//
+// Every level-3 kernel on the fabric follows the same §3.3/§3.4 skeleton:
+// a resident operand lives 2D-round-robin in the PE MEM-A stores, panels
+// of the streamed operand are replicated per PE column in MEM-B, nr x nr
+// output blocks cycle through the MAC accumulators (double-buffered by
+// parity) while rank-1 updates sweep the broadcast buses, and every word
+// in or out is charged on the bandwidth-limited memory interface behind an
+// in-order DMA cursor. This class owns that boilerplate so each kernel in
+// src/kernels reduces to its schedule-specific inner loop.
+#include <functional>
+
+#include "common/matrix.hpp"
+#include "sim/core.hpp"
+
+namespace lac::fabric {
+
+/// Local MEM-A address of element (i, p) of a `rows`-row resident operand
+/// stored 2D round-robin on the nr x nr mesh: PE(i % nr, p % nr) holds the
+/// fragment word (i/nr) + (rows/nr)*(p/nr).
+inline index_t mem_a_addr(index_t i, index_t p, index_t rows, int nr) {
+  return i / nr + (rows / nr) * (p / nr);
+}
+
+class StreamSchedule {
+ public:
+  /// Builds schedules on `core`; the in-order DMA cursor starts at `start`.
+  explicit StreamSchedule(sim::Core& core, sim::time_t_ start = 0.0)
+      : core_(core), cursor_(start) {}
+
+  sim::Core& core() { return core_; }
+  int nr() const { return core_.nr(); }
+
+  // ---- in-order DMA cursor ----------------------------------------------
+  sim::time_t_ cursor() const { return cursor_; }
+  void set_cursor(sim::time_t_ t) { cursor_ = t; }
+  /// Stream `words` over the memory interface behind everything already
+  /// queued; advances and returns the cursor (= completion time).
+  sim::time_t_ dma(double words);
+  /// Same, but no earlier than `earliest` (e.g. a pipeline-drain time).
+  sim::time_t_ dma_after(double words, sim::time_t_ earliest);
+
+  // ---- resident MEM-A operand -------------------------------------------
+  /// Place an operand round-robin into MEM-A at `base` without charging the
+  /// interface (the caller streams the words explicitly -- e.g. trickled in
+  /// with spare bandwidth under full overlap).
+  void poke_resident(ConstViewD a, index_t base = 0);
+  /// Place and charge the operand serially at the cursor.
+  sim::time_t_ stage_resident(ConstViewD a, index_t base = 0);
+  /// Lower-triangular resident operand: only i >= p is placed and only
+  /// rows*(rows+1)/2 words are charged (TRSM / Cholesky panels).
+  sim::time_t_ stage_resident_lower(ConstViewD l);
+  /// Factorization panel layout: element (i, j) of a k x nr panel lives on
+  /// PE(i % nr, j), fragment i/nr (LU / QR panel kernels).
+  sim::time_t_ stage_panel(ConstViewD a);
+
+  // ---- replicated MEM-B panels ------------------------------------------
+  /// Replicate `value(p, c)` into MEM-B word slot_base + p of every PE of
+  /// column c, for p in [0, kc). Placement only; the panel's transfer is
+  /// charged by the caller (chunked, to interleave with latency-critical
+  /// C-block streams).
+  void stage_panel_b(index_t slot_base, index_t kc,
+                     const std::function<double(index_t, int)>& value);
+
+  // ---- accumulator-blocked output ---------------------------------------
+  /// Load an nr x nr block into accumulator set `parity`, every word timed
+  /// `ready` (typically its C-in DMA completion).
+  void load_accumulators(int parity, sim::time_t_ ready,
+                         const std::function<double(int, int)>& value);
+  /// Drain accumulator set `parity` through `sink(r, c, value)`; returns
+  /// the pipeline-drain completion (the earliest the block may stream out).
+  sim::time_t_ drain_accumulators(
+      int parity, const std::function<void(int, int, double)>& sink);
+
+  // ---- rank-1 update sweeps ---------------------------------------------
+  /// p_end - p_begin rank-1 updates into accumulator set `parity`: for each
+  /// p the owner column broadcasts resident column p (rows row0..row0+nr-1
+  /// of the operand staged at `a_base` with `rows` total rows) on the row
+  /// buses, and every PE pairs it with replicated MEM-B word
+  /// slot + (p - p_begin). Reads are gated at `gate`; `negate` subtracts.
+  void rank1_update(int parity, index_t a_base, index_t rows, index_t row0,
+                    index_t p_begin, index_t p_end, index_t slot,
+                    sim::time_t_ gate, bool negate = false);
+
+ private:
+  sim::Core& core_;
+  sim::time_t_ cursor_;
+};
+
+}  // namespace lac::fabric

@@ -2,16 +2,11 @@
 
 #include <cassert>
 
+#include "fabric/stream_schedule.hpp"
+
 namespace lac::kernels {
-namespace {
 
-/// Local MEM-A address of A(i, p) on PE(i % nr, p % nr) for an mc x kc
-/// block stored 2D round-robin: (i/nr) + (mc/nr)*(p/nr).
-index_t mem_a_addr(index_t i, index_t p, index_t mc, int nr) {
-  return i / nr + (mc / nr) * (p / nr);
-}
-
-}  // namespace
+using fabric::StreamSchedule;
 
 KernelResult gemm_rank1_inner(const arch::CoreConfig& cfg, ConstViewD a, ConstViewD b,
                               ConstViewD c_in) {
@@ -21,39 +16,25 @@ KernelResult gemm_rank1_inner(const arch::CoreConfig& cfg, ConstViewD a, ConstVi
   assert(c_in.rows() == nr && c_in.cols() == nr);
 
   sim::Core core(cfg, /*bw=*/1e9, /*accumulators=*/1);
+  StreamSchedule sched(core);
   // Stage operands: A round-robin by column, B replicated per PE column.
   for (int r = 0; r < nr; ++r)
     for (int c = 0; c < nr; ++c) {
       sim::Pe& pe = core.pe(r, c);
       for (index_t p = c; p < kc; p += nr) pe.mem_a.poke(p / nr, a(r, p));
       for (index_t p = 0; p < kc; ++p) pe.mem_b.poke(p, b(p, c));
-      pe.mac.set_acc(0, sim::at(c_in(r, c), 0.0));
     }
+  sched.load_accumulators(0, 0.0, [&](int r, int c) { return c_in(r, c); });
 
   // kc rank-1 updates: the owner column broadcasts a column of A on the
   // row buses; every PE pairs it with its locally replicated B element.
-  for (index_t p = 0; p < kc; ++p) {
-    const int owner = static_cast<int>(p % nr);
-    for (int r = 0; r < nr; ++r) {
-      sim::TimedVal av = core.pe(r, owner).mem_a.read(p / nr, 0.0);
-      sim::TimedVal a_bcast = core.broadcast_row(r, av);
-      for (int c = 0; c < nr; ++c) {
-        sim::Pe& pe = core.pe(r, c);
-        sim::TimedVal bv = pe.mem_b.read(p, 0.0);
-        pe.mac.mac_into_acc(0, a_bcast, bv);
-      }
-    }
-  }
+  // (A is nr x kc here, so the fragment address is p / nr directly.)
+  sched.rank1_update(0, 0, nr, 0, 0, kc, 0, 0.0);
 
   KernelResult res;
   res.out = MatrixD(nr, nr);
-  double finish = 0.0;
-  for (int r = 0; r < nr; ++r)
-    for (int c = 0; c < nr; ++c) {
-      sim::TimedVal v = core.pe(r, c).mac.read_acc(0);
-      res.out(r, c) = v.v;
-      finish = std::max(finish, v.ready);
-    }
+  const double finish =
+      sched.drain_accumulators(0, [&](int r, int c, double v) { res.out(r, c) = v; });
   res.cycles = std::max(finish, core.finish_time());
   res.stats = core.stats();
   res.utilization = static_cast<double>(res.stats.mac_ops) / (res.cycles * nr * nr);
@@ -69,17 +50,16 @@ KernelResult gemm_on_core(sim::Core& core, ConstViewD a, ConstViewD b, ConstView
   assert(mc % nr == 0 && n % nr == 0);
   assert(b.rows() == kc && c_in.rows() == mc && c_in.cols() == n);
 
+  StreamSchedule sched(core, start);
+
   // ---- load the resident A block. Under partial overlap it is charged
   // serially ahead of compute; under full overlap the (double-buffered)
   // block was prefetched with spare bandwidth during the previous kernel,
   // so its words are charged at the end of this kernel's streams instead.
-  for (index_t p = 0; p < kc; ++p)
-    for (index_t i = 0; i < mc; ++i)
-      core.pe(static_cast<int>(i % nr), static_cast<int>(p % nr))
-          .mem_a.poke(mem_a_addr(i, p, mc, nr), a(i, p));
+  sched.poke_resident(a);
   sim::time_t_ compute_gate = start;
   if (overlap == model::Overlap::Partial) {
-    compute_gate = core.dma(static_cast<double>(mc) * kc, start);
+    compute_gate = sched.dma(static_cast<double>(mc) * kc);
   }
 
   KernelResult res;
@@ -94,19 +74,13 @@ KernelResult gemm_on_core(sim::Core& core, ConstViewD a, ConstViewD b, ConstView
   // are not stuck behind a monolithic panel burst in the DMA queue (the
   // hardware DMA interleaves the streams; the panel only has a deadline of
   // "before the next jb sweep").
-  sim::time_t_ dma_cursor = start;
-  auto stage_b_values = [&](index_t jb) {
-    for (index_t p = 0; p < kc; ++p)
-      for (int c = 0; c < nr; ++c)
-        for (int r = 0; r < nr; ++r)
-          core.pe(r, c).mem_b.poke((jb % 2) * kc + p, b(p, jb * nr + c));
-  };
   auto load_b_chunk = [&](index_t jb, index_t chunk_idx, index_t chunks) {
     const double words = static_cast<double>(kc) * nr / chunks;
-    dma_cursor = core.dma(words, dma_cursor);
+    sched.dma(words);
     if (chunk_idx + 1 == chunks) {
-      b_panel_ready[static_cast<std::size_t>(jb)] = dma_cursor;
-      stage_b_values(jb);
+      b_panel_ready[static_cast<std::size_t>(jb)] = sched.cursor();
+      sched.stage_panel_b((jb % 2) * kc, kc,
+                          [&](index_t p, int c) { return b(p, jb * nr + c); });
     }
   };
   load_b_chunk(0, 0, 1);  // first panel: nothing to hide behind yet
@@ -119,8 +93,8 @@ KernelResult gemm_on_core(sim::Core& core, ConstViewD a, ConstViewD b, ConstView
   const index_t blocks = nb * mb;
   std::vector<sim::time_t_> c_in_ready(static_cast<std::size_t>(blocks), 0.0);
   auto stream_c_in = [&](index_t t) {
-    dma_cursor = core.dma(static_cast<double>(nr) * nr, dma_cursor);
-    c_in_ready[static_cast<std::size_t>(t)] = dma_cursor;
+    c_in_ready[static_cast<std::size_t>(t)] =
+        sched.dma(static_cast<double>(nr) * nr);
   };
   stream_c_in(0);
   sim::time_t_ pending_out_ready = -1.0;  // drain time of the previous block
@@ -138,51 +112,31 @@ KernelResult gemm_on_core(sim::Core& core, ConstViewD a, ConstViewD b, ConstView
         // Full overlap: the next kernel's A block trickles in behind this
         // kernel's streams using the spare interface bandwidth; charge this
         // kernel's own A words the same interleaved way.
-        dma_cursor = core.dma(static_cast<double>(mc) * kc / blocks, dma_cursor);
+        sched.dma(static_cast<double>(mc) * kc / blocks);
       }
       if (pending_out_ready >= 0.0) {          // stream out the previous one
-        dma_cursor = core.dma(static_cast<double>(nr) * nr,
-                              std::max(dma_cursor, pending_out_ready));
-        finish = std::max(finish, dma_cursor);
+        finish = std::max(
+            finish, sched.dma_after(static_cast<double>(nr) * nr, pending_out_ready));
         pending_out_ready = -1.0;
       }
       const sim::time_t_ c_in_done = c_in_ready[static_cast<std::size_t>(t)];
-      for (int r = 0; r < nr; ++r)
-        for (int c = 0; c < nr; ++c)
-          core.pe(r, c).mac.set_acc(parity,
-                                    sim::at(c_in(ib * nr + r, jb * nr + c), c_in_done));
+      sched.load_accumulators(parity, c_in_done, [&](int r, int c) {
+        return c_in(ib * nr + r, jb * nr + c);
+      });
 
-      // kc rank-1 updates.
-      for (index_t p = 0; p < kc; ++p) {
-        const int owner = static_cast<int>(p % nr);
-        for (int r = 0; r < nr; ++r) {
-          sim::TimedVal av = core.pe(r, owner).mem_a.read(
-              mem_a_addr(ib * nr + r, p, mc, nr), panel_gate);
-          sim::TimedVal a_bcast = core.broadcast_row(r, av);
-          for (int c = 0; c < nr; ++c) {
-            sim::Pe& pe = core.pe(r, c);
-            sim::TimedVal bv = pe.mem_b.read((jb % 2) * kc + p, panel_gate);
-            pe.mac.mac_into_acc(parity, a_bcast, bv);
-          }
-        }
-      }
+      // kc rank-1 updates against the jb-parity B panel.
+      sched.rank1_update(parity, 0, mc, ib * nr, 0, kc, (jb % 2) * kc, panel_gate);
 
       // Drain the block; its stream-out is deferred to overlap the next
       // block's compute (the next block runs in the other parity).
-      sim::time_t_ block_ready = 0.0;
-      for (int r = 0; r < nr; ++r)
-        for (int c = 0; c < nr; ++c) {
-          sim::TimedVal v = core.pe(r, c).mac.read_acc(parity);
-          res.out(ib * nr + r, jb * nr + c) = v.v;
-          block_ready = std::max(block_ready, v.ready);
-        }
-      pending_out_ready = block_ready;
+      pending_out_ready = sched.drain_accumulators(parity, [&](int r, int c, double v) {
+        res.out(ib * nr + r, jb * nr + c) = v;
+      });
     }
   }
   if (pending_out_ready >= 0.0) {  // flush the last block's stream-out
-    dma_cursor = core.dma(static_cast<double>(nr) * nr,
-                          std::max(dma_cursor, pending_out_ready));
-    finish = std::max(finish, dma_cursor);
+    finish = std::max(
+        finish, sched.dma_after(static_cast<double>(nr) * nr, pending_out_ready));
   }
 
   res.cycles = std::max(finish, core.finish_time()) - start;

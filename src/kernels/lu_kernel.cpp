@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "fabric/stream_schedule.hpp"
+
 namespace lac::kernels {
 
 LuResult lu_panel(const arch::CoreConfig& cfg, ConstViewD a) {
@@ -21,11 +23,8 @@ LuResult lu_panel(const arch::CoreConfig& cfg, ConstViewD a) {
     return tv[static_cast<std::size_t>(i * nr + j)];
   };
   for (index_t i = 0; i < k; ++i)
-    for (int j = 0; j < nr; ++j) {
-      core.pe(static_cast<int>(i % nr), j).mem_a.poke(i / nr, a(i, j));
-      at2(i, j) = sim::at(a(i, j), 0.0);
-    }
-  core.dma(static_cast<double>(k) * nr, 0.0);
+    for (int j = 0; j < nr; ++j) at2(i, j) = sim::at(a(i, j), 0.0);
+  fabric::StreamSchedule(core).stage_panel(a);
 
   LuResult out;
   out.pivots.resize(static_cast<std::size_t>(nr));

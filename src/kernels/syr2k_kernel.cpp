@@ -1,15 +1,12 @@
 #include <cassert>
 
+#include "fabric/stream_schedule.hpp"
 #include "kernels/syrk_kernel.hpp"
 
 namespace lac::kernels {
-namespace {
 
-index_t mem_a_addr(index_t i, index_t p, index_t mc, int nr) {
-  return i / nr + (mc / nr) * (p / nr);
-}
-
-}  // namespace
+using fabric::StreamSchedule;
+using fabric::mem_a_addr;
 
 KernelResult syr2k_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
                         ConstViewD a, ConstViewD b, ConstViewD c_in) {
@@ -25,40 +22,18 @@ KernelResult syr2k_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
   assert(c_in.rows() == mc && c_in.cols() == mc);
 
   sim::Core core(cfg, bw_words_per_cycle, 2);
+  StreamSchedule sched(core);
   const index_t b_base = mem_a_addr(mc - 1, kc - 1, mc, nr) + 1;
   // Stage both operands (charged on the interface back to back).
-  for (index_t p = 0; p < kc; ++p)
-    for (index_t i = 0; i < mc; ++i) {
-      sim::Pe& pe = core.pe(static_cast<int>(i % nr), static_cast<int>(p % nr));
-      pe.mem_a.poke(mem_a_addr(i, p, mc, nr), a(i, p));
-      pe.mem_a.poke(b_base + mem_a_addr(i, p, mc, nr), b(i, p));
-    }
-  sim::time_t_ dma_cursor = core.dma(2.0 * static_cast<double>(mc) * kc, 0.0);
+  sched.poke_resident(a);
+  sched.poke_resident(b, b_base);
+  sched.dma(2.0 * static_cast<double>(mc) * kc);
 
   KernelResult res;
   res.out = to_matrix<double>(c_in);
   const index_t mb = mc / nr;
   int parity = 0;
-  sim::time_t_ finish = dma_cursor;
-
-  // One rank-1 sweep: rows of `row_op` (panel l) against the MEM-B panel
-  // at `slot` (kc words), accumulating into `parity`.
-  auto rank1_sweep = [&](index_t l, index_t row_base, index_t slot,
-                         sim::time_t_ gate) {
-    for (index_t p = 0; p < kc; ++p) {
-      const int owner = static_cast<int>(p % nr);
-      for (int r = 0; r < nr; ++r) {
-        sim::TimedVal av = core.pe(r, owner).mem_a.read(
-            row_base + mem_a_addr(l * nr + r, p, mc, nr), gate);
-        sim::TimedVal a_bcast = core.broadcast_row(r, av);
-        for (int c = 0; c < nr; ++c) {
-          sim::Pe& pe = core.pe(r, c);
-          sim::TimedVal bv = pe.mem_b.read(slot + p, gate);
-          pe.mac.mac_into_acc(parity, a_bcast, bv);
-        }
-      }
-    }
-  };
+  sim::time_t_ finish = sched.cursor();
 
   // Transpose-capture of the diagonal panel of `base` into MEM-B `slot`.
   auto capture_transpose = [&](index_t i, index_t base, index_t slot,
@@ -80,28 +55,22 @@ KernelResult syr2k_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
 
   for (index_t i = 0; i < mb; ++i) {
     // Capture A1^T (slot 0) and B1^T (slot kc).
-    capture_transpose(i, 0, 0, dma_cursor);
-    capture_transpose(i, b_base, kc, dma_cursor);
+    capture_transpose(i, 0, 0, sched.cursor());
+    capture_transpose(i, b_base, kc, sched.cursor());
 
     for (index_t l = i; l < mb; ++l) {
-      const sim::time_t_ c_in_done = core.dma(static_cast<double>(nr) * nr, dma_cursor);
-      dma_cursor = c_in_done;
-      for (int r = 0; r < nr; ++r)
-        for (int c = 0; c < nr; ++c)
-          core.pe(r, c).mac.set_acc(parity, sim::at(res.out(l * nr + r, i * nr + c),
-                                                    c_in_done));
-      rank1_sweep(l, 0, kc, c_in_done);      // A_l * B1^T
-      rank1_sweep(l, b_base, 0, c_in_done);  // B_l * A1^T
-      sim::time_t_ block_ready = 0.0;
-      for (int r = 0; r < nr; ++r)
-        for (int c = 0; c < nr; ++c) {
-          sim::TimedVal v = core.pe(r, c).mac.read_acc(parity);
-          if (l > i || r >= c) res.out(l * nr + r, i * nr + c) = v.v;
-          block_ready = std::max(block_ready, v.ready);
-        }
-      dma_cursor = core.dma(static_cast<double>(nr) * nr,
-                            std::max(dma_cursor, block_ready));
-      finish = std::max(finish, dma_cursor);
+      const sim::time_t_ c_in_done = sched.dma(static_cast<double>(nr) * nr);
+      sched.load_accumulators(parity, c_in_done, [&](int r, int c) {
+        return res.out(l * nr + r, i * nr + c);
+      });
+      sched.rank1_update(parity, 0, mc, l * nr, 0, kc, kc, c_in_done);      // A_l * B1^T
+      sched.rank1_update(parity, b_base, mc, l * nr, 0, kc, 0, c_in_done);  // B_l * A1^T
+      const sim::time_t_ block_ready =
+          sched.drain_accumulators(parity, [&](int r, int c, double v) {
+            if (l > i || r >= c) res.out(l * nr + r, i * nr + c) = v;
+          });
+      finish = std::max(finish,
+                        sched.dma_after(static_cast<double>(nr) * nr, block_ready));
       parity ^= 1;
     }
   }

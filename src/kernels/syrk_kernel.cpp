@@ -2,24 +2,14 @@
 
 #include <cassert>
 
+#include "fabric/stream_schedule.hpp"
+
 namespace lac::kernels {
+
+using fabric::StreamSchedule;
+using fabric::mem_a_addr;
+
 namespace {
-
-index_t mem_a_addr(index_t i, index_t p, index_t mc, int nr) {
-  return i / nr + (mc / nr) * (p / nr);
-}
-
-/// Load an mc x kc operand into MEM-A round-robin and charge the DMA.
-sim::time_t_ stage_operand(sim::Core& core, ConstViewD a, sim::time_t_ start) {
-  const int nr = core.nr();
-  const index_t mc = a.rows();
-  const index_t kc = a.cols();
-  for (index_t p = 0; p < kc; ++p)
-    for (index_t i = 0; i < mc; ++i)
-      core.pe(static_cast<int>(i % nr), static_cast<int>(p % nr))
-          .mem_a.poke(mem_a_addr(i, p, mc, nr), a(i, p));
-  return core.dma(static_cast<double>(mc) * kc, start);
-}
 
 /// Diagonal-step of the blocked algorithm: run the transpose-overlapped
 /// rank-1 loop for the row panel `ib` of A (global rows ib*nr..ib*nr+nr-1),
@@ -61,22 +51,16 @@ KernelResult syrk_inner(const arch::CoreConfig& cfg, ConstViewD a, ConstViewD c_
   const int nr = cfg.nr;
   assert(a.rows() == nr && c_in.rows() == nr && c_in.cols() == nr);
   sim::Core core(cfg, 1e9, 1);
-  stage_operand(core, a, 0.0);
-  for (int r = 0; r < nr; ++r)
-    for (int c = 0; c < nr; ++c)
-      core.pe(r, c).mac.set_acc(0, sim::at(c_in(r, c), 0.0));
+  StreamSchedule sched(core);
+  sched.stage_resident(a);
+  sched.load_accumulators(0, 0.0, [&](int r, int c) { return c_in(r, c); });
 
   syrk_diag_step(core, a, 0, 0, 0, 0.0);
 
   KernelResult res;
   res.out = MatrixD(nr, nr);
-  double finish = 0.0;
-  for (int r = 0; r < nr; ++r)
-    for (int c = 0; c < nr; ++c) {
-      sim::TimedVal v = core.pe(r, c).mac.read_acc(0);
-      res.out(r, c) = v.v;
-      finish = std::max(finish, v.ready);
-    }
+  const double finish =
+      sched.drain_accumulators(0, [&](int r, int c, double v) { res.out(r, c) = v; });
   res.cycles = std::max(finish, core.finish_time());
   res.stats = core.stats();
   res.utilization = static_cast<double>(res.stats.mac_ops) / (res.cycles * nr * nr);
@@ -91,70 +75,46 @@ KernelResult syrk_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
   assert(mc % nr == 0 && c_in.rows() == mc && c_in.cols() == mc);
 
   sim::Core core(cfg, bw_words_per_cycle, 2);
-  const sim::time_t_ a_done = stage_operand(core, a, 0.0);
+  StreamSchedule sched(core);
+  const sim::time_t_ a_done = sched.stage_resident(a);
 
   KernelResult res;
   res.out = to_matrix<double>(c_in);
   const index_t mb = mc / nr;
-  sim::time_t_ dma_cursor = a_done;
   sim::time_t_ finish = a_done;
   int parity = 0;
 
   for (index_t i = 0; i < mb; ++i) {
     // (1a/1b) diagonal block SYRK + capture of A1^T into MEM-B.
-    const sim::time_t_ c_diag_in = core.dma(static_cast<double>(nr) * nr, dma_cursor);
-    dma_cursor = c_diag_in;
-    for (int r = 0; r < nr; ++r)
-      for (int c = 0; c < nr; ++c)
-        core.pe(r, c).mac.set_acc(parity, sim::at(res.out(i * nr + r, i * nr + c),
-                                                  c_diag_in));
+    const sim::time_t_ c_diag_in = sched.dma(static_cast<double>(nr) * nr);
+    sched.load_accumulators(parity, c_diag_in, [&](int r, int c) {
+      return res.out(i * nr + r, i * nr + c);
+    });
     syrk_diag_step(core, a, i, parity, 0, c_diag_in);
-    sim::time_t_ diag_ready = 0.0;
-    for (int r = 0; r < nr; ++r)
-      for (int c = 0; c < nr; ++c) {
-        sim::TimedVal v = core.pe(r, c).mac.read_acc(parity);
-        if (r >= c) res.out(i * nr + r, i * nr + c) = v.v;  // lower only
-        diag_ready = std::max(diag_ready, v.ready);
-      }
-    dma_cursor = core.dma(static_cast<double>(nr) * (nr + 1) / 2,
-                          std::max(dma_cursor, diag_ready));
+    const sim::time_t_ diag_ready =
+        sched.drain_accumulators(parity, [&](int r, int c, double v) {
+          if (r >= c) res.out(i * nr + r, i * nr + c) = v;  // lower only
+        });
+    sched.dma_after(static_cast<double>(nr) * (nr + 1) / 2, diag_ready);
     parity ^= 1;
 
     // (2) GEMM updates C(l, i) += A_l * A1^T for l > i, using the captured
     // transposed panel as the replicated "B" operand.
     for (index_t l = i + 1; l < mb; ++l) {
-      const sim::time_t_ c_in_done = core.dma(static_cast<double>(nr) * nr, dma_cursor);
-      dma_cursor = c_in_done;
-      for (int r = 0; r < nr; ++r)
-        for (int c = 0; c < nr; ++c)
-          core.pe(r, c).mac.set_acc(parity, sim::at(res.out(l * nr + r, i * nr + c),
-                                                    c_in_done));
-      for (index_t p = 0; p < kc; ++p) {
-        const int owner = static_cast<int>(p % nr);
-        for (int r = 0; r < nr; ++r) {
-          sim::TimedVal av = core.pe(r, owner).mem_a.read(
-              mem_a_addr(l * nr + r, p, mc, nr), c_in_done);
-          sim::TimedVal a_bcast = core.broadcast_row(r, av);
-          for (int c = 0; c < nr; ++c) {
-            sim::Pe& pe = core.pe(r, c);
-            sim::TimedVal bv = pe.mem_b.read(p, c_in_done);
-            pe.mac.mac_into_acc(parity, a_bcast, bv);
-          }
-        }
-      }
-      sim::time_t_ block_ready = 0.0;
-      for (int r = 0; r < nr; ++r)
-        for (int c = 0; c < nr; ++c) {
-          sim::TimedVal v = core.pe(r, c).mac.read_acc(parity);
-          res.out(l * nr + r, i * nr + c) = v.v;
-          block_ready = std::max(block_ready, v.ready);
-        }
-      dma_cursor = core.dma(static_cast<double>(nr) * nr,
-                            std::max(dma_cursor, block_ready));
-      finish = std::max(finish, dma_cursor);
+      const sim::time_t_ c_in_done = sched.dma(static_cast<double>(nr) * nr);
+      sched.load_accumulators(parity, c_in_done, [&](int r, int c) {
+        return res.out(l * nr + r, i * nr + c);
+      });
+      sched.rank1_update(parity, 0, mc, l * nr, 0, kc, 0, c_in_done);
+      const sim::time_t_ block_ready =
+          sched.drain_accumulators(parity, [&](int r, int c, double v) {
+            res.out(l * nr + r, i * nr + c) = v;
+          });
+      finish = std::max(finish,
+                        sched.dma_after(static_cast<double>(nr) * nr, block_ready));
       parity ^= 1;
     }
-    finish = std::max(finish, dma_cursor);
+    finish = std::max(finish, sched.cursor());
   }
 
   res.cycles = std::max(finish, core.finish_time());

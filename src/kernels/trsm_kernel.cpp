@@ -3,12 +3,13 @@
 #include <cassert>
 #include <vector>
 
-namespace lac::kernels {
-namespace {
+#include "fabric/stream_schedule.hpp"
 
-index_t mem_a_addr(index_t i, index_t p, index_t rows, int nr) {
-  return i / nr + (rows / nr) * (p / nr);
-}
+namespace lac::kernels {
+
+using fabric::StreamSchedule;
+
+namespace {
 
 /// Solve one batch of nr x nr TRSMs whose B blocks live in `x` (a matrix of
 /// nr rows and `cols` columns, block t occupying columns t*nr..t*nr+nr-1).
@@ -120,64 +121,41 @@ KernelResult trsm_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
   const index_t kb = n / nr;
 
   sim::Core core(cfg, bw_words_per_cycle, 2);
-  // L resident in MEM-A.
-  for (index_t p = 0; p < n; ++p)
-    for (index_t i = 0; i < n; ++i)
-      if (i >= p)
-        core.pe(static_cast<int>(i % nr), static_cast<int>(p % nr))
-            .mem_a.poke(mem_a_addr(i, p, n, nr), l(i, p));
-  sim::time_t_ dma_cursor =
-      core.dma(static_cast<double>(n) * (n + 1) / 2, 0.0);
+  StreamSchedule sched(core);
+  // L resident in MEM-A (lower triangle only).
+  sched.stage_resident_lower(l);
 
   // X rows computed so far, staged per block row in MEM-B (replicated) so
   // the GEMM updates can stream them as the "B" operand.
   KernelResult res;
   res.out = to_matrix<double>(b);
-  sim::time_t_ finish = dma_cursor;
+  sim::time_t_ finish = sched.cursor();
   int parity = 0;
 
   for (index_t i = 0; i < kb; ++i) {
     // (1) GEMM update: B_i -= sum_{l<i} L(i,l) * X_l. Row panel i of B is
     // streamed into accumulators block by block along the m columns.
     for (index_t jb = 0; jb < m / nr; ++jb) {
-      const sim::time_t_ c_in_done = core.dma(static_cast<double>(nr) * nr, dma_cursor);
-      dma_cursor = c_in_done;
-      for (int r = 0; r < nr; ++r)
-        for (int c = 0; c < nr; ++c)
-          core.pe(r, c).mac.set_acc(parity, sim::at(res.out(i * nr + r, jb * nr + c),
-                                                    c_in_done));
+      const sim::time_t_ c_in_done = sched.dma(static_cast<double>(nr) * nr);
+      sched.load_accumulators(parity, c_in_done, [&](int r, int c) {
+        return res.out(i * nr + r, jb * nr + c);
+      });
       for (index_t lb = 0; lb < i; ++lb) {
         // X_lb panel must be on chip: stream it into MEM-B (charged once
         // per (i, jb, lb) use; the blocked algorithm re-reads streamed X).
-        for (int c = 0; c < nr; ++c)
-          for (int rr = 0; rr < nr; ++rr)
-            for (int pp = 0; pp < nr; ++pp)
-              core.pe(rr, c).mem_b.poke(pp, res.out(lb * nr + pp, jb * nr + c));
-        dma_cursor = core.dma(static_cast<double>(nr) * nr, dma_cursor);
-        for (int pp = 0; pp < nr; ++pp) {
-          const int owner = static_cast<int>((lb * nr + pp) % nr);
-          for (int r = 0; r < nr; ++r) {
-            sim::TimedVal lv = core.pe(r, owner).mem_a.read(
-                mem_a_addr(i * nr + r, lb * nr + pp, n, nr), c_in_done);
-            lv.v = -lv.v;
-            sim::TimedVal l_bcast = core.broadcast_row(r, lv);
-            for (int c = 0; c < nr; ++c) {
-              sim::Pe& pe = core.pe(r, c);
-              sim::TimedVal xv = pe.mem_b.read(pp, c_in_done);
-              pe.mac.mac_into_acc(parity, l_bcast, xv);
-            }
-          }
-        }
+        sched.stage_panel_b(0, nr, [&](index_t pp, int c) {
+          return res.out(lb * nr + pp, jb * nr + c);
+        });
+        sched.dma(static_cast<double>(nr) * nr);
+        sched.rank1_update(parity, 0, n, i * nr, lb * nr, (lb + 1) * nr, 0,
+                           c_in_done, /*negate=*/true);
       }
       // (2) Triangular solve of the updated diagonal row panel.
-      sim::time_t_ upd_ready = 0.0;
       MatrixD bi(nr, nr);
-      for (int r = 0; r < nr; ++r)
-        for (int c = 0; c < nr; ++c) {
-          sim::TimedVal v = core.pe(r, c).mac.read_acc(parity);
-          bi(r, c) = v.v;
-          upd_ready = std::max(upd_ready, v.ready);
-        }
+      const sim::time_t_ upd_ready =
+          sched.drain_accumulators(parity, [&](int r, int c, double v) {
+            bi(r, c) = v;
+          });
       MatrixD lii(nr, nr, 0.0);
       for (int r = 0; r < nr; ++r)
         for (int c = 0; c <= r; ++c) lii(r, c) = l(i * nr + r, i * nr + c);
@@ -193,9 +171,8 @@ KernelResult trsm_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
           res.out(i * nr + r, jb * nr + c) = st.at(r, c, nr).v;
           solved = std::max(solved, st.at(r, c, nr).ready);
         }
-      dma_cursor = core.dma(static_cast<double>(nr) * nr,
-                            std::max(dma_cursor, solved));
-      finish = std::max(finish, dma_cursor);
+      finish = std::max(finish,
+                        sched.dma_after(static_cast<double>(nr) * nr, solved));
       parity ^= 1;
     }
   }

@@ -1,0 +1,317 @@
+// The unified fabric execution layer: backend parity (every kernel kind
+// through the cycle-exact SimExecutor and the analytical ModelExecutor,
+// numerics checked against the host reference and cycle counts
+// cross-checked between the backends) plus BatchDispatcher determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/presets.hpp"
+#include "blas/lap_driver.hpp"
+#include "blas/ref_blas.hpp"
+#include "blas/ref_lapack.hpp"
+#include "common/numeric.hpp"
+#include "common/random.hpp"
+#include "fabric/batch.hpp"
+#include "fabric/model_executor.hpp"
+#include "fabric/sim_executor.hpp"
+
+namespace lac::fabric {
+namespace {
+
+const SimExecutor kSim;
+const ModelExecutor kModel;
+
+/// Relative sim-vs-model cycle tolerance per kernel kind. GEMM uses the
+/// 10% of test_sim_vs_model.cpp (the §3.4 closed form is near-exact); the
+/// composite kernels use the band the structural models were calibrated to.
+double cycle_tolerance(KernelKind kind) {
+  return kind == KernelKind::Gemm || kind == KernelKind::ChipGemm ? 0.10 : 0.35;
+}
+
+void expect_backend_parity(const KernelRequest& req, const MatrixD& reference,
+                           double numeric_tol = 1e-9) {
+  KernelResult sim = kSim.execute(req);
+  KernelResult model = kModel.execute(req);
+  ASSERT_TRUE(sim.ok) << to_string(req.kind) << ": " << sim.error;
+  ASSERT_TRUE(model.ok) << to_string(req.kind) << ": " << model.error;
+  EXPECT_EQ(sim.backend, "sim");
+  EXPECT_EQ(model.backend, "model");
+  // Numerics: both backends must reproduce the host reference.
+  EXPECT_LT(rel_error(sim.out.view(), reference.view()), numeric_tol)
+      << to_string(req.kind) << " sim numerics";
+  EXPECT_LT(rel_error(model.out.view(), reference.view()), numeric_tol)
+      << to_string(req.kind) << " model numerics";
+  // Cycles: the analytical backend must track the cycle-exact one.
+  const double tol = cycle_tolerance(req.kind);
+  EXPECT_NEAR(sim.cycles, model.cycles, tol * model.cycles + 50.0)
+      << to_string(req.kind) << " cycles: sim=" << sim.cycles
+      << " model=" << model.cycles;
+  EXPECT_GT(sim.cycles, 0.0);
+  EXPECT_GT(model.cycles, 0.0);
+}
+
+TEST(FabricParity, Gemm) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a = random_matrix(32, 32, 1);
+  MatrixD b = random_matrix(32, 64, 2);
+  MatrixD c = random_matrix(32, 64, 3);
+  MatrixD ref = c;
+  blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, a.view(), b.view(), 1.0,
+             ref.view());
+  for (double bw : {0.5, 2.0, 8.0})
+    expect_backend_parity(make_gemm(cfg, bw, a.view(), b.view(), c.view()), ref);
+}
+
+TEST(FabricParity, Syrk) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a = random_matrix(32, 32, 4);
+  MatrixD c = random_matrix(32, 32, 5);
+  MatrixD ref = c;
+  blas::syrk(blas::Uplo::Lower, 1.0, a.view(), 1.0, ref.view());
+  for (double bw : {0.5, 2.0, 8.0})
+    expect_backend_parity(make_syrk(cfg, bw, a.view(), c.view()), ref);
+}
+
+TEST(FabricParity, Syr2k) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a = random_matrix(32, 32, 6);
+  MatrixD b = random_matrix(32, 32, 7);
+  MatrixD c = random_matrix(32, 32, 8);
+  MatrixD ref = c;
+  blas::syr2k(blas::Uplo::Lower, 1.0, a.view(), b.view(), 1.0, ref.view());
+  for (double bw : {0.5, 2.0, 8.0})
+    expect_backend_parity(make_syr2k(cfg, bw, a.view(), b.view(), c.view()), ref);
+}
+
+TEST(FabricParity, Trsm) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD l = random_lower_triangular(32, 9);
+  MatrixD b = random_matrix(32, 32, 10);
+  MatrixD ref = b;
+  blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::No,
+             blas::Diag::NonUnit, 1.0, l.view(), ref.view());
+  for (double bw : {0.5, 2.0, 8.0})
+    expect_backend_parity(make_trsm(cfg, bw, l.view(), b.view()), ref, 1e-8);
+}
+
+TEST(FabricParity, Cholesky) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a = random_spd(32, 11);
+  MatrixD ref = a;
+  ASSERT_TRUE(blas::cholesky(ref.view()));
+  for (index_t j = 1; j < ref.cols(); ++j)
+    for (index_t i = 0; i < j; ++i) ref(i, j) = 0.0;
+  for (double bw : {0.5, 2.0, 8.0})
+    expect_backend_parity(make_cholesky(cfg, bw, a.view()), ref, 1e-8);
+}
+
+TEST(FabricParity, LuPanel) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD panel = random_matrix(32, 4, 12);
+  MatrixD ref = panel;
+  std::vector<index_t> ref_piv;
+  ASSERT_TRUE(blas::lu_partial_pivot(ref.view(), ref_piv));
+  KernelRequest req = make_lu(cfg, panel.view());
+  expect_backend_parity(req, ref, 1e-10);
+  // Pivot sequences must agree too (deterministic max-magnitude search).
+  KernelResult sim = kSim.execute(req);
+  KernelResult model = kModel.execute(req);
+  EXPECT_EQ(sim.pivots, ref_piv);
+  EXPECT_EQ(model.pivots, ref_piv);
+}
+
+TEST(FabricParity, QrPanel) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD panel = random_matrix(32, 4, 13);
+  MatrixD ref = panel;
+  std::vector<double> ref_taus = blas::qr_householder(ref.view());
+  KernelRequest req = make_qr(cfg, panel.view());
+  expect_backend_parity(req, ref, 1e-9);
+  KernelResult sim = kSim.execute(req);
+  ASSERT_EQ(sim.taus.size(), ref_taus.size());
+  for (std::size_t i = 0; i < ref_taus.size(); ++i)
+    EXPECT_NEAR(sim.taus[i], ref_taus[i], 1e-9 * std::abs(ref_taus[i]) + 1e-12);
+}
+
+TEST(FabricParity, Vnorm) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  std::vector<double> x(256);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(0.37 * static_cast<double>(i + 1));
+  const double ref = blas::nrm2(static_cast<index_t>(x.size()), x.data());
+  KernelRequest req = make_vnorm(cfg, x);
+  KernelResult sim = kSim.execute(req);
+  KernelResult model = kModel.execute(req);
+  ASSERT_TRUE(sim.ok && model.ok);
+  EXPECT_NEAR(sim.scalar, ref, 1e-9 * ref);
+  EXPECT_NEAR(model.scalar, ref, 1e-12 * ref);
+  EXPECT_NEAR(sim.cycles, model.cycles, 0.35 * model.cycles + 50.0);
+}
+
+TEST(FabricParity, ChipGemm) {
+  arch::ChipConfig chip = arch::lap_s8();
+  chip.cores = 2;
+  const index_t m = 32, n = 32, k = 32;
+  MatrixD a = random_matrix(m, k, 14);
+  MatrixD b = random_matrix(k, n, 15);
+  MatrixD c = random_matrix(m, n, 16);
+  MatrixD ref = c;
+  blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, a.view(), b.view(), 1.0,
+             ref.view());
+  expect_backend_parity(
+      make_chip_gemm(chip, 16, 16, a.view(), b.view(), c.view()), ref);
+}
+
+TEST(FabricExecutor, NonSpdCholeskyFailsInBandOnBothBackends) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a = random_matrix(16, 16, 40);  // not symmetric positive definite
+  for (index_t i = 0; i < 16; ++i) a(i, i) = -1.0;
+  KernelRequest req = make_cholesky(cfg, 2.0, a.view());
+  for (const Executor* ex : {static_cast<const Executor*>(&kSim),
+                             static_cast<const Executor*>(&kModel)}) {
+    KernelResult res = ex->execute(req);
+    EXPECT_FALSE(res.ok) << res.backend;
+    EXPECT_FALSE(res.error.empty()) << res.backend;
+  }
+}
+
+TEST(FabricExecutor, InvalidRequestReportsInBand) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  KernelRequest req = make_gemm(cfg, 1.0, random_matrix(30, 32, 17).view(),
+                                random_matrix(32, 32, 18).view(),
+                                MatrixD(30, 32, 0.0).view());  // 30 % 4 != 0
+  for (const Executor* ex : {static_cast<const Executor*>(&kSim),
+                             static_cast<const Executor*>(&kModel)}) {
+    KernelResult res = ex->execute(req);
+    EXPECT_FALSE(res.ok);
+    EXPECT_FALSE(res.error.empty());
+  }
+}
+
+std::vector<KernelRequest> sweep_requests() {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  std::vector<KernelRequest> reqs;
+  int seed = 100;
+  for (index_t sz : {16, 24, 32}) {
+    for (double bw : {0.5, 1.0, 4.0}) {
+      MatrixD a = random_matrix(sz, sz, seed++);
+      MatrixD b = random_matrix(sz, sz, seed++);
+      MatrixD c = random_matrix(sz, sz, seed++);
+      KernelRequest g = make_gemm(cfg, bw, a.view(), b.view(), c.view());
+      g.tag = "gemm";
+      reqs.push_back(std::move(g));
+      KernelRequest s = make_syrk(cfg, bw, a.view(), c.view());
+      s.tag = "syrk";
+      reqs.push_back(std::move(s));
+    }
+  }
+  return reqs;
+}
+
+TEST(BatchDispatcher, DeterministicAcrossThreadCounts) {
+  for (const Executor* ex : {static_cast<const Executor*>(&kSim),
+                             static_cast<const Executor*>(&kModel)}) {
+    std::vector<KernelRequest> reqs = sweep_requests();
+    BatchDispatcher serial(*ex, {1});
+    std::vector<KernelResult> base = serial.run(reqs);
+    for (unsigned threads : {2u, 4u, 7u}) {
+      BatchDispatcher par(*ex, {threads});
+      std::vector<KernelResult> got = par.run(reqs);
+      ASSERT_EQ(got.size(), base.size());
+      for (std::size_t i = 0; i < base.size(); ++i) {
+        EXPECT_TRUE(got[i].ok);
+        EXPECT_EQ(got[i].tag, base[i].tag);
+        EXPECT_EQ(got[i].cycles, base[i].cycles) << "request " << i;
+        EXPECT_EQ(got[i].stats.mac_ops, base[i].stats.mac_ops);
+        EXPECT_TRUE(got[i].out == base[i].out) << "request " << i;
+      }
+    }
+  }
+}
+
+TEST(BatchDispatcher, SummaryAggregates) {
+  std::vector<KernelRequest> reqs = sweep_requests();
+  BatchDispatcher batch(kModel, {4});
+  std::vector<KernelResult> results = batch.run(reqs);
+  BatchSummary s = BatchDispatcher::summarize(results);
+  EXPECT_EQ(s.backend, "model");
+  EXPECT_EQ(s.requests, static_cast<int>(reqs.size()));
+  EXPECT_EQ(s.failures, 0);
+  double total = 0.0, mx = 0.0;
+  for (const auto& r : results) {
+    total += r.cycles;
+    mx = std::max(mx, r.cycles);
+  }
+  EXPECT_DOUBLE_EQ(s.total_cycles, total);
+  EXPECT_DOUBLE_EQ(s.max_cycles, mx);
+  EXPECT_GT(s.mean_utilization, 0.0);
+  EXPECT_LE(s.mean_utilization, 1.0);
+}
+
+TEST(LapDriverOnFabric, GemmSameNumericsOnBothBackends) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const index_t m = 24, n = 24, k = 24;
+  MatrixD a = random_matrix(m, k, 30);
+  MatrixD b = random_matrix(k, n, 31);
+  MatrixD c0 = random_matrix(m, n, 32);
+  MatrixD expect = c0;
+  blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, a.view(), b.view(), 1.0,
+             expect.view());
+
+  MatrixD c_sim = c0;
+  blas::DriverReport rs =
+      blas::lap_gemm(kSim, cfg, 2.0, 8, 8, a.view(), b.view(), c_sim.view());
+  MatrixD c_model = c0;
+  blas::DriverReport rm =
+      blas::lap_gemm(kModel, cfg, 2.0, 8, 8, a.view(), b.view(), c_model.view());
+
+  EXPECT_LT(rel_error(c_sim.view(), expect.view()), 1e-12);
+  EXPECT_LT(rel_error(c_model.view(), expect.view()), 1e-12);
+  EXPECT_EQ(rs.kernel_calls, rm.kernel_calls);
+  // The analytical driver must track the simulated one's total cycles.
+  EXPECT_NEAR(rs.total_cycles, rm.total_cycles, 0.15 * rm.total_cycles + 100.0);
+  // The model backend reports no simulator activity counters.
+  EXPECT_EQ(rm.stats.mac_ops, 0);
+  EXPECT_GT(rs.stats.mac_ops, 0);
+}
+
+TEST(LapDriverOnFabric, CholeskyFactorsOnModelBackend) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const index_t n = 24;
+  MatrixD a = random_spd(n, 33);
+  MatrixD expect = a;
+  ASSERT_TRUE(blas::cholesky(expect.view()));
+  blas::DriverReport rep = blas::lap_cholesky(kModel, cfg, 2.0, 8, a.view());
+  EXPECT_LT(rel_error(a.view(), expect.view()), 1e-9);
+  EXPECT_GT(rep.total_cycles, 0.0);
+  EXPECT_GT(rep.kernel_calls, 3);
+}
+
+TEST(LapDriverOnFabric, LuAndQrRunOnModelBackend) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a = random_matrix(16, 8, 34);
+  MatrixD a_lu = a;
+  std::vector<index_t> piv;
+  blas::DriverReport rl = blas::lap_lu(kModel, cfg, 2.0, a_lu.view(), piv);
+  MatrixD expect = a;
+  std::vector<index_t> ref_piv;
+  ASSERT_TRUE(blas::lu_partial_pivot(expect.view(), ref_piv));
+  EXPECT_LT(rel_error(a_lu.view(), expect.view()), 1e-9);
+  EXPECT_EQ(piv, ref_piv);
+  EXPECT_GT(rl.total_cycles, 0.0);
+
+  MatrixD a_qr = a;
+  std::vector<double> taus;
+  blas::DriverReport rq = blas::lap_qr(kModel, cfg, 2.0, a_qr.view(), taus);
+  MatrixD q = blas::qr_form_q(a_qr.view(), taus);
+  // Q^T Q = I.
+  MatrixD qtq(a.cols(), a.cols(), 0.0);
+  blas::gemm(blas::Trans::Yes, blas::Trans::No, 1.0, q.view(), q.view(), 0.0,
+             qtq.view());
+  EXPECT_LT(rel_error(qtq.view(), identity(a.cols()).view()), 1e-9);
+  EXPECT_GT(rq.total_cycles, 0.0);
+}
+
+}  // namespace
+}  // namespace lac::fabric
