@@ -1,0 +1,264 @@
+// Serving-layer throughput bench: sustained mixed-kernel traffic through
+// the persistent serving path (AsyncExecutor + shared ThreadPool +
+// CycleCache) versus the PR-1 dispatch pattern (spawn-and-join host threads
+// on every call, deep-copied operands).
+//
+// The workload is >= 200 requests over repeated shapes -- the serving
+// profile the ROADMAP targets -- and every payload is shared (zero-copy
+// requests). Emits JSON records (requests/s, p50/p99 wall latency, cache
+// hit rate, per backend and mode) to stdout and BENCH_serving.json, plus a
+// byte-identical determinism check across pool widths. Set LAC_BENCH_SMOKE=1
+// for a CI-sized run.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/presets.hpp"
+#include "common/parallel.hpp"
+#include "common/random.hpp"
+#include "common/thread_pool.hpp"
+#include "fabric/model_executor.hpp"
+#include "fabric/serving.hpp"
+#include "fabric/sim_executor.hpp"
+
+namespace {
+
+using namespace lac;
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Mixed-kernel workload over repeated shapes; all operands are shared
+/// payloads, so building (and later queueing) requests copies no matrices.
+std::vector<fabric::KernelRequest> workload(const arch::CoreConfig& cfg,
+                                            int repeats) {
+  std::vector<fabric::KernelRequest> reqs;
+  int seed = 1;
+  const double bw = 2.0;
+  for (index_t n : {16, 32}) {
+    auto a = std::make_shared<const MatrixD>(random_matrix(n, n, seed++));
+    auto b = std::make_shared<const MatrixD>(random_matrix(n, n, seed++));
+    auto c = std::make_shared<const MatrixD>(random_matrix(n, n, seed++));
+    auto l = std::make_shared<const MatrixD>(random_lower_triangular(n, seed++));
+    auto spd = std::make_shared<const MatrixD>(random_spd(n, seed++));
+    auto panel = std::make_shared<const MatrixD>(random_matrix(n, cfg.nr, seed++));
+    for (int r = 0; r < repeats; ++r) {
+      auto tag = [&](const char* kind) {
+        return std::string(kind) + "/" + std::to_string(n);
+      };
+      fabric::KernelRequest q = fabric::make_gemm(cfg, bw, a, b, c);
+      q.tag = tag("gemm");
+      reqs.push_back(std::move(q));
+      q = fabric::make_syrk(cfg, bw, a, c);
+      q.tag = tag("syrk");
+      reqs.push_back(std::move(q));
+      q = fabric::make_trsm(cfg, bw, l, b);
+      q.tag = tag("trsm");
+      reqs.push_back(std::move(q));
+      q = fabric::make_cholesky(cfg, bw, spd);
+      q.tag = tag("chol");
+      reqs.push_back(std::move(q));
+      q = fabric::make_lu(cfg, panel);
+      q.tag = tag("lu");
+      reqs.push_back(std::move(q));
+      q = fabric::make_qr(cfg, panel);
+      q.tag = tag("qr");
+      reqs.push_back(std::move(q));
+    }
+  }
+  return reqs;
+}
+
+struct ModeStats {
+  double wall_ms = 0.0;
+  double requests_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+ModeStats finalize(double wall_ms, std::size_t n, std::vector<double> lat) {
+  ModeStats s;
+  s.wall_ms = wall_ms;
+  s.requests_per_s = wall_ms > 0 ? static_cast<double>(n) / (wall_ms / 1e3) : 0.0;
+  std::sort(lat.begin(), lat.end());
+  if (!lat.empty()) {
+    s.p50_ms = lat[lat.size() / 2];
+    s.p99_ms = lat[std::min(lat.size() - 1, lat.size() * 99 / 100)];
+  }
+  return s;
+}
+
+/// PR-1 pattern: dispatch arrives in small batches, each batch spawning and
+/// joining `width` fresh host threads (what BatchDispatcher{width}::run did
+/// before the pool). Latency is completion minus the dispatch of the
+/// request's batch.
+ModeStats run_spawn(const fabric::Executor& ex,
+                    const std::vector<fabric::KernelRequest>& reqs,
+                    std::size_t chunk, unsigned width, int iterations) {
+  std::vector<double> lat;
+  lat.reserve(reqs.size() * static_cast<std::size_t>(iterations));
+  double wall = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    const auto t0 = Clock::now();
+    for (std::size_t base = 0; base < reqs.size(); base += chunk) {
+      const std::size_t count = std::min(chunk, reqs.size() - base);
+      const auto dispatch = Clock::now();
+      std::vector<double> chunk_lat(count);
+      lac::parallel_for(
+          count,
+          [&](std::size_t i) {
+            fabric::KernelResult r = ex.execute(reqs[base + i]);
+            (void)r;
+            chunk_lat[i] = ms_between(dispatch, Clock::now());
+          },
+          width);
+      lat.insert(lat.end(), chunk_lat.begin(), chunk_lat.end());
+    }
+    wall += ms_between(t0, Clock::now());
+  }
+  return finalize(wall, reqs.size() * static_cast<std::size_t>(iterations), std::move(lat));
+}
+
+/// Serving path: every request is queued through the AsyncExecutor on the
+/// persistent pool; latency is completion minus submission.
+ModeStats run_pool(const fabric::AsyncExecutor& async,
+                   const std::vector<fabric::KernelRequest>& reqs,
+                   int iterations) {
+  std::vector<double> lat(reqs.size() * static_cast<std::size_t>(iterations));
+  double wall = 0.0;
+  std::size_t cursor = 0;
+  for (int it = 0; it < iterations; ++it) {
+    const auto t0 = Clock::now();
+    std::vector<std::future<fabric::KernelResult>> futs;
+    futs.reserve(reqs.size());
+    for (const fabric::KernelRequest& req : reqs) {
+      const auto submitted = Clock::now();
+      double* slot = &lat[cursor++];
+      futs.push_back(async.submit(req, [slot, submitted](const fabric::KernelResult&) {
+        *slot = ms_between(submitted, Clock::now());
+      }));
+    }
+    for (auto& f : futs) f.get();
+    wall += ms_between(t0, Clock::now());
+  }
+  return finalize(wall, reqs.size() * static_cast<std::size_t>(iterations), std::move(lat));
+}
+
+/// Byte-identical results across pool widths (1, 2, 4) on both backends.
+bool deterministic_across_widths(const fabric::Executor& ex,
+                                 const std::vector<fabric::KernelRequest>& reqs) {
+  ThreadPool serial(1);
+  std::vector<fabric::KernelResult> expect;
+  {
+    std::vector<std::future<fabric::KernelResult>> futs =
+        fabric::AsyncExecutor(ex, &serial).submit_all(reqs);
+    for (auto& f : futs) expect.push_back(f.get());
+  }
+  for (unsigned width : {2u, 4u}) {
+    ThreadPool pool(width);
+    std::vector<std::future<fabric::KernelResult>> futs =
+        fabric::AsyncExecutor(ex, &pool).submit_all(reqs);
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      fabric::KernelResult got = futs[i].get();
+      if (!(got.ok && got.cycles == expect[i].cycles && got.out == expect[i].out))
+        return false;
+    }
+  }
+  return true;
+}
+
+std::string json_mode(const char* backend, const char* mode, std::size_t requests,
+                      const ModeStats& s, const fabric::CycleCache* cache) {
+  std::ostringstream os;
+  os << "    {\"backend\": \"" << backend << "\", \"mode\": \"" << mode
+     << "\", \"requests\": " << requests << ", \"wall_ms\": " << s.wall_ms
+     << ", \"requests_per_s\": " << s.requests_per_s
+     << ", \"p50_ms\": " << s.p50_ms << ", \"p99_ms\": " << s.p99_ms;
+  if (cache)
+    os << ", \"cache_hits\": " << cache->hits()
+       << ", \"cache_misses\": " << cache->misses()
+       << ", \"cache_hit_rate\": " << cache->hit_rate();
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("LAC_BENCH_SMOKE") != nullptr;
+  const arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const int repeats = smoke ? 18 : 40;        // 2 sizes x 6 kernels x repeats
+  const int iterations = smoke ? 2 : 5;
+  const std::size_t chunk = 8;                // spawn-mode batch size
+  // Both modes run at the same worker width -- the PR-1 dispatcher spawned
+  // `width` fresh threads every run() call, the pool keeps `width` workers
+  // alive -- so the only variable is per-call thread creation.
+  const unsigned width = 8;
+  std::vector<fabric::KernelRequest> reqs = workload(cfg, repeats);
+  std::printf("serving workload: %zu mixed-kernel requests (%d repeats per shape)\n",
+              reqs.size(), repeats);
+
+  const fabric::SimExecutor sim;
+  const fabric::ModelExecutor model;
+  fabric::CycleCache cache;
+  const fabric::ModelExecutor cached_model(&cache);
+  ThreadPool pool(width);
+
+  std::ostringstream json;
+  json << "{\n  \"requests\": " << reqs.size()
+       << ",\n  \"iterations\": " << iterations
+       << ",\n  \"spawn_chunk\": " << chunk
+       << ",\n  \"worker_width\": " << width << ",\n  \"modes\": [\n";
+
+  // Model backend: instant estimation makes dispatch overhead the story.
+  // "pool" uses the same uncached executor as "spawn" so the speedup
+  // isolates per-call thread creation; "pool+cache" adds the CycleCache on
+  // top (repeated-shape traffic skips re-estimation).
+  const ModeStats model_spawn = run_spawn(model, reqs, chunk, width, iterations);
+  json << json_mode("model", "spawn", reqs.size(), model_spawn, nullptr) << ",\n";
+  const fabric::AsyncExecutor async_model(model, &pool);
+  const ModeStats model_pool = run_pool(async_model, reqs, iterations);
+  json << json_mode("model", "pool", reqs.size(), model_pool, nullptr) << ",\n";
+  const fabric::AsyncExecutor async_cached(cached_model, &pool);
+  const ModeStats model_pool_cache = run_pool(async_cached, reqs, iterations);
+  json << json_mode("model", "pool+cache", reqs.size(), model_pool_cache, &cache)
+       << ",\n";
+
+  // Sim backend: heavier per-request work; the pool still wins on dispatch.
+  const ModeStats sim_spawn = run_spawn(sim, reqs, chunk, width, iterations);
+  json << json_mode("sim", "spawn", reqs.size(), sim_spawn, nullptr) << ",\n";
+  const fabric::AsyncExecutor async_sim(sim, &pool);
+  const ModeStats sim_pool = run_pool(async_sim, reqs, iterations);
+  json << json_mode("sim", "pool", reqs.size(), sim_pool, nullptr) << "\n  ],\n";
+
+  const bool det = deterministic_across_widths(sim, workload(cfg, 2)) &&
+                   deterministic_across_widths(model, workload(cfg, 2));
+  json << "  \"deterministic_across_pool_widths\": " << (det ? "true" : "false")
+       << ",\n  \"speedup_pool_vs_spawn_model\": "
+       << (model_spawn.requests_per_s > 0
+               ? model_pool.requests_per_s / model_spawn.requests_per_s
+               : 0.0)
+       << ",\n  \"speedup_pool_cache_vs_spawn_model\": "
+       << (model_spawn.requests_per_s > 0
+               ? model_pool_cache.requests_per_s / model_spawn.requests_per_s
+               : 0.0)
+       << ",\n  \"speedup_pool_vs_spawn_sim\": "
+       << (sim_spawn.requests_per_s > 0
+               ? sim_pool.requests_per_s / sim_spawn.requests_per_s
+               : 0.0)
+       << "\n}\n";
+
+  std::printf("\n%s", json.str().c_str());
+  std::ofstream out("BENCH_serving.json");
+  out << json.str();
+  std::printf("wrote BENCH_serving.json\n");
+  return det ? 0 : 1;
+}

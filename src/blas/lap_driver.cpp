@@ -44,12 +44,15 @@ DriverReport lap_gemm(const fabric::Executor& ex, const arch::CoreConfig& cfg,
     for (index_t ii = 0; ii < m; ii += mc) {
       const index_t mb = std::min(mc, m - ii);
       // One resident A tile; the full n-wide sweep of B/C panels streams
-      // through the core (this is exactly the §3.4 inner kernel).
+      // through the core (this is exactly the §3.4 inner kernel). Only the
+      // very first tile of the whole sweep has no prior compute to hide its
+      // A load behind; every later tile -- including the rest of the first
+      // k-panel -- overlaps with the preceding tile's B/C streaming.
       fabric::KernelResult r = run(
           ex, fabric::make_gemm(cfg, bw_words_per_cycle, a.block(ii, pp, mb, kb),
                                 b.block(pp, 0, kb, n), c.block(ii, 0, mb, n),
-                                pp == 0 ? model::Overlap::Partial
-                                        : model::Overlap::Full));
+                                pp == 0 && ii == 0 ? model::Overlap::Partial
+                                                   : model::Overlap::Full));
       copy_into<double>(MatrixView<const double>(r.out.view()), c.block(ii, 0, mb, n));
       absorb(rep, r);
     }
@@ -208,14 +211,19 @@ DriverReport lap_qr(const fabric::Executor& ex, const arch::CoreConfig& cfg,
       MatrixD u(tail, 1, 0.0);
       u(0, 0) = 1.0;
       for (index_t i = 1; i < tail; ++i) u(i, 0) = a(j + s + i, j + s);
-      // w = (A2^T u) / tau as a 1 x right GEMM on the accelerator: pad the
-      // row count to nr for the fabric.
+      // w^T = (u^T/tau) A2 as an nr x right GEMM on the accelerator (row 0
+      // of the A operand carries u^T/tau, the rest is padding): these MACs
+      // run on the fabric, so they are charged fabric cycles like the
+      // rank-1 update below.
+      MatrixD ut(nr, tail, 0.0);
+      for (index_t i = 0; i < tail; ++i) ut(0, i) = u(i, 0) / tau;
+      fabric::KernelResult wres = run(
+          ex, fabric::make_gemm(cfg, bw_words_per_cycle, ut.view(),
+                                a.block(j + s, j + nr, tail, right),
+                                MatrixD(nr, right, 0.0).view()));
       w.assign(static_cast<std::size_t>(right), 0.0);
-      for (index_t c = 0; c < right; ++c) {
-        double acc = 0.0;
-        for (index_t i = 0; i < tail; ++i) acc += u(i, 0) * a(j + s + i, j + nr + c);
-        w[static_cast<std::size_t>(c)] = acc / tau;
-      }
+      for (index_t c = 0; c < right; ++c) w[static_cast<std::size_t>(c)] = wres.out(0, c);
+      absorb(rep, wres);
       // Rank-1 update A2 -= u w^T on the accelerator: reuse the GEMM
       // kernel with the padded operands to charge realistic cycles.
       const index_t padded = ((tail + nr - 1) / nr) * nr;

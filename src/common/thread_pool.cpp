@@ -1,0 +1,112 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace lac {
+
+ThreadPool::ThreadPool(unsigned threads)
+    : target_(threads > 0 ? threads
+                          : std::max(1u, std::thread::hardware_concurrency())) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    queue_.clear();
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::post(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) {
+      started_ = true;
+      workers_.reserve(target_);
+      for (unsigned w = 0; w < target_; ++w)
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn,
+                              unsigned max_workers) {
+  const unsigned cap = max_workers > 0 ? max_workers : target_;
+  if (cap <= 1 || n < 2) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared claim/completion state. Helpers that the queue only gets to
+  // after the caller has already claimed everything find next >= n and
+  // exit without touching fn, so the state is kept alive by shared_ptr
+  // rather than by blocking the caller on stragglers.
+  struct Join {
+    std::size_t n;
+    std::function<void(std::size_t)> fn;
+    std::atomic<std::size_t> next{0};
+    std::atomic<unsigned> inflight{0};
+    std::mutex mu;
+    std::condition_variable done;
+    std::exception_ptr error;
+  };
+  auto st = std::make_shared<Join>();
+  st->n = n;
+  st->fn = fn;
+
+  auto runner = [st] {
+    st->inflight.fetch_add(1);
+    try {
+      for (std::size_t i = st->next.fetch_add(1); i < st->n;
+           i = st->next.fetch_add(1))
+        st->fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(st->mu);
+      if (!st->error) st->error = std::current_exception();
+      // Drain the remaining iterations so sibling runners exit promptly.
+      st->next.store(st->n);
+    }
+    if (st->inflight.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lock(st->mu);
+      st->done.notify_all();
+    }
+  };
+
+  // The caller is one of the workers; only the surplus goes to the pool.
+  const unsigned total =
+      static_cast<unsigned>(std::min<std::size_t>(std::min(cap, target_ + 1), n));
+  for (unsigned w = 1; w < total; ++w) post(runner);
+  runner();
+
+  // All indices are claimed once the caller's runner returns (its final
+  // fetch_add saw next >= n); wait only for helpers mid-iteration.
+  std::unique_lock<std::mutex> lock(st->mu);
+  st->done.wait(lock, [&] { return st->inflight.load() == 0; });
+  if (st->error) std::rethrow_exception(st->error);
+}
+
+}  // namespace lac

@@ -1,0 +1,77 @@
+#pragma once
+// Persistent work-queue thread pool for the serving layer.
+//
+// lac::parallel_for spawns and joins a fresh set of threads on every call,
+// which is fine for one-shot design-space sweeps but taxes every call on a
+// sustained serving path. The ThreadPool keeps a fixed set of workers alive
+// across calls (started lazily on first use, so merely constructing one --
+// or linking the shared instance -- costs nothing) and feeds them from a
+// FIFO queue. `submit` returns a std::future for any callable;
+// `parallel_for` mirrors lac::parallel_for's contract (index-addressed work,
+// worker-count clamping, first exception rethrown on the caller) on top of
+// the persistent workers.
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace lac {
+
+class ThreadPool {
+ public:
+  /// `threads` = 0 sizes the pool to the hardware concurrency (min 1).
+  /// Workers are not started until the first job is posted.
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains nothing: queued jobs that have not started are discarded, but
+  /// running jobs complete before the workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool shared by the serving layer and the batch
+  /// dispatcher. Lazily constructed on first use.
+  static ThreadPool& shared();
+
+  /// Worker count the pool was sized to.
+  unsigned size() const { return target_; }
+
+  /// Queue a callable; the returned future carries its result or exception.
+  template <typename F, typename R = std::invoke_result_t<std::decay_t<F>>>
+  std::future<R> submit(F&& f) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    post([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Run fn(i) for i in [0, n) across the pool, the calling thread
+  /// participating as one worker (so progress never depends on pool
+  /// availability, even when every pool thread is busy elsewhere).
+  /// `max_workers` caps the total worker count (0 = pool size, 1 = serial);
+  /// results must never depend on it. Exceptions thrown by fn are captured,
+  /// remaining iterations are abandoned (fail-fast), and the first
+  /// exception is rethrown here after all in-flight iterations finish.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    unsigned max_workers = 0);
+
+ private:
+  void post(std::function<void()> job);
+  void worker_loop();
+
+  unsigned target_ = 1;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool started_ = false;
+  bool stop_ = false;
+};
+
+}  // namespace lac

@@ -2,14 +2,17 @@
 
 #include <algorithm>
 
-#include "common/parallel.hpp"
+#include "common/thread_pool.hpp"
 
 namespace lac::fabric {
 
 std::vector<KernelResult> BatchDispatcher::run(
     const std::vector<KernelRequest>& requests) const {
   std::vector<KernelResult> results(requests.size());
-  parallel_for(
+  // Dispatch over the persistent shared pool: a sustained stream of run()
+  // calls pays no thread-spawn tax, and result i is written by index so the
+  // outcome is identical for any worker count.
+  ThreadPool::shared().parallel_for(
       requests.size(),
       [&](std::size_t i) { results[i] = executor_.execute(requests[i]); },
       opts_.max_threads);

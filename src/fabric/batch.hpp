@@ -11,7 +11,7 @@
 namespace lac::fabric {
 
 struct BatchOptions {
-  /// Worker cap handed to lac::parallel_for (0 = hardware concurrency,
+  /// Worker cap for the shared ThreadPool dispatch (0 = pool width,
   /// 1 = serial). Results never depend on this value.
   unsigned max_threads = 0;
 };

@@ -5,7 +5,7 @@
 namespace lac::fabric {
 namespace {
 
-MatrixD own(ConstViewD v) { return to_matrix<double>(v); }
+SharedMatrix own(ConstViewD v) { return SharedMatrix(to_matrix<double>(v)); }
 
 }  // namespace
 
@@ -117,6 +117,104 @@ KernelRequest make_chip_gemm(const arch::ChipConfig& chip, index_t mc, index_t k
   req.a = own(a);
   req.b = own(b);
   req.c = own(c);
+  return req;
+}
+
+
+/// ---- zero-copy builders (shared payloads, serving path) -----------------
+KernelRequest make_gemm(const arch::CoreConfig& core, double bw, SharedMatrix a,
+                        SharedMatrix b, SharedMatrix c, model::Overlap overlap) {
+  KernelRequest req;
+  req.kind = KernelKind::Gemm;
+  req.core = core;
+  req.bw_words_per_cycle = bw;
+  req.overlap = overlap;
+  req.a = std::move(a);
+  req.b = std::move(b);
+  req.c = std::move(c);
+  return req;
+}
+
+KernelRequest make_syrk(const arch::CoreConfig& core, double bw, SharedMatrix a,
+                        SharedMatrix c) {
+  KernelRequest req;
+  req.kind = KernelKind::Syrk;
+  req.core = core;
+  req.bw_words_per_cycle = bw;
+  req.a = std::move(a);
+  req.c = std::move(c);
+  return req;
+}
+
+KernelRequest make_syr2k(const arch::CoreConfig& core, double bw, SharedMatrix a,
+                         SharedMatrix b, SharedMatrix c) {
+  KernelRequest req;
+  req.kind = KernelKind::Syr2k;
+  req.core = core;
+  req.bw_words_per_cycle = bw;
+  req.a = std::move(a);
+  req.b = std::move(b);
+  req.c = std::move(c);
+  return req;
+}
+
+KernelRequest make_trsm(const arch::CoreConfig& core, double bw, SharedMatrix l,
+                        SharedMatrix b) {
+  KernelRequest req;
+  req.kind = KernelKind::Trsm;
+  req.core = core;
+  req.bw_words_per_cycle = bw;
+  req.a = std::move(l);
+  req.b = std::move(b);
+  return req;
+}
+
+KernelRequest make_cholesky(const arch::CoreConfig& core, double bw, SharedMatrix a) {
+  KernelRequest req;
+  req.kind = KernelKind::Cholesky;
+  req.core = core;
+  req.bw_words_per_cycle = bw;
+  req.a = std::move(a);
+  return req;
+}
+
+KernelRequest make_lu(const arch::CoreConfig& core, SharedMatrix panel) {
+  KernelRequest req;
+  req.kind = KernelKind::Lu;
+  req.core = core;
+  req.a = std::move(panel);
+  return req;
+}
+
+KernelRequest make_qr(const arch::CoreConfig& core, SharedMatrix panel) {
+  KernelRequest req;
+  req.kind = KernelKind::Qr;
+  req.core = core;
+  req.a = std::move(panel);
+  return req;
+}
+
+KernelRequest make_vnorm(const arch::CoreConfig& core, SharedVector x,
+                         int owner_col) {
+  KernelRequest req;
+  req.kind = KernelKind::Vnorm;
+  req.core = core;
+  req.x = std::move(x);
+  req.owner_col = owner_col;
+  return req;
+}
+
+KernelRequest make_chip_gemm(const arch::ChipConfig& chip, index_t mc, index_t kc,
+                             SharedMatrix a, SharedMatrix b, SharedMatrix c) {
+  KernelRequest req;
+  req.kind = KernelKind::ChipGemm;
+  req.chip = chip;
+  req.core = chip.core;
+  req.mc = mc;
+  req.kc = kc;
+  req.a = std::move(a);
+  req.b = std::move(b);
+  req.c = std::move(c);
   return req;
 }
 

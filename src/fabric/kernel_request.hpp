@@ -4,8 +4,12 @@
 // One KernelRequest describes one atomic unit of accelerator work -- any of
 // the nine kernels the statically-scheduled fabric serves (the paper's core
 // claim) -- in backend-neutral form. An Executor (sim-backed and cycle-exact,
-// or model-backed and instant) turns it into a KernelResult. Requests own
-// their operands so batches can execute concurrently without aliasing.
+// or model-backed and instant) turns it into a KernelResult. Operands are
+// immutable shared payloads: a request keeps its batch-safety (no aliasing
+// of mutable state between concurrent executions) while copying a request,
+// or fanning one payload out across many requests on the serving path,
+// costs pointer copies instead of matrix copies.
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +34,44 @@ enum class KernelKind {
 
 const char* to_string(KernelKind kind);
 
+/// Immutable shared matrix operand. Null-safe dimension accessors mirror a
+/// default-constructed MatrixD so unset operands validate the same way.
+class SharedMatrix {
+ public:
+  SharedMatrix() = default;
+  SharedMatrix(MatrixD m) : ptr_(std::make_shared<const MatrixD>(std::move(m))) {}
+  SharedMatrix(std::shared_ptr<const MatrixD> m) : ptr_(std::move(m)) {}
+
+  index_t rows() const { return ptr_ ? ptr_->rows() : 0; }
+  index_t cols() const { return ptr_ ? ptr_->cols() : 0; }
+  ConstViewD view() const { return ptr_ ? ptr_->view() : ConstViewD(); }
+  /// The payload (must be set). Deep-copy this to get a mutable working set.
+  const MatrixD& matrix() const { return *ptr_; }
+  const std::shared_ptr<const MatrixD>& payload() const { return ptr_; }
+  explicit operator bool() const { return ptr_ != nullptr; }
+
+ private:
+  std::shared_ptr<const MatrixD> ptr_;
+};
+
+/// Immutable shared vector operand (Vnorm), same sharing contract.
+class SharedVector {
+ public:
+  SharedVector() = default;
+  SharedVector(std::vector<double> v)
+      : ptr_(std::make_shared<const std::vector<double>>(std::move(v))) {}
+  SharedVector(std::shared_ptr<const std::vector<double>> v) : ptr_(std::move(v)) {}
+
+  std::size_t size() const { return ptr_ ? ptr_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  const double* data() const { return ptr_ ? ptr_->data() : nullptr; }
+  const std::vector<double>& vec() const { return *ptr_; }
+  const std::shared_ptr<const std::vector<double>>& payload() const { return ptr_; }
+
+ private:
+  std::shared_ptr<const std::vector<double>> ptr_;
+};
+
 struct KernelRequest {
   KernelKind kind = KernelKind::Gemm;
   arch::CoreConfig core;                       ///< core-level kernels
@@ -37,8 +79,8 @@ struct KernelRequest {
   double bw_words_per_cycle = 1.0;             ///< core <-> on-chip memory
   model::Overlap overlap = model::Overlap::Partial;  ///< Gemm A-load regime
   index_t mc = 0, kc = 0;                      ///< ChipGemm blocking
-  MatrixD a, b, c;                             ///< operands (kernel-dependent)
-  std::vector<double> x;                       ///< Vnorm operand
+  SharedMatrix a, b, c;                        ///< operands (kernel-dependent)
+  SharedVector x;                              ///< Vnorm operand
   int owner_col = 2;                           ///< Vnorm PE column
   std::string tag;                             ///< caller label (batch reports)
 };
@@ -58,22 +100,43 @@ struct KernelResult {
 };
 
 /// ---- request builders ---------------------------------------------------
+/// The ConstViewD forms deep-copy the operands into fresh payloads (safe
+/// when the source is a transient block view). The SharedMatrix forms are
+/// the zero-copy serving path: callers that keep operands in shared
+/// payloads pay no memcpy per request, and many requests can reference one
+/// payload.
 KernelRequest make_gemm(const arch::CoreConfig& core, double bw, ConstViewD a,
                         ConstViewD b, ConstViewD c,
                         model::Overlap overlap = model::Overlap::Partial);
+KernelRequest make_gemm(const arch::CoreConfig& core, double bw, SharedMatrix a,
+                        SharedMatrix b, SharedMatrix c,
+                        model::Overlap overlap = model::Overlap::Partial);
 KernelRequest make_syrk(const arch::CoreConfig& core, double bw, ConstViewD a,
                         ConstViewD c);
+KernelRequest make_syrk(const arch::CoreConfig& core, double bw, SharedMatrix a,
+                        SharedMatrix c);
 KernelRequest make_syr2k(const arch::CoreConfig& core, double bw, ConstViewD a,
                          ConstViewD b, ConstViewD c);
+KernelRequest make_syr2k(const arch::CoreConfig& core, double bw, SharedMatrix a,
+                         SharedMatrix b, SharedMatrix c);
 KernelRequest make_trsm(const arch::CoreConfig& core, double bw, ConstViewD l,
                         ConstViewD b);
+KernelRequest make_trsm(const arch::CoreConfig& core, double bw, SharedMatrix l,
+                        SharedMatrix b);
 KernelRequest make_cholesky(const arch::CoreConfig& core, double bw, ConstViewD a);
+KernelRequest make_cholesky(const arch::CoreConfig& core, double bw, SharedMatrix a);
 KernelRequest make_lu(const arch::CoreConfig& core, ConstViewD panel);
+KernelRequest make_lu(const arch::CoreConfig& core, SharedMatrix panel);
 KernelRequest make_qr(const arch::CoreConfig& core, ConstViewD panel);
+KernelRequest make_qr(const arch::CoreConfig& core, SharedMatrix panel);
 KernelRequest make_vnorm(const arch::CoreConfig& core, std::vector<double> x,
+                         int owner_col = 2);
+KernelRequest make_vnorm(const arch::CoreConfig& core, SharedVector x,
                          int owner_col = 2);
 KernelRequest make_chip_gemm(const arch::ChipConfig& chip, index_t mc, index_t kc,
                              ConstViewD a, ConstViewD b, ConstViewD c);
+KernelRequest make_chip_gemm(const arch::ChipConfig& chip, index_t mc, index_t kc,
+                             SharedMatrix a, SharedMatrix b, SharedMatrix c);
 
 /// Useful MAC count of the request (the numerator of every utilization
 /// figure in the paper; lower-order terms follow each kernel's convention).

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "blas/ref_blas.hpp"
+#include "fabric/serving.hpp"
 #include "blas/ref_lapack.hpp"
 #include "model/chip_model.hpp"
 #include "model/factor_model.hpp"
@@ -233,26 +234,26 @@ KernelResult ModelExecutor::execute(const KernelRequest& req) const {
   switch (req.kind) {
     case KernelKind::Gemm:
     case KernelKind::ChipGemm:
-      res.out = req.c;
+      res.out = req.c.matrix();
       blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, req.a.view(), req.b.view(),
                  1.0, res.out.view());
       break;
     case KernelKind::Syrk:
-      res.out = req.c;
+      res.out = req.c.matrix();
       blas::syrk(blas::Uplo::Lower, 1.0, req.a.view(), 1.0, res.out.view());
       break;
     case KernelKind::Syr2k:
-      res.out = req.c;
+      res.out = req.c.matrix();
       blas::syr2k(blas::Uplo::Lower, 1.0, req.a.view(), req.b.view(), 1.0,
                   res.out.view());
       break;
     case KernelKind::Trsm:
-      res.out = req.b;
+      res.out = req.b.matrix();
       blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::No,
                  blas::Diag::NonUnit, 1.0, req.a.view(), res.out.view());
       break;
     case KernelKind::Cholesky: {
-      res.out = req.a;
+      res.out = req.a.matrix();
       if (!blas::cholesky(res.out.view())) {
         res.error = "CHOL: matrix not positive definite";
         return res;
@@ -262,7 +263,7 @@ KernelResult ModelExecutor::execute(const KernelRequest& req) const {
       break;
     }
     case KernelKind::Lu: {
-      res.out = req.a;
+      res.out = req.a.matrix();
       if (!blas::lu_partial_pivot(res.out.view(), res.pivots)) {
         res.error = "LU: zero pivot";
         return res;
@@ -270,7 +271,7 @@ KernelResult ModelExecutor::execute(const KernelRequest& req) const {
       break;
     }
     case KernelKind::Qr:
-      res.out = req.a;
+      res.out = req.a.matrix();
       res.taus = blas::qr_householder(res.out.view());
       break;
     case KernelKind::Vnorm:
@@ -278,12 +279,18 @@ KernelResult ModelExecutor::execute(const KernelRequest& req) const {
       break;
   }
 
-  res.cycles = estimate_cycles(req);
-  const int nr = req.core.nr;
-  const double pes = req.kind == KernelKind::ChipGemm
-                         ? static_cast<double>(req.chip.cores) * nr * nr
-                         : static_cast<double>(nr) * nr;
-  res.utilization = res.cycles > 0 ? useful_macs(req) / (res.cycles * pes) : 0.0;
+  if (cache_) {
+    const CycleCache::Estimate est = cache_->estimate(req);
+    res.cycles = est.cycles;
+    res.utilization = est.utilization;
+  } else {
+    res.cycles = estimate_cycles(req);
+    const int nr = req.core.nr;
+    const double pes = req.kind == KernelKind::ChipGemm
+                           ? static_cast<double>(req.chip.cores) * nr * nr
+                           : static_cast<double>(nr) * nr;
+    res.utilization = res.cycles > 0 ? useful_macs(req) / (res.cycles * pes) : 0.0;
+  }
   res.ok = true;
   return res;
 }

@@ -10,10 +10,20 @@
 
 namespace lac::fabric {
 
+class CycleCache;
+
 class ModelExecutor final : public Executor {
  public:
+  /// With a CycleCache attached (serving layer), repeated-shape requests
+  /// skip re-estimation: cycles/utilization come from the memo and only
+  /// the numerics run per request. The cache must outlive the executor.
+  explicit ModelExecutor(CycleCache* cache = nullptr) : cache_(cache) {}
+
   const char* name() const override { return "model"; }
   KernelResult execute(const KernelRequest& req) const override;
+
+ private:
+  CycleCache* cache_ = nullptr;
 };
 
 /// Closed-form cycle estimate for a request (exposed for tests/benches).

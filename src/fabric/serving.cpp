@@ -1,0 +1,102 @@
+#include "fabric/serving.hpp"
+
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "fabric/model_executor.hpp"
+
+namespace lac::fabric {
+
+CycleCache::Estimate CycleCache::estimate(const KernelRequest& req) {
+  const std::string key = signature(req);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Compute outside the lock: estimation is pure and two threads racing on
+  // the same cold key produce identical entries.
+  Estimate e;
+  e.cycles = model_cycles(req);
+  const int nr = req.core.nr;
+  const double pes = req.kind == KernelKind::ChipGemm
+                         ? static_cast<double>(req.chip.cores) * nr * nr
+                         : static_cast<double>(nr) * nr;
+  e.utilization = e.cycles > 0 ? useful_macs(req) / (e.cycles * pes) : 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  map_.emplace(key, e);
+  return e;
+}
+
+std::string CycleCache::signature(const KernelRequest& req) {
+  const arch::CoreConfig& core = req.core;
+  std::ostringstream os;
+  // Round-trip precision for the bandwidth fields: distinct doubles must
+  // never collapse onto one key (the default 6 significant digits would
+  // alias fine-grained bandwidth sweep points).
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << to_string(req.kind) << '|' << req.a.rows() << 'x' << req.a.cols() << '|'
+     << req.b.rows() << 'x' << req.b.cols() << '|' << req.c.rows() << 'x'
+     << req.c.cols() << '|' << req.x.size() << ':' << req.owner_col << '|'
+     << req.bw_words_per_cycle << '|' << static_cast<int>(req.overlap) << '|'
+     << req.mc << ',' << req.kc << "|core:" << core.nr << ','
+     << core.pe.pipeline_stages << ',' << core.bus_latency << ','
+     << static_cast<int>(core.sfu) << ',' << core.sfu_latency_recip << ','
+     << core.sfu_latency_rsqrt << ',' << core.sfu_latency_sqrt << ','
+     << core.sw_emulation_cycles << ',' << core.pe.extensions.comparator
+     << core.pe.extensions.extended_exponent;
+  if (req.kind == KernelKind::ChipGemm)
+    os << "|chip:" << req.chip.cores << ',' << req.chip.onchip_bw_words_per_cycle
+       << ',' << req.chip.offchip_bw_words_per_cycle;
+  return os.str();
+}
+
+double CycleCache::hit_rate() const {
+  const double h = static_cast<double>(hits_.load());
+  const double m = static_cast<double>(misses_.load());
+  return h + m > 0 ? h / (h + m) : 0.0;
+}
+
+std::size_t CycleCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void CycleCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  hits_.store(0);
+  misses_.store(0);
+}
+
+std::future<KernelResult> AsyncExecutor::submit(KernelRequest req) const {
+  const Executor& backend = backend_;
+  return pool_.submit(
+      [&backend, req = std::move(req)] { return backend.execute(req); });
+}
+
+std::future<KernelResult> AsyncExecutor::submit(
+    KernelRequest req, std::function<void(const KernelResult&)> on_complete) const {
+  const Executor& backend = backend_;
+  return pool_.submit([&backend, req = std::move(req),
+                       hook = std::move(on_complete)] {
+    KernelResult res = backend.execute(req);
+    if (hook) hook(res);
+    return res;
+  });
+}
+
+std::vector<std::future<KernelResult>> AsyncExecutor::submit_all(
+    std::vector<KernelRequest> reqs) const {
+  std::vector<std::future<KernelResult>> futures;
+  futures.reserve(reqs.size());
+  for (KernelRequest& req : reqs) futures.push_back(submit(std::move(req)));
+  return futures;
+}
+
+}  // namespace lac::fabric

@@ -1,0 +1,101 @@
+#pragma once
+// Persistent serving layer over the fabric Executor interface.
+//
+// The batch dispatcher answers "run this sweep and give me every result";
+// a serving workload is different: requests arrive continuously, repeat the
+// same shapes over and over, and want their answers independently and as
+// soon as possible. Two pieces serve that traffic:
+//
+//   AsyncExecutor  -- wraps any Executor and turns submissions into
+//                     std::future<KernelResult>s executed on a persistent
+//                     ThreadPool (no thread spawn on the hot path).
+//   CycleCache     -- memoizes the analytical backend's cycle/utilization
+//                     estimates keyed by the request *signature* (kernel
+//                     kind, operand shapes, core/chip configuration,
+//                     bandwidth, overlap regime), so repeated-shape traffic
+//                     skips re-estimation entirely.
+//
+// Requests on this path should carry shared operand payloads (see the
+// shared-payload make_* overloads in kernel_request.hpp): enqueueing then
+// costs two pointer copies instead of three matrix copies.
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "fabric/executor.hpp"
+
+namespace lac::fabric {
+
+/// Thread-safe memo of model-backend cycle estimates. The estimate for a
+/// request depends only on its signature -- never on operand values -- so
+/// one entry serves every request of the same shape against the same
+/// architecture point.
+class CycleCache {
+ public:
+  struct Estimate {
+    double cycles = 0.0;
+    double utilization = 0.0;
+  };
+
+  /// Cached estimate for the request, computing (and remembering) it on a
+  /// miss via the closed-form models behind ModelExecutor.
+  Estimate estimate(const KernelRequest& req);
+
+  /// The memo key: every field of the request that the cycle models read.
+  static std::string signature(const KernelRequest& req);
+
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+  /// Hits over lookups so far (0 when the cache is cold).
+  double hit_rate() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Estimate> map_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+/// Asynchronous façade over any Executor: submissions return futures that
+/// resolve on the pool's worker threads. The wrapped executor must be
+/// thread-safe for independent requests (the Executor contract) and must
+/// outlive the AsyncExecutor; in-band failures (ok = false) pass through
+/// untouched, while exceptions escaping the backend surface from
+/// future::get().
+class AsyncExecutor {
+ public:
+  /// `pool` defaults to the process-wide shared pool.
+  explicit AsyncExecutor(const Executor& backend, ThreadPool* pool = nullptr)
+      : backend_(backend), pool_(pool ? *pool : ThreadPool::shared()) {}
+
+  /// Queue one request; the future carries its result.
+  std::future<KernelResult> submit(KernelRequest req) const;
+
+  /// As submit(), with a completion hook that runs on the worker thread
+  /// right after execution (latency trackers, serving-side logging). The
+  /// hook must be thread-safe; the future resolves after it returns.
+  std::future<KernelResult> submit(
+      KernelRequest req,
+      std::function<void(const KernelResult&)> on_complete) const;
+
+  /// Queue a whole workload; future i corresponds to request i.
+  std::vector<std::future<KernelResult>> submit_all(
+      std::vector<KernelRequest> reqs) const;
+
+  const Executor& backend() const { return backend_; }
+  ThreadPool& pool() const { return pool_; }
+
+ private:
+  const Executor& backend_;
+  ThreadPool& pool_;
+};
+
+}  // namespace lac::fabric

@@ -28,6 +28,16 @@ bool all_finite(const MatrixD& m) {
   return true;
 }
 
+/// Failed requests charge nothing: a result that reports ok = false must
+/// not leak the cycles/activity the simulator absorbed before detecting
+/// the failure (both backends agree on this, and BatchSummary relies on
+/// failures contributing zero to every total).
+void void_accounting(KernelResult& res) {
+  res.cycles = 0.0;
+  res.utilization = 0.0;
+  res.stats = sim::Stats{};
+}
+
 }  // namespace
 
 KernelResult SimExecutor::execute(const KernelRequest& req) const {
@@ -63,6 +73,7 @@ KernelResult SimExecutor::execute(const KernelRequest& req) const {
       // blas::cholesky).
       if (!all_finite(res.out)) {
         res.error = "CHOL: matrix not positive definite";
+        void_accounting(res);
         return res;
       }
       break;
@@ -72,6 +83,7 @@ KernelResult SimExecutor::execute(const KernelRequest& req) const {
       absorb(res, std::move(lu.kernel));
       if (!all_finite(res.out)) {  // zero pivot -> 1/0 through the SFU
         res.error = "LU: zero pivot";
+        void_accounting(res);
         return res;
       }
       break;
@@ -83,13 +95,17 @@ KernelResult SimExecutor::execute(const KernelRequest& req) const {
       break;
     }
     case KernelKind::Vnorm: {
-      kernels::VnormResult vn = kernels::vnorm(req.core, req.x, req.owner_col);
+      kernels::VnormResult vn = kernels::vnorm(req.core, req.x.vec(), req.owner_col);
       res.scalar = vn.norm;
       res.cycles = vn.cycles;
       res.stats = vn.stats;
+      // Utilization counts useful MACs (one per element), matching the
+      // model backend's definition; mac_ops also counts the guard pass and
+      // reduction slots, which are overhead, not useful work.
       res.utilization =
-          static_cast<double>(vn.stats.mac_ops) /
-          (vn.cycles * req.core.nr * req.core.nr);
+          vn.cycles > 0
+              ? useful_macs(req) / (vn.cycles * req.core.nr * req.core.nr)
+              : 0.0;
       break;
     }
     case KernelKind::ChipGemm: {

@@ -4,6 +4,7 @@
 // cross-checked between the backends) plus BatchDispatcher determinism.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "arch/presets.hpp"
@@ -49,6 +50,15 @@ void expect_backend_parity(const KernelRequest& req, const MatrixD& reference,
       << " model=" << model.cycles;
   EXPECT_GT(sim.cycles, 0.0);
   EXPECT_GT(model.cycles, 0.0);
+  // Utilization: both backends define it as useful_macs over MAC slots, so
+  // the figures must agree within the cycle band (plus a little absolute
+  // slack for the short-kernel constant terms).
+  EXPECT_GT(sim.utilization, 0.0) << to_string(req.kind);
+  EXPECT_GT(model.utilization, 0.0) << to_string(req.kind);
+  EXPECT_NEAR(sim.utilization, model.utilization,
+              tol * model.utilization + 0.02)
+      << to_string(req.kind) << " utilization: sim=" << sim.utilization
+      << " model=" << model.utilization;
 }
 
 TEST(FabricParity, Gemm) {
@@ -147,6 +157,12 @@ TEST(FabricParity, Vnorm) {
   EXPECT_NEAR(sim.scalar, ref, 1e-9 * ref);
   EXPECT_NEAR(model.scalar, ref, 1e-12 * ref);
   EXPECT_NEAR(sim.cycles, model.cycles, 0.35 * model.cycles + 50.0);
+  // Both backends count one useful MAC per element (guard-pass and
+  // reduction slots are overhead), so utilization tracks the cycle band.
+  EXPECT_GT(sim.utilization, 0.0);
+  EXPECT_GT(model.utilization, 0.0);
+  EXPECT_NEAR(sim.utilization, model.utilization,
+              0.35 * model.utilization + 0.02);
 }
 
 TEST(FabricParity, ChipGemm) {
@@ -247,6 +263,103 @@ TEST(BatchDispatcher, SummaryAggregates) {
   EXPECT_DOUBLE_EQ(s.max_cycles, mx);
   EXPECT_GT(s.mean_utilization, 0.0);
   EXPECT_LE(s.mean_utilization, 1.0);
+}
+
+TEST(BatchDispatcher, FailedRequestsContributeNothingToSummary) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD bad = random_matrix(16, 16, 50);  // not positive definite
+  for (index_t i = 0; i < 16; ++i) bad(i, i) = -1.0;
+  for (const Executor* ex : {static_cast<const Executor*>(&kSim),
+                             static_cast<const Executor*>(&kModel)}) {
+    std::vector<KernelRequest> reqs;
+    MatrixD a = random_matrix(16, 16, 51);
+    MatrixD b = random_matrix(16, 16, 52);
+    MatrixD c = random_matrix(16, 16, 53);
+    reqs.push_back(make_gemm(cfg, 2.0, a.view(), b.view(), c.view()));
+    reqs.push_back(make_cholesky(cfg, 2.0, bad.view()));
+    reqs.push_back(make_syrk(cfg, 2.0, a.view(), c.view()));
+    std::vector<KernelResult> results = BatchDispatcher(*ex, {1}).run(reqs);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_FALSE(results[1].ok) << results[1].backend;
+    EXPECT_TRUE(results[2].ok);
+    // A failed request reports zero cycles/stats/utilization on both
+    // backends -- the simulator's partially-absorbed activity is voided.
+    EXPECT_EQ(results[1].cycles, 0.0) << results[1].backend;
+    EXPECT_EQ(results[1].utilization, 0.0) << results[1].backend;
+    EXPECT_EQ(results[1].stats.mac_ops, 0) << results[1].backend;
+    BatchSummary s = BatchDispatcher::summarize(results);
+    EXPECT_EQ(s.failures, 1);
+    EXPECT_DOUBLE_EQ(s.total_cycles, results[0].cycles + results[2].cycles);
+    EXPECT_DOUBLE_EQ(s.max_cycles,
+                     std::max(results[0].cycles, results[2].cycles));
+    EXPECT_DOUBLE_EQ(
+        s.mean_utilization,
+        (results[0].utilization + results[2].utilization) / 2.0);
+    EXPECT_EQ(s.stats.mac_ops, results[0].stats.mac_ops + results[2].stats.mac_ops);
+  }
+}
+
+TEST(LapDriverOnFabric, GemmFirstPanelOverlapAccounting) {
+  // m=32, mc=8 gives four row tiles inside the single k-panel: only the
+  // very first tile has no prior compute to hide its A load behind, so the
+  // driver must charge Partial once and Full for the remaining three. At
+  // bw=8 the tiles are compute-bound, where the two regimes differ (a
+  // stream-bound shape would hide the A load either way).
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const index_t m = 32, n = 24, k = 16;
+  const index_t mc = 8, kc = 16;
+  const double bw = 8.0;
+  MatrixD a = random_matrix(m, k, 60);
+  MatrixD b = random_matrix(k, n, 61);
+  MatrixD c0 = random_matrix(m, n, 62);
+
+  MatrixD c_model = c0;
+  blas::DriverReport rm =
+      blas::lap_gemm(kModel, cfg, bw, mc, kc, a.view(), b.view(), c_model.view());
+
+  double expected = 0.0, all_partial = 0.0;
+  for (index_t ii = 0; ii < m; ii += mc) {
+    KernelRequest tile =
+        make_gemm(cfg, bw, a.block(ii, 0, mc, k), b.view(), c0.block(ii, 0, mc, n),
+                  ii == 0 ? model::Overlap::Partial : model::Overlap::Full);
+    expected += model_cycles(tile);
+    tile.overlap = model::Overlap::Partial;
+    all_partial += model_cycles(tile);
+  }
+  EXPECT_DOUBLE_EQ(rm.total_cycles, expected);
+  // At this shape the regime choice changes the total, so the old
+  // every-tile-Partial accounting is distinguishable.
+  EXPECT_LT(rm.total_cycles, all_partial);
+
+  // And the fixed accounting still tracks the cycle-exact backend.
+  MatrixD c_sim = c0;
+  blas::DriverReport rs =
+      blas::lap_gemm(kSim, cfg, bw, mc, kc, a.view(), b.view(), c_sim.view());
+  EXPECT_NEAR(rs.total_cycles, rm.total_cycles, 0.10 * rm.total_cycles + 100.0);
+  MatrixD expect = c0;
+  blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, a.view(), b.view(), 1.0,
+             expect.view());
+  EXPECT_LT(rel_error(c_sim.view(), expect.view()), 1e-12);
+  EXPECT_LT(rel_error(c_model.view(), expect.view()), 1e-12);
+}
+
+TEST(LapDriverOnFabric, QrTrailingUpdateChargedOnFabric) {
+  // Every reflector application is two fabric GEMMs (w^T = u^T A2 / tau and
+  // the rank-1 update), so for a 16x8 factorization with nr=4 the driver
+  // makes 2 panel-QR calls plus 2*nr trailing-update calls; the w
+  // matrix-vector products contribute fabric cycles like everything else.
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a = random_matrix(16, 8, 63);
+  std::vector<double> taus;
+  blas::DriverReport rep = blas::lap_qr(kModel, cfg, 2.0, a.view(), taus);
+  EXPECT_EQ(rep.kernel_calls, 2 + 2 * cfg.nr);
+  EXPECT_GT(rep.total_cycles, 0.0);
+  MatrixD q = blas::qr_form_q(a.view(), taus);
+  MatrixD qtq(8, 8, 0.0);
+  blas::gemm(blas::Trans::Yes, blas::Trans::No, 1.0, q.view(), q.view(), 0.0,
+             qtq.view());
+  EXPECT_LT(rel_error(qtq.view(), identity(8).view()), 1e-9);
 }
 
 TEST(LapDriverOnFabric, GemmSameNumericsOnBothBackends) {

@@ -1,0 +1,265 @@
+// The persistent serving layer: ThreadPool scheduling and exception
+// semantics, AsyncExecutor futures under mixed-kernel stress on both
+// backends, determinism across pool widths, CycleCache hit behavior, and
+// the zero-copy request path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "arch/presets.hpp"
+#include "common/random.hpp"
+#include "common/thread_pool.hpp"
+#include "fabric/batch.hpp"
+#include "fabric/model_executor.hpp"
+#include "fabric/serving.hpp"
+#include "fabric/sim_executor.hpp"
+
+namespace lac::fabric {
+namespace {
+
+const SimExecutor kSim;
+const ModelExecutor kModel;
+
+/// Mixed-kernel workload with deliberately repeated shapes (every repeat
+/// shares the same operand payloads -- the zero-copy serving pattern).
+std::vector<KernelRequest> serving_workload(int repeats) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  std::vector<KernelRequest> reqs;
+  int seed = 1;
+  for (index_t n : {16, 24}) {
+    auto a = std::make_shared<const MatrixD>(random_matrix(n, n, seed++));
+    auto b = std::make_shared<const MatrixD>(random_matrix(n, n, seed++));
+    auto c = std::make_shared<const MatrixD>(random_matrix(n, n, seed++));
+    auto l = std::make_shared<const MatrixD>(random_lower_triangular(n, seed++));
+    auto spd = std::make_shared<const MatrixD>(random_spd(n, seed++));
+    auto panel = std::make_shared<const MatrixD>(random_matrix(n, cfg.nr, seed++));
+    for (int r = 0; r < repeats; ++r) {
+      reqs.push_back(make_gemm(cfg, 2.0, a, b, c));
+      reqs.push_back(make_syrk(cfg, 2.0, a, c));
+      reqs.push_back(make_trsm(cfg, 2.0, l, b));
+      reqs.push_back(make_cholesky(cfg, 2.0, spd));
+      reqs.push_back(make_lu(cfg, panel));
+      reqs.push_back(make_qr(cfg, panel));
+    }
+  }
+  return reqs;
+}
+
+TEST(ThreadPool, SubmitReturnsFutureValues) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 64; ++i)
+    futs.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  std::future<int> fut =
+      pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+  // The pool survives a throwing job.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  for (unsigned cap : {0u, 1u, 2u, 7u}) {
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(
+        hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, cap);
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " cap " << cap;
+  }
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t i) {
+                          if (i == 41) throw std::invalid_argument("bad index");
+                        }),
+      std::invalid_argument);
+  // Reusable afterwards.
+  std::atomic<int> n{0};
+  pool.parallel_for(50, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForProgressesWhenWorkersAreBusy) {
+  // Occupy the whole pool with blocked jobs: the caller participates in
+  // parallel_for, so it completes even with zero pool threads available.
+  ThreadPool pool(2);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::vector<std::future<void>> blockers;
+  for (int i = 0; i < 2; ++i)
+    blockers.push_back(pool.submit([gate] { gate.wait(); }));
+  std::atomic<int> n{0};
+  pool.parallel_for(64, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 64);
+  release.set_value();
+  for (auto& b : blockers) b.get();
+}
+
+TEST(ZeroCopyRequest, SharedPayloadIsNotDuplicated) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  auto a = std::make_shared<const MatrixD>(random_matrix(16, 16, 70));
+  auto b = std::make_shared<const MatrixD>(random_matrix(16, 16, 71));
+  auto c = std::make_shared<const MatrixD>(random_matrix(16, 16, 72));
+  KernelRequest req = make_gemm(cfg, 2.0, a, b, c);
+  // The request references the caller's payloads...
+  EXPECT_EQ(req.a.payload().get(), a.get());
+  EXPECT_EQ(req.b.payload().get(), b.get());
+  // ...and copying the request shares rather than duplicates them.
+  KernelRequest copy = req;
+  EXPECT_EQ(copy.a.payload().get(), a.get());
+  EXPECT_EQ(a.use_count(), 3);  // caller + request + copy
+
+  // Execution never mutates the shared operands.
+  MatrixD c_before = *c;
+  KernelResult sim = kSim.execute(req);
+  KernelResult model = kModel.execute(req);
+  ASSERT_TRUE(sim.ok && model.ok);
+  EXPECT_TRUE(*c == c_before);
+  // Both backends produced the same update from the shared payloads.
+  for (index_t j = 0; j < 16; ++j)
+    for (index_t i = 0; i < 16; ++i)
+      EXPECT_NEAR(sim.out(i, j), model.out(i, j), 1e-9);
+}
+
+TEST(AsyncExecutor, StressMixedKernelsBothBackends) {
+  std::vector<KernelRequest> reqs = serving_workload(25);  // 300 requests
+  ASSERT_GE(reqs.size(), 200u);
+  for (const Executor* ex : {static_cast<const Executor*>(&kSim),
+                             static_cast<const Executor*>(&kModel)}) {
+    // Serial reference results.
+    std::vector<KernelResult> expect = BatchDispatcher(*ex, {1}).run(reqs);
+    AsyncExecutor async(*ex);
+    std::vector<std::future<KernelResult>> futs = async.submit_all(reqs);
+    ASSERT_EQ(futs.size(), reqs.size());
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+      KernelResult got = futs[i].get();
+      ASSERT_TRUE(got.ok) << ex->name() << " request " << i << ": " << got.error;
+      EXPECT_EQ(got.cycles, expect[i].cycles) << ex->name() << " request " << i;
+      EXPECT_TRUE(got.out == expect[i].out) << ex->name() << " request " << i;
+    }
+  }
+}
+
+TEST(AsyncExecutor, DeterministicAcrossPoolWidths) {
+  std::vector<KernelRequest> reqs = serving_workload(4);
+  ThreadPool one(1);
+  AsyncExecutor base(kSim, &one);
+  std::vector<std::future<KernelResult>> base_futs = base.submit_all(reqs);
+  std::vector<KernelResult> expect;
+  for (auto& f : base_futs) expect.push_back(f.get());
+  for (unsigned width : {2u, 5u}) {
+    ThreadPool pool(width);
+    AsyncExecutor async(kSim, &pool);
+    std::vector<std::future<KernelResult>> futs = async.submit_all(reqs);
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+      KernelResult got = futs[i].get();
+      EXPECT_EQ(got.cycles, expect[i].cycles) << "width " << width;
+      EXPECT_TRUE(got.out == expect[i].out) << "width " << width;  // byte-identical
+    }
+  }
+}
+
+TEST(AsyncExecutor, CompletionHookRunsPerRequest) {
+  std::vector<KernelRequest> reqs = serving_workload(2);
+  std::atomic<int> completed{0};
+  AsyncExecutor async(kModel);
+  std::vector<std::future<KernelResult>> futs;
+  for (KernelRequest& req : reqs)
+    futs.push_back(async.submit(
+        std::move(req), [&](const KernelResult& r) {
+          if (r.ok) completed.fetch_add(1);
+        }));
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok);
+  EXPECT_EQ(completed.load(), static_cast<int>(futs.size()));
+}
+
+TEST(AsyncExecutor, ExceptionsPropagateThroughFutures) {
+  struct ThrowingExecutor final : Executor {
+    const char* name() const override { return "throwing"; }
+    KernelResult execute(const KernelRequest&) const override {
+      throw std::runtime_error("backend exploded");
+    }
+  } throwing;
+  AsyncExecutor async(throwing);
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a = random_matrix(16, 16, 80);
+  std::future<KernelResult> fut =
+      async.submit(make_cholesky(cfg, 2.0, a.view()));
+  EXPECT_THROW(fut.get(), std::runtime_error);
+  // The shared pool survives; well-behaved backends keep serving.
+  AsyncExecutor ok(kModel);
+  MatrixD spd = random_spd(16, 81);
+  EXPECT_TRUE(ok.submit(make_cholesky(cfg, 2.0, spd.view())).get().ok);
+}
+
+TEST(CycleCache, RepeatedShapesHitAndMatchUncached) {
+  CycleCache cache;
+  ModelExecutor cached(&cache);
+  std::vector<KernelRequest> reqs = serving_workload(10);
+  const std::size_t unique_shapes = serving_workload(1).size();
+
+  std::vector<KernelResult> got = BatchDispatcher(cached, {4}).run(reqs);
+  std::vector<KernelResult> expect = BatchDispatcher(kModel, {1}).run(reqs);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(got[i].ok);
+    EXPECT_EQ(got[i].cycles, expect[i].cycles) << "request " << i;
+    EXPECT_EQ(got[i].utilization, expect[i].utilization) << "request " << i;
+  }
+  // Every repeat beyond the first sighting of a shape is a hit. Concurrent
+  // first sightings may each count a miss, so bound from both sides.
+  EXPECT_EQ(cache.hits() + cache.misses(), reqs.size());
+  EXPECT_GE(cache.misses(), unique_shapes);
+  EXPECT_GE(cache.hits(), reqs.size() - 4 * unique_shapes);
+  EXPECT_GT(cache.hit_rate(), 0.5);
+
+  const std::uint64_t hits_before = cache.hits();
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_LT(cache.hits(), hits_before);
+}
+
+TEST(CycleCache, SignatureSeparatesShapeAndConfig) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a16 = random_matrix(16, 16, 90), b16 = random_matrix(16, 16, 91),
+          c16 = random_matrix(16, 16, 92);
+  MatrixD a32 = random_matrix(32, 32, 93), b32 = random_matrix(32, 32, 94),
+          c32 = random_matrix(32, 32, 95);
+  KernelRequest r1 = make_gemm(cfg, 2.0, a16.view(), b16.view(), c16.view());
+  KernelRequest same_shape =
+      make_gemm(cfg, 2.0, b16.view(), a16.view(), c16.view());  // values differ
+  KernelRequest other_n = make_gemm(cfg, 2.0, a32.view(), b32.view(), c32.view());
+  KernelRequest other_bw = make_gemm(cfg, 4.0, a16.view(), b16.view(), c16.view());
+  KernelRequest other_kind = make_syrk(cfg, 2.0, a16.view(), c16.view());
+  EXPECT_EQ(CycleCache::signature(r1), CycleCache::signature(same_shape));
+  EXPECT_NE(CycleCache::signature(r1), CycleCache::signature(other_n));
+  EXPECT_NE(CycleCache::signature(r1), CycleCache::signature(other_bw));
+  EXPECT_NE(CycleCache::signature(r1), CycleCache::signature(other_kind));
+
+  arch::CoreConfig wider = cfg;
+  wider.pe.pipeline_stages += 2;
+  KernelRequest other_core =
+      make_gemm(wider, 2.0, a16.view(), b16.view(), c16.view());
+  EXPECT_NE(CycleCache::signature(r1), CycleCache::signature(other_core));
+
+  // Bandwidths differing only past the sixth significant digit (a
+  // fine-grained sweep step) must still key separately.
+  KernelRequest bw_lo = make_gemm(cfg, 1024.001, a16.view(), b16.view(), c16.view());
+  KernelRequest bw_hi = make_gemm(cfg, 1024.004, a16.view(), b16.view(), c16.view());
+  EXPECT_NE(CycleCache::signature(bw_lo), CycleCache::signature(bw_hi));
+}
+
+}  // namespace
+}  // namespace lac::fabric
