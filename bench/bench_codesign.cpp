@@ -1,0 +1,190 @@
+// Codesign sweep bench: the algorithm/architecture design loop the paper
+// argues for, iterating on analytic energy/area cost instead of cycles
+// alone. Sweeps the LAC design space over {nr, bandwidth, technology node,
+// SFU configuration}, runs representative kernels (GEMM, CHOL, QR) at each
+// point through the fabric, and emits one JSON record per kernel x size x
+// backend x design point with GFLOPS, W, mm^2, GFLOPS/W, GFLOPS/mm^2,
+// energy-delay (mW/GFLOPS^2, Fig 3.6 convention) and energy -- reproducing
+// the paper's 45nm efficiency comparisons and their node/SFU sensitivity.
+//
+// The full analytical grid runs through a CostCache-backed ModelExecutor
+// (the serving-layer DSE path); the cycle-exact sim covers the 45nm
+// baseline points as the energy calibration cross-check. Output goes to
+// stdout and BENCH_codesign.json. Set LAC_BENCH_SMOKE=1 for a CI-sized run.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/presets.hpp"
+#include "common/random.hpp"
+#include "fabric/model_executor.hpp"
+#include "fabric/serving.hpp"
+#include "fabric/sim_executor.hpp"
+
+namespace {
+
+using namespace lac;
+
+struct DesignPoint {
+  int nr = 4;
+  double bw = 2.0;
+  arch::TechNode node = arch::TechNode::nm45;
+  arch::SfuOption sfu = arch::SfuOption::IsolatedUnit;
+};
+
+arch::CoreConfig configure(const DesignPoint& p) {
+  arch::CoreConfig cfg = p.nr == 8 ? arch::lac_8x8_dp() : arch::lac_4x4_dp();
+  cfg.sfu = p.sfu;
+  return cfg;
+}
+
+std::vector<fabric::KernelRequest> point_requests(const DesignPoint& p,
+                                                  const std::vector<index_t>& sizes) {
+  const arch::CoreConfig cfg = configure(p);
+  std::vector<fabric::KernelRequest> reqs;
+  int seed = 1;
+  for (index_t n : sizes) {
+    MatrixD a = random_matrix(n, n, seed++);
+    MatrixD b = random_matrix(n, n, seed++);
+    MatrixD c = random_matrix(n, n, seed++);
+    MatrixD spd = random_spd(n, seed++);
+    MatrixD panel = random_matrix(n, cfg.nr, seed++);
+    fabric::KernelRequest r = fabric::make_gemm(cfg, p.bw, a.view(), b.view(), c.view());
+    r.tag = "gemm/" + std::to_string(n);
+    reqs.push_back(std::move(r));
+    r = fabric::make_cholesky(cfg, p.bw, spd.view());
+    r.tag = "chol/" + std::to_string(n);
+    reqs.push_back(std::move(r));
+    r = fabric::make_qr(cfg, panel.view());
+    r.tag = "qr/" + std::to_string(n);
+    reqs.push_back(std::move(r));
+  }
+  for (fabric::KernelRequest& r : reqs) r.tech.node = p.node;
+  return reqs;
+}
+
+std::string json_record(const DesignPoint& p, const fabric::KernelResult& res) {
+  const auto slash = res.tag.find('/');
+  std::ostringstream os;
+  os << "    {\"kernel\": \"" << res.tag.substr(0, slash) << "\", \"n\": "
+     << res.tag.substr(slash + 1) << ", \"backend\": \"" << res.backend
+     << "\", \"nr\": " << p.nr << ", \"bw\": " << p.bw << ", \"node\": \""
+     << arch::to_string(p.node) << "\", \"sfu\": \"" << arch::to_string(p.sfu)
+     << "\", \"cycles\": " << res.cycles
+     << ", \"utilization\": " << res.utilization
+     << ", \"gflops\": " << res.metrics.gflops
+     << ", \"watts\": " << res.avg_power_w
+     << ", \"area_mm2\": " << res.area_mm2
+     << ", \"gflops_per_w\": " << res.metrics.gflops_per_w()
+     << ", \"gflops_per_mm2\": " << res.metrics.gflops_per_mm2()
+     << ", \"energy_delay_mw_per_gflops2\": " << res.metrics.energy_delay()
+     << ", \"energy_nj\": " << res.energy_nj << "}";
+  return os.str();
+}
+
+struct Best {
+  double value = 0.0;
+  std::string record;
+};
+
+void track_best(Best& best, double value, bool lower_is_better,
+                const std::string& record) {
+  const bool improves = best.record.empty() ||
+                        (lower_is_better ? value < best.value : value > best.value);
+  if (improves && value > 0.0) {
+    best.value = value;
+    best.record = record;
+  }
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("LAC_BENCH_SMOKE") != nullptr;
+
+  const std::vector<int> nrs = smoke ? std::vector<int>{4} : std::vector<int>{4, 8};
+  const std::vector<double> bws =
+      smoke ? std::vector<double>{2.0, 8.0} : std::vector<double>{1.0, 2.0, 8.0};
+  const std::vector<arch::TechNode> nodes =
+      smoke ? std::vector<arch::TechNode>{arch::TechNode::nm45, arch::TechNode::nm32}
+            : std::vector<arch::TechNode>{arch::TechNode::nm65, arch::TechNode::nm45,
+                                          arch::TechNode::nm32};
+  const std::vector<arch::SfuOption> sfus =
+      smoke ? std::vector<arch::SfuOption>{arch::SfuOption::IsolatedUnit,
+                                           arch::SfuOption::Software}
+            : std::vector<arch::SfuOption>{arch::SfuOption::Software,
+                                           arch::SfuOption::IsolatedUnit,
+                                           arch::SfuOption::DiagonalPEs};
+  const std::vector<index_t> model_sizes =
+      smoke ? std::vector<index_t>{32} : std::vector<index_t>{32, 64};
+  const std::vector<index_t> sim_sizes{32};
+
+  fabric::CostCache cache;
+  const fabric::ModelExecutor model(&cache);
+  const fabric::SimExecutor sim;
+
+  std::vector<std::string> records;
+  Best best_gfw, best_gfmm2, best_ed;
+  int model_points = 0, sim_points = 0;
+
+  for (int nr : nrs) {
+    for (double bw : bws) {
+      for (arch::TechNode node : nodes) {
+        for (arch::SfuOption sfu : sfus) {
+          const DesignPoint p{nr, bw, node, sfu};
+          for (const fabric::KernelRequest& req : point_requests(p, model_sizes)) {
+            fabric::KernelResult res = model.execute(req);
+            if (!res.ok) {
+              std::fprintf(stderr, "model point failed: %s\n", res.error.c_str());
+              return 1;
+            }
+            const std::string rec = json_record(p, res);
+            if (node == arch::TechNode::nm45) {
+              track_best(best_gfw, res.metrics.gflops_per_w(), false, rec);
+              track_best(best_gfmm2, res.metrics.gflops_per_mm2(), false, rec);
+              track_best(best_ed, res.metrics.energy_delay(), true, rec);
+            }
+            records.push_back(rec);
+            ++model_points;
+          }
+          // Cycle-exact cross-check on the 45nm baseline SFU points.
+          if (node == arch::TechNode::nm45 &&
+              sfu == arch::SfuOption::IsolatedUnit) {
+            for (const fabric::KernelRequest& req : point_requests(p, sim_sizes)) {
+              fabric::KernelResult res = sim.execute(req);
+              if (!res.ok) {
+                std::fprintf(stderr, "sim point failed: %s\n", res.error.c_str());
+                return 1;
+              }
+              records.push_back(json_record(p, res));
+              ++sim_points;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"smoke\": " << (smoke ? "true" : "false")
+       << ",\n  \"model_points\": " << model_points
+       << ",\n  \"sim_points\": " << sim_points << ",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i)
+    json << records[i] << (i + 1 < records.size() ? ",\n" : "\n");
+  json << "  ],\n  \"best_45nm\": {\n    \"gflops_per_w\":\n" << best_gfw.record
+       << ",\n    \"gflops_per_mm2\":\n" << best_gfmm2.record
+       << ",\n    \"energy_delay\":\n" << best_ed.record
+       << "\n  },\n  \"cost_cache\": {\"hits\": " << cache.hits()
+       << ", \"misses\": " << cache.misses()
+       << ", \"hit_rate\": " << cache.hit_rate() << "}\n}\n";
+
+  std::printf("codesign sweep: %d model points, %d sim points\n%s", model_points,
+              sim_points, json.str().c_str());
+  std::ofstream out("BENCH_codesign.json");
+  out << json.str();
+  std::printf("wrote BENCH_codesign.json\n");
+  return 0;
+}

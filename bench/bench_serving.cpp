@@ -1,6 +1,6 @@
 // Serving-layer throughput bench: sustained mixed-kernel traffic through
 // the persistent serving path (AsyncExecutor + shared ThreadPool +
-// CycleCache) versus the PR-1 dispatch pattern (spawn-and-join host threads
+// CostCache) versus the PR-1 dispatch pattern (spawn-and-join host threads
 // on every call, deep-copied operands).
 //
 // The workload is >= 200 requests over repeated shapes -- the serving
@@ -176,7 +176,7 @@ bool deterministic_across_widths(const fabric::Executor& ex,
 }
 
 std::string json_mode(const char* backend, const char* mode, std::size_t requests,
-                      const ModeStats& s, const fabric::CycleCache* cache) {
+                      const ModeStats& s, const fabric::CostCache* cache) {
   std::ostringstream os;
   os << "    {\"backend\": \"" << backend << "\", \"mode\": \"" << mode
      << "\", \"requests\": " << requests << ", \"wall_ms\": " << s.wall_ms
@@ -208,7 +208,7 @@ int main() {
 
   const fabric::SimExecutor sim;
   const fabric::ModelExecutor model;
-  fabric::CycleCache cache;
+  fabric::CostCache cache;
   const fabric::ModelExecutor cached_model(&cache);
   ThreadPool pool(width);
 
@@ -220,7 +220,7 @@ int main() {
 
   // Model backend: instant estimation makes dispatch overhead the story.
   // "pool" uses the same uncached executor as "spawn" so the speedup
-  // isolates per-call thread creation; "pool+cache" adds the CycleCache on
+  // isolates per-call thread creation; "pool+cache" adds the CostCache on
   // top (repeated-shape traffic skips re-estimation).
   const ModeStats model_spawn = run_spawn(model, reqs, chunk, width, iterations);
   json << json_mode("model", "spawn", reqs.size(), model_spawn, nullptr) << ",\n";

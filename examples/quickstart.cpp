@@ -11,7 +11,6 @@
 #include "common/random.hpp"
 #include "fabric/model_executor.hpp"
 #include "fabric/sim_executor.hpp"
-#include "power/pe_power.hpp"
 
 int main() {
   using namespace lac;
@@ -51,12 +50,12 @@ int main() {
                   static_cast<long long>(r.stats.flops()),
                   static_cast<long long>(r.stats.dma_words));
 
-    // 5. Estimate sustained performance and power at the design clock.
-    const double gflops = r.utilization * core.peak_gflops();
-    const double watts =
-        power::core_power_mw(core, power::gemm_activity(core.nr)) / 1000.0;
-    std::printf("sustained:       %.1f GFLOPS at ~%.2f W -> %.1f GFLOPS/W\n",
-                gflops, watts, gflops / watts);
+    // 5. Energy/power/area come back on the result itself: the sim backend
+    // priced its activity counters, the model backend its closed forms.
+    std::printf("sustained:       %.1f GFLOPS at %.2f W (%.0f nJ) -> "
+                "%.1f GFLOPS/W, %.1f GFLOPS/mm^2\n",
+                r.metrics.gflops, r.avg_power_w, r.energy_nj,
+                r.metrics.gflops_per_w(), r.metrics.gflops_per_mm2());
   }
   return 0;
 }

@@ -16,12 +16,16 @@ double area_scale_to_45(TechNode from) {
   return 1.0 / (l * l);
 }
 
+double area_scale_from_45(TechNode to) { return 1.0 / area_scale_to_45(to); }
+
 double power_scale_to_45(TechNode from) {
   // Capacitance scales ~linearly with feature size; supply voltage scales
   // slowly. Net dynamic-power scaling between adjacent nodes is ~L/L45,
   // which matches how the dissertation rescales 65nm / 90nm numbers.
   return 45.0 / feature_nm(from);
 }
+
+double power_scale_from_45(TechNode to) { return 1.0 / power_scale_to_45(to); }
 
 double idle_fraction(TechNode node) {
   switch (node) {

@@ -11,16 +11,33 @@ namespace lac::arch {
 
 enum class TechNode { nm65, nm45, nm32 };
 
+/// Request-level technology/frequency context for energy accounting: the
+/// process node everything is evaluated at, and an optional clock override.
+/// The default (45nm, core clock) is the operating point the dissertation
+/// reports all headline numbers at.
+struct TechContext {
+  TechNode node = TechNode::nm45;
+  double clock_ghz = 0.0;  ///< 0 = use the PE clock of the core/chip config
+};
+
 /// Feature size in nanometres.
 double feature_nm(TechNode node);
 
 /// Area scale factor relative to 45nm (area ~ (L/L45)^2).
 double area_scale_to_45(TechNode from);
 
+/// Inverse direction: multiply a 45nm-calibrated area to express it at
+/// `to` (e.g. 65nm costs (65/45)^2 the area of the same design at 45nm).
+double area_scale_from_45(TechNode to);
+
 /// Dynamic-power scale factor relative to 45nm at iso-frequency
 /// (P ~ C*V^2*f; capacitance ~ L, voltage headroom shrinks slowly --
 /// the dissertation uses ~linear power scaling between adjacent nodes).
 double power_scale_to_45(TechNode from);
+
+/// Inverse direction: multiply a 45nm-calibrated dynamic power/energy to
+/// express it at `to`.
+double power_scale_from_45(TechNode to);
 
 /// Leakage/idle power expressed as a constant fraction of dynamic power,
 /// "ranging between 25% and 30% depending on the technology" (§1.3.3).

@@ -20,7 +20,17 @@ fabric::KernelResult run(const fabric::Executor& ex, fabric::KernelRequest req) 
 void absorb(DriverReport& rep, const fabric::KernelResult& k) {
   rep.total_cycles += k.cycles;
   rep.stats += k.stats;
+  rep.energy_nj += k.energy_nj;
+  rep.area_mm2 = std::max(rep.area_mm2, k.area_mm2);
   ++rep.kernel_calls;
+}
+
+/// Derive the report's average power once the kernel stream is complete:
+/// accumulated energy over the accumulated makespan at the core clock.
+void finalize_power(DriverReport& rep, const arch::CoreConfig& cfg) {
+  const double f = cfg.pe.clock_ghz;
+  const double t_ns = f > 0.0 ? rep.total_cycles / f : 0.0;
+  rep.avg_power_w = t_ns > 0.0 ? rep.energy_nj / t_ns : 0.0;
 }
 
 }  // namespace
@@ -59,6 +69,7 @@ DriverReport lap_gemm(const fabric::Executor& ex, const arch::CoreConfig& cfg,
   }
   const double useful = static_cast<double>(m) * n * k / (nr * nr);
   rep.utilization = rep.total_cycles > 0 ? useful / rep.total_cycles : 0.0;
+  finalize_power(rep, cfg);
   return rep;
 }
 
@@ -108,6 +119,7 @@ DriverReport lap_cholesky(const fabric::Executor& ex, const arch::CoreConfig& cf
     for (index_t i = 0; i < j; ++i) a(i, j) = 0.0;
   const double useful = static_cast<double>(n) * n * n / 3.0 / 2.0 / (nr * nr);
   rep.utilization = rep.total_cycles > 0 ? useful / rep.total_cycles : 0.0;
+  finalize_power(rep, cfg);
   return rep;
 }
 
@@ -176,6 +188,7 @@ DriverReport lap_lu(const fabric::Executor& ex, const arch::CoreConfig& cfg,
       (static_cast<double>(m) * n * n - static_cast<double>(n) * n * n / 3.0) /
       (nr * nr);
   rep.utilization = rep.total_cycles > 0 ? useful / rep.total_cycles : 0.0;
+  finalize_power(rep, cfg);
   return rep;
 }
 
@@ -247,6 +260,7 @@ DriverReport lap_qr(const fabric::Executor& ex, const arch::CoreConfig& cfg,
                          static_cast<double>(n) * n * n / 3.0) /
                         (2.0 * nr * nr);
   rep.utilization = rep.total_cycles > 0 ? useful / rep.total_cycles : 0.0;
+  finalize_power(rep, cfg);
   return rep;
 }
 
@@ -274,10 +288,8 @@ DriverReport lap_trmm(const fabric::Executor& ex, const arch::CoreConfig& cfg,
       fabric::KernelResult k =
           run(ex, fabric::make_gemm(cfg, bw_words_per_cycle, tile.view(),
                                     b.block(j0, 0, block, n), acc.view()));
+      absorb(rep, k);
       acc = std::move(k.out);
-      rep.total_cycles += k.cycles;
-      rep.stats += k.stats;
-      ++rep.kernel_calls;
     }
     copy_into<double>(MatrixView<const double>(acc.view()),
                       result.block(i0, 0, block, n));
@@ -286,6 +298,7 @@ DriverReport lap_trmm(const fabric::Executor& ex, const arch::CoreConfig& cfg,
   const double useful = static_cast<double>(m) * (m + 1) / 2.0 * n /
                         (cfg.nr * cfg.nr);
   rep.utilization = rep.total_cycles > 0 ? useful / rep.total_cycles : 0.0;
+  finalize_power(rep, cfg);
   return rep;
 }
 
@@ -315,16 +328,15 @@ DriverReport lap_symm(const fabric::Executor& ex, const arch::CoreConfig& cfg,
       fabric::KernelResult k =
           run(ex, fabric::make_gemm(cfg, bw_words_per_cycle, tile.view(),
                                     b.block(j0, 0, block, n), acc.view()));
+      absorb(rep, k);
       acc = std::move(k.out);
-      rep.total_cycles += k.cycles;
-      rep.stats += k.stats;
-      ++rep.kernel_calls;
     }
     copy_into<double>(MatrixView<const double>(acc.view()),
                       c.block(i0, 0, block, n));
   }
   const double useful = static_cast<double>(m) * m * n / (cfg.nr * cfg.nr);
   rep.utilization = rep.total_cycles > 0 ? useful / rep.total_cycles : 0.0;
+  finalize_power(rep, cfg);
   return rep;
 }
 

@@ -19,6 +19,9 @@ namespace lac::blas {
 struct DriverReport {
   double total_cycles = 0.0;     ///< accumulated accelerator cycles
   double utilization = 0.0;      ///< useful MACs / (cycles * nr^2)
+  double energy_nj = 0.0;        ///< accumulated kernel energy
+  double avg_power_w = 0.0;      ///< energy over the accumulated makespan
+  double area_mm2 = 0.0;         ///< silicon evaluated (max over kernels)
   sim::Stats stats;              ///< zero when run on the analytical backend
   int kernel_calls = 0;
 };

@@ -22,6 +22,7 @@ std::vector<KernelResult> BatchDispatcher::run(
 BatchSummary BatchDispatcher::summarize(const std::vector<KernelResult>& results) {
   BatchSummary s;
   double util_sum = 0.0;
+  double power_sum = 0.0;
   for (const KernelResult& r : results) {
     ++s.requests;
     if (s.backend.empty()) s.backend = r.backend;
@@ -32,10 +33,13 @@ BatchSummary BatchDispatcher::summarize(const std::vector<KernelResult>& results
     s.total_cycles += r.cycles;
     s.max_cycles = std::max(s.max_cycles, r.cycles);
     util_sum += r.utilization;
+    s.total_energy_nj += r.energy_nj;
+    power_sum += r.avg_power_w;
     s.stats += r.stats;
   }
   const int ok = s.requests - s.failures;
   s.mean_utilization = ok > 0 ? util_sum / ok : 0.0;
+  s.mean_power_w = ok > 0 ? power_sum / ok : 0.0;
   return s;
 }
 

@@ -24,6 +24,8 @@ struct BatchSummary {
   double total_cycles = 0.0;        ///< sum of per-request makespans
   double max_cycles = 0.0;          ///< slowest request (sweep critical path)
   double mean_utilization = 0.0;    ///< over successful requests
+  double total_energy_nj = 0.0;     ///< summed per-request energy
+  double mean_power_w = 0.0;        ///< over successful requests
   sim::Stats stats;                 ///< summed activity counters
 };
 

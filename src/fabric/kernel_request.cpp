@@ -218,6 +218,31 @@ KernelRequest make_chip_gemm(const arch::ChipConfig& chip, index_t mc, index_t k
   return req;
 }
 
+arch::CoreConfig effective_core(const KernelRequest& req) {
+  arch::CoreConfig core = req.core;
+  if (req.tech.clock_ghz > 0.0) core.pe.clock_ghz = req.tech.clock_ghz;
+  return core;
+}
+
+arch::ChipConfig effective_chip(const KernelRequest& req) {
+  arch::ChipConfig chip = req.chip;
+  if (req.tech.clock_ghz > 0.0) chip.core.pe.clock_ghz = req.tech.clock_ghz;
+  return chip;
+}
+
+void attach_cost(KernelResult& res, const KernelRequest& req,
+                 const power::EnergyReport& energy) {
+  res.energy_nj = energy.energy_nj();
+  res.avg_power_w = energy.avg_power_w;
+  res.area_mm2 = energy.area_mm2;
+  const double f = effective_core(req).pe.clock_ghz;
+  const double t_ns = f > 0.0 && res.cycles > 0.0 ? res.cycles / f : 0.0;
+  // 2 flops per useful MAC; flops/ns = GFLOPS.
+  res.metrics.gflops = t_ns > 0.0 ? 2.0 * useful_macs(req) / t_ns : 0.0;
+  res.metrics.watts = energy.avg_power_w;
+  res.metrics.area_mm2 = energy.area_mm2;
+}
+
 double useful_macs(const KernelRequest& req) {
   const double m = static_cast<double>(req.a.rows());
   const double k = static_cast<double>(req.a.cols());

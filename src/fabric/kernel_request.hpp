@@ -16,6 +16,8 @@
 #include "arch/configs.hpp"
 #include "common/matrix.hpp"
 #include "model/core_model.hpp"
+#include "power/energy_model.hpp"
+#include "power/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace lac::fabric {
@@ -82,6 +84,7 @@ struct KernelRequest {
   SharedMatrix a, b, c;                        ///< operands (kernel-dependent)
   SharedVector x;                              ///< Vnorm operand
   int owner_col = 2;                           ///< Vnorm PE column
+  arch::TechContext tech;                      ///< node + clock for energy/area
   std::string tag;                             ///< caller label (batch reports)
 };
 
@@ -96,6 +99,13 @@ struct KernelResult {
   double scalar = 0.0;                ///< Vnorm
   double cycles = 0.0;
   double utilization = 0.0;
+  /// Energy/power/area at the request's TechContext. The sim backend prices
+  /// its activity counters; the model backend uses the closed-form busy +
+  /// leakage estimate -- the energy analogue of the cycle calibration.
+  double energy_nj = 0.0;
+  double avg_power_w = 0.0;
+  double area_mm2 = 0.0;
+  power::Metrics metrics;             ///< GFLOPS / W / mm^2 summary
   sim::Stats stats;                   ///< zero for the analytical backend
 };
 
@@ -141,6 +151,18 @@ KernelRequest make_chip_gemm(const arch::ChipConfig& chip, index_t mc, index_t k
 /// Useful MAC count of the request (the numerator of every utilization
 /// figure in the paper; lower-order terms follow each kernel's convention).
 double useful_macs(const KernelRequest& req);
+
+/// The core/chip the request effectively runs on: the configured one with
+/// the TechContext clock override (if any) applied. All cycle, energy and
+/// area figures are evaluated against these.
+arch::CoreConfig effective_core(const KernelRequest& req);
+arch::ChipConfig effective_chip(const KernelRequest& req);
+
+/// Fill the result's energy/power/area fields and the Metrics summary from
+/// an energy report (shared by both backends: GFLOPS follows from useful
+/// MACs over the result's cycles at the effective clock).
+void attach_cost(KernelResult& res, const KernelRequest& req,
+                 const power::EnergyReport& energy);
 
 /// Shape/blocking sanity check; returns an empty string when valid.
 std::string validate(const KernelRequest& req);

@@ -222,6 +222,24 @@ double estimate_cycles(const KernelRequest& req) {
 
 double model_cycles(const KernelRequest& req) { return estimate_cycles(req); }
 
+ModelCost model_cost(const KernelRequest& req) {
+  ModelCost cost;
+  cost.cycles = estimate_cycles(req);
+  const int nr = req.core.nr;
+  const double pes = req.kind == KernelKind::ChipGemm
+                         ? static_cast<double>(req.chip.cores) * nr * nr
+                         : static_cast<double>(nr) * nr;
+  cost.utilization =
+      cost.cycles > 0 ? useful_macs(req) / (cost.cycles * pes) : 0.0;
+  cost.energy =
+      req.kind == KernelKind::ChipGemm
+          ? power::chip_energy_model(effective_chip(req), req.tech.node,
+                                     cost.cycles, cost.utilization)
+          : power::core_energy_model(effective_core(req), req.tech.node,
+                                     cost.cycles, cost.utilization);
+  return cost;
+}
+
 KernelResult ModelExecutor::execute(const KernelRequest& req) const {
   KernelResult res;
   res.backend = name();
@@ -280,16 +298,19 @@ KernelResult ModelExecutor::execute(const KernelRequest& req) const {
   }
 
   if (cache_) {
-    const CycleCache::Estimate est = cache_->estimate(req);
+    const CostCache::Estimate est = cache_->estimate(req);
     res.cycles = est.cycles;
     res.utilization = est.utilization;
+    power::EnergyReport energy;
+    energy.dynamic_nj = est.energy_nj;
+    energy.avg_power_w = est.avg_power_w;
+    energy.area_mm2 = est.area_mm2;
+    attach_cost(res, req, energy);
   } else {
-    res.cycles = estimate_cycles(req);
-    const int nr = req.core.nr;
-    const double pes = req.kind == KernelKind::ChipGemm
-                           ? static_cast<double>(req.chip.cores) * nr * nr
-                           : static_cast<double>(nr) * nr;
-    res.utilization = res.cycles > 0 ? useful_macs(req) / (res.cycles * pes) : 0.0;
+    const ModelCost cost = model_cost(req);
+    res.cycles = cost.cycles;
+    res.utilization = cost.utilization;
+    attach_cost(res, req, cost.energy);
   }
   res.ok = true;
   return res;

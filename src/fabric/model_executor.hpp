@@ -10,23 +10,34 @@
 
 namespace lac::fabric {
 
-class CycleCache;
+class CostCache;
 
 class ModelExecutor final : public Executor {
  public:
-  /// With a CycleCache attached (serving layer), repeated-shape requests
-  /// skip re-estimation: cycles/utilization come from the memo and only
-  /// the numerics run per request. The cache must outlive the executor.
-  explicit ModelExecutor(CycleCache* cache = nullptr) : cache_(cache) {}
+  /// With a CostCache attached (serving layer), repeated-shape requests
+  /// skip re-estimation: cycles/utilization/energy come from the memo and
+  /// only the numerics run per request. The cache must outlive the executor.
+  explicit ModelExecutor(CostCache* cache = nullptr) : cache_(cache) {}
 
   const char* name() const override { return "model"; }
   KernelResult execute(const KernelRequest& req) const override;
 
  private:
-  CycleCache* cache_ = nullptr;
+  CostCache* cache_ = nullptr;
 };
 
 /// Closed-form cycle estimate for a request (exposed for tests/benches).
 double model_cycles(const KernelRequest& req);
+
+/// Full closed-form cost of a request: cycles, utilization, and the busy +
+/// leakage energy/power/area at the request's TechContext. Depends only on
+/// the request's signature (shapes + configuration), never operand values
+/// -- the contract the CostCache memoization relies on.
+struct ModelCost {
+  double cycles = 0.0;
+  double utilization = 0.0;
+  power::EnergyReport energy;
+};
+ModelCost model_cost(const KernelRequest& req);
 
 }  // namespace lac::fabric

@@ -8,7 +8,7 @@
 
 namespace lac::fabric {
 
-CycleCache::Estimate CycleCache::estimate(const KernelRequest& req) {
+CostCache::Estimate CostCache::estimate(const KernelRequest& req) {
   const std::string key = signature(req);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -20,25 +20,31 @@ CycleCache::Estimate CycleCache::estimate(const KernelRequest& req) {
   }
   // Compute outside the lock: estimation is pure and two threads racing on
   // the same cold key produce identical entries.
+  const ModelCost cost = model_cost(req);
   Estimate e;
-  e.cycles = model_cycles(req);
-  const int nr = req.core.nr;
-  const double pes = req.kind == KernelKind::ChipGemm
-                         ? static_cast<double>(req.chip.cores) * nr * nr
-                         : static_cast<double>(nr) * nr;
-  e.utilization = e.cycles > 0 ? useful_macs(req) / (e.cycles * pes) : 0.0;
+  e.cycles = cost.cycles;
+  e.utilization = cost.utilization;
+  e.energy_nj = cost.energy.energy_nj();
+  e.avg_power_w = cost.energy.avg_power_w;
+  e.area_mm2 = cost.energy.area_mm2;
   std::lock_guard<std::mutex> lock(mu_);
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  map_.emplace(key, e);
+  const bool inserted = map_.emplace(key, e).second;
+  // Exactly one racing thread owns the insert (one miss per entry); the
+  // losers found the value present and count as hits, keeping
+  // hits + misses == lookups and misses == size().
+  if (inserted)
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  else
+    hits_.fetch_add(1, std::memory_order_relaxed);
   return e;
 }
 
-std::string CycleCache::signature(const KernelRequest& req) {
+std::string CostCache::signature(const KernelRequest& req) {
   const arch::CoreConfig& core = req.core;
   std::ostringstream os;
-  // Round-trip precision for the bandwidth fields: distinct doubles must
-  // never collapse onto one key (the default 6 significant digits would
-  // alias fine-grained bandwidth sweep points).
+  // Round-trip precision for the floating-point fields: distinct doubles
+  // must never collapse onto one key (the default 6 significant digits
+  // would alias fine-grained bandwidth or clock sweep points).
   os.precision(std::numeric_limits<double>::max_digits10);
   os << to_string(req.kind) << '|' << req.a.rows() << 'x' << req.a.cols() << '|'
      << req.b.rows() << 'x' << req.b.cols() << '|' << req.c.rows() << 'x'
@@ -48,26 +54,34 @@ std::string CycleCache::signature(const KernelRequest& req) {
      << core.pe.pipeline_stages << ',' << core.bus_latency << ','
      << static_cast<int>(core.sfu) << ',' << core.sfu_latency_recip << ','
      << core.sfu_latency_rsqrt << ',' << core.sfu_latency_sqrt << ','
-     << core.sw_emulation_cycles << ',' << core.pe.extensions.comparator
-     << core.pe.extensions.extended_exponent;
+     << core.sw_emulation_cycles << ',' << core.pe.extensions.comparator << ','
+     << core.pe.extensions.extended_exponent
+     // Fields the energy/area models read (the cycle models don't): clock,
+     // precision, local-store organisation, and the technology context.
+     << "|pe:" << core.pe.clock_ghz << ',' << static_cast<int>(core.pe.precision)
+     << ',' << core.pe.mem_a_kbytes << ',' << core.pe.mem_a_ports << ','
+     << core.pe.mem_b_kbytes << ',' << core.pe.mem_b_ports
+     << "|tech:" << static_cast<int>(req.tech.node) << ',' << req.tech.clock_ghz
+     << "|mem:" << req.chip.onchip_mem_mbytes;
   if (req.kind == KernelKind::ChipGemm)
     os << "|chip:" << req.chip.cores << ',' << req.chip.onchip_bw_words_per_cycle
-       << ',' << req.chip.offchip_bw_words_per_cycle;
+       << ',' << req.chip.offchip_bw_words_per_cycle << ','
+       << static_cast<int>(req.chip.mem_kind);
   return os.str();
 }
 
-double CycleCache::hit_rate() const {
+double CostCache::hit_rate() const {
   const double h = static_cast<double>(hits_.load());
   const double m = static_cast<double>(misses_.load());
   return h + m > 0 ? h / (h + m) : 0.0;
 }
 
-std::size_t CycleCache::size() const {
+std::size_t CostCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return map_.size();
 }
 
-void CycleCache::clear() {
+void CostCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   map_.clear();
   hits_.store(0);

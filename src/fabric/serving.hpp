@@ -9,11 +9,12 @@
 //   AsyncExecutor  -- wraps any Executor and turns submissions into
 //                     std::future<KernelResult>s executed on a persistent
 //                     ThreadPool (no thread spawn on the hot path).
-//   CycleCache     -- memoizes the analytical backend's cycle/utilization
-//                     estimates keyed by the request *signature* (kernel
-//                     kind, operand shapes, core/chip configuration,
-//                     bandwidth, overlap regime), so repeated-shape traffic
-//                     skips re-estimation entirely.
+//   CostCache      -- memoizes the analytical backend's full cost estimate
+//                     (cycles, utilization, energy, power, area) keyed by
+//                     the request *signature* (kernel kind, operand shapes,
+//                     core/chip configuration, bandwidth, overlap regime,
+//                     technology context), so repeated-shape traffic skips
+//                     re-estimation entirely.
 //
 // Requests on this path should carry shared operand payloads (see the
 // shared-payload make_* overloads in kernel_request.hpp): enqueueing then
@@ -32,27 +33,35 @@
 
 namespace lac::fabric {
 
-/// Thread-safe memo of model-backend cycle estimates. The estimate for a
-/// request depends only on its signature -- never on operand values -- so
-/// one entry serves every request of the same shape against the same
-/// architecture point.
-class CycleCache {
+/// Thread-safe memo of model-backend cost estimates (cycles, utilization,
+/// energy, power, area). The estimate for a request depends only on its
+/// signature -- never on operand values -- so one entry serves every
+/// request of the same shape against the same architecture point and
+/// technology context.
+class CostCache {
  public:
   struct Estimate {
     double cycles = 0.0;
     double utilization = 0.0;
+    double energy_nj = 0.0;
+    double avg_power_w = 0.0;
+    double area_mm2 = 0.0;
   };
 
   /// Cached estimate for the request, computing (and remembering) it on a
   /// miss via the closed-form models behind ModelExecutor.
   Estimate estimate(const KernelRequest& req);
 
-  /// The memo key: every field of the request that the cycle models read.
+  /// The memo key: every field of the request that the cycle or energy
+  /// models read, each separated by an explicit delimiter (no two adjacent
+  /// fields may concatenate ambiguously as more fields are added).
   static std::string signature(const KernelRequest& req);
 
   std::uint64_t hits() const { return hits_.load(); }
   std::uint64_t misses() const { return misses_.load(); }
-  /// Hits over lookups so far (0 when the cache is cold).
+  /// Hits over lookups so far (0 when the cache is cold). Threads racing on
+  /// a cold key resolve to one miss (the inserting thread) and hits for the
+  /// rest, so hits + misses == lookups and misses == distinct entries.
   double hit_rate() const;
   std::size_t size() const;
   void clear();
@@ -63,6 +72,9 @@ class CycleCache {
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
 };
+
+/// Pre-PR-3 name, kept for callers of the cycle-only era.
+using CycleCache = CostCache;
 
 /// Asynchronous façade over any Executor: submissions return futures that
 /// resolve on the pool's worker threads. The wrapped executor must be

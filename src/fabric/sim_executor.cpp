@@ -29,13 +29,31 @@ bool all_finite(const MatrixD& m) {
 }
 
 /// Failed requests charge nothing: a result that reports ok = false must
-/// not leak the cycles/activity the simulator absorbed before detecting
-/// the failure (both backends agree on this, and BatchSummary relies on
-/// failures contributing zero to every total).
+/// not leak the cycles/activity/energy the simulator absorbed before
+/// detecting the failure (both backends agree on this, and BatchSummary
+/// relies on failures contributing zero to every total).
 void void_accounting(KernelResult& res) {
   res.cycles = 0.0;
   res.utilization = 0.0;
+  res.energy_nj = 0.0;
+  res.avg_power_w = 0.0;
+  res.area_mm2 = 0.0;
+  res.metrics = power::Metrics{};
   res.stats = sim::Stats{};
+}
+
+/// Price the simulator's activity counters at the request's TechContext:
+/// per-event energies for the dynamic part, leakage over the exact cycle
+/// count for the static part.
+void attach_sim_cost(KernelResult& res, const KernelRequest& req) {
+  const power::EnergyReport energy =
+      req.kind == KernelKind::ChipGemm
+          ? power::chip_energy_from_stats(effective_chip(req), req.tech.node,
+                                          res.stats, res.cycles)
+          : power::core_energy_from_stats(effective_core(req), req.tech.node,
+                                          res.stats, res.cycles,
+                                          req.chip.onchip_mem_mbytes);
+  attach_cost(res, req, energy);
 }
 
 }  // namespace
@@ -118,6 +136,7 @@ KernelResult SimExecutor::execute(const KernelRequest& req) const {
       break;
     }
   }
+  attach_sim_cost(res, req);
   res.ok = true;
   return res;
 }

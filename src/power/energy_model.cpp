@@ -1,0 +1,185 @@
+#include "power/energy_model.hpp"
+
+#include <algorithm>
+
+#include "power/bus_model.hpp"
+#include "power/fmac_model.hpp"
+#include "power/nuca_model.hpp"
+#include "power/pe_power.hpp"
+#include "power/sfu_model.hpp"
+#include "power/sram_model.hpp"
+
+namespace lac::power {
+namespace {
+
+// A magnitude compare only exercises the exponent/mantissa compare slice of
+// the MAC datapath, not the multiplier array.
+constexpr double kCmpMacFraction = 0.15;
+// The idling SFU's leakage is charged on 10% of its active power (the
+// core_power_mw convention).
+constexpr double kSfuIdleShare = 0.1;
+
+/// Convert mW sustained over `cycles` at `clock_ghz` into nJ
+/// (mW x ns = pJ).
+double mw_to_nj(double mw, double cycles, double clock_ghz) {
+  if (clock_ghz <= 0.0) return 0.0;
+  return mw * (cycles / clock_ghz) / 1000.0;
+}
+
+void finalize(EnergyReport& rep, double cycles, double clock_ghz) {
+  const double t_ns = clock_ghz > 0.0 ? cycles / clock_ghz : 0.0;
+  rep.avg_power_w = t_ns > 0.0 ? rep.energy_nj() / t_ns : 0.0;
+}
+
+/// Dynamic power (mW, at 45nm) of the shared on-chip memory streaming
+/// `words_per_cycle`.
+double onchip_dynamic_mw(const arch::ChipConfig& chip, double words_per_cycle,
+                         double clock_ghz) {
+  if (chip.mem_kind == arch::OnChipMemKind::BankedSram)
+    return onchip_sram_dynamic_mw(chip.onchip_mem_mbytes, words_per_cycle,
+                                  clock_ghz);
+  return nuca_dynamic_mw(chip.onchip_mem_mbytes, words_per_cycle, clock_ghz);
+}
+
+double onchip_leakage_mw(const arch::ChipConfig& chip) {
+  if (chip.mem_kind == arch::OnChipMemKind::BankedSram)
+    return onchip_sram_leakage_mw(chip.onchip_mem_mbytes);
+  return nuca_leakage_mw(chip.onchip_mem_mbytes,
+                         chip.onchip_bw_words_per_cycle);
+}
+
+/// Switching energy (pJ) of a stats record priced at per-event energies.
+double stats_dynamic_pj(const sim::Stats& s, const EventEnergies& e) {
+  double pj = 0.0;
+  pj += static_cast<double>(s.mac_ops) * e.mac_pj;
+  pj += static_cast<double>(s.mul_ops) * e.mul_pj;
+  pj += static_cast<double>(s.cmp_ops) * e.cmp_pj;
+  pj += static_cast<double>(s.mem_a_reads + s.mem_a_writes) * e.mem_a_pj;
+  pj += static_cast<double>(s.mem_b_reads + s.mem_b_writes) * e.mem_b_pj;
+  pj += static_cast<double>(s.rf_reads + s.rf_writes) * e.rf_pj;
+  pj += static_cast<double>(s.row_bus_xfers + s.col_bus_xfers) * e.bus_pj;
+  pj += static_cast<double>(s.sfu_ops) * e.sfu_pj;
+  pj += static_cast<double>(s.dma_words) * e.dma_word_pj;
+  return pj;
+}
+
+}  // namespace
+
+EventEnergies core_event_energies(const arch::CoreConfig& core,
+                                  arch::TechNode node, double onchip_mbytes) {
+  const arch::PeConfig& pe = core.pe;
+  const double scale = arch::power_scale_from_45(node);
+  EventEnergies e;
+  e.mac_pj = fmac_energy_pj(pe.precision, pe.clock_ghz) * scale;
+  // A plain multiply/add issues through the same FMAC datapath.
+  e.mul_pj = e.mac_pj;
+  e.cmp_pj = kCmpMacFraction * e.mac_pj;
+  e.mem_a_pj = pe_sram_access_pj(pe.mem_a_kbytes, pe.mem_a_ports) * scale;
+  e.mem_b_pj = pe_sram_access_pj(pe.mem_b_kbytes, pe.mem_b_ports) * scale;
+  e.rf_pj = rf_access_pj() * scale;
+  e.bus_pj = bus_transfer_pj(core.nr, pe.precision) * scale;
+  e.sfu_pj = sfu_op_energy_pj(core) * scale;
+  // One word over the core <-> on-chip memory interface: one access on the
+  // shared SRAM side (per-word energy = dynamic mW at 1 word/cycle / GHz).
+  e.dma_word_pj =
+      onchip_sram_dynamic_mw(std::max(onchip_mbytes, 0.125), 1.0, 1.0) * scale;
+  return e;
+}
+
+double core_busy_mw(const arch::CoreConfig& core, arch::TechNode node) {
+  const double dyn45 =
+      pe_power(core, gemm_activity(core.nr)).dynamic_mw() * core.pes();
+  return dyn45 * arch::power_scale_from_45(node);
+}
+
+double core_leakage_mw(const arch::CoreConfig& core, arch::TechNode node) {
+  double leak45 = arch::idle_fraction(node) *
+                  pe_power(core, gemm_activity(core.nr)).dynamic_mw() *
+                  core.pes();
+  if (core.sfu != arch::SfuOption::Software)
+    leak45 += arch::idle_fraction(node) * kSfuIdleShare * sfu_active_mw(core);
+  return leak45 * arch::power_scale_from_45(node);
+}
+
+double core_area_mm2_at(const arch::CoreConfig& core, arch::TechNode node) {
+  return core_area_mm2(core) * arch::area_scale_from_45(node);
+}
+
+double chip_area_mm2_at(const arch::ChipConfig& chip, arch::TechNode node) {
+  const double mem45 =
+      chip.mem_kind == arch::OnChipMemKind::BankedSram
+          ? onchip_sram_area_mm2(chip.onchip_mem_mbytes)
+          : nuca_area_mm2(chip.onchip_mem_mbytes,
+                          chip.onchip_bw_words_per_cycle);
+  return (core_area_mm2(chip.core) * chip.cores + mem45) *
+         arch::area_scale_from_45(node);
+}
+
+EnergyReport core_energy_model(const arch::CoreConfig& core, arch::TechNode node,
+                               double cycles, double utilization) {
+  const double f = core.pe.clock_ghz;
+  EnergyReport rep;
+  rep.dynamic_nj = mw_to_nj(core_busy_mw(core, node) * utilization, cycles, f);
+  rep.static_nj = mw_to_nj(core_leakage_mw(core, node), cycles, f);
+  rep.area_mm2 = core_area_mm2_at(core, node);
+  finalize(rep, cycles, f);
+  return rep;
+}
+
+EnergyReport core_energy_from_stats(const arch::CoreConfig& core,
+                                    arch::TechNode node, const sim::Stats& s,
+                                    double cycles, double onchip_mbytes) {
+  const EventEnergies e = core_event_energies(core, node, onchip_mbytes);
+  const double f = core.pe.clock_ghz;
+  EnergyReport rep;
+  rep.dynamic_nj = stats_dynamic_pj(s, e) / 1000.0;
+  rep.static_nj = mw_to_nj(core_leakage_mw(core, node), cycles, f);
+  rep.area_mm2 = core_area_mm2_at(core, node);
+  finalize(rep, cycles, f);
+  return rep;
+}
+
+EnergyReport chip_energy_model(const arch::ChipConfig& chip, arch::TechNode node,
+                               double cycles, double utilization) {
+  const double f = chip.core.pe.clock_ghz;
+  const double scale = arch::power_scale_from_45(node);
+  EnergyReport rep;
+  const double cores_mw = core_busy_mw(chip.core, node) * chip.cores * utilization;
+  // The shared memory streams at its interface bandwidth for the busy
+  // fraction of the run (the Ch. 4 model keeps the interface saturated
+  // while cores compute).
+  const double mem_mw =
+      onchip_dynamic_mw(chip, chip.onchip_bw_words_per_cycle, f) * utilization *
+      scale;
+  rep.dynamic_nj = mw_to_nj(cores_mw + mem_mw, cycles, f);
+  const double leak_mw = core_leakage_mw(chip.core, node) * chip.cores +
+                         onchip_leakage_mw(chip) * scale;
+  rep.static_nj = mw_to_nj(leak_mw, cycles, f);
+  rep.area_mm2 = chip_area_mm2_at(chip, node);
+  finalize(rep, cycles, f);
+  return rep;
+}
+
+EnergyReport chip_energy_from_stats(const arch::ChipConfig& chip,
+                                    arch::TechNode node, const sim::Stats& s,
+                                    double cycles) {
+  const double f = chip.core.pe.clock_ghz;
+  const double scale = arch::power_scale_from_45(node);
+  // Per-event energies for the aggregated core counters, with the shared
+  // memory's per-word energy priced by its actual organisation (a NUCA
+  // word costs several times a banked-SRAM word) -- the same branch the
+  // closed-form chip model takes.
+  EventEnergies e =
+      core_event_energies(chip.core, node, chip.onchip_mem_mbytes);
+  e.dma_word_pj = onchip_dynamic_mw(chip, 1.0, 1.0) * scale;
+  EnergyReport rep;
+  rep.dynamic_nj = stats_dynamic_pj(s, e) / 1000.0;
+  rep.static_nj = mw_to_nj(core_leakage_mw(chip.core, node) * chip.cores +
+                               onchip_leakage_mw(chip) * scale,
+                           cycles, f);
+  rep.area_mm2 = chip_area_mm2_at(chip, node);
+  finalize(rep, cycles, f);
+  return rep;
+}
+
+}  // namespace lac::power

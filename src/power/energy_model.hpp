@@ -1,0 +1,83 @@
+#pragma once
+// Kernel-level energy accounting over the power stack (§1.3.3, Ch. 3/4).
+//
+// Two estimators share the same 45nm-calibrated component models and the
+// same technology scaling, so the fabric's backends can cross-check each
+// other on energy exactly like they do on cycles:
+//
+//  * closed-form (model backend): the core's GEMM-steady-state busy power
+//    scaled by sustained utilization, plus always-on leakage (the
+//    idle_fraction of §1.3.3 at the requested node), over the estimated
+//    cycle count;
+//  * activity-based (sim backend): the simulator's per-component event
+//    counters (sim::Stats) times per-event energies, plus the same leakage
+//    term over the exact cycle count.
+//
+// All component models are calibrated at 45nm; other nodes apply the
+// classical scaling of arch/technology.hpp (power ~ L, area ~ L^2, leakage
+// fraction per node).
+#include "arch/configs.hpp"
+#include "sim/engine.hpp"
+
+namespace lac::power {
+
+/// Per-event energies (pJ) of one core's components at a technology node.
+struct EventEnergies {
+  double mac_pj = 0.0;       ///< one FMAC issue
+  double mul_pj = 0.0;       ///< plain multiply/add on the MAC datapath
+  double cmp_pj = 0.0;       ///< magnitude compare (pivot search)
+  double mem_a_pj = 0.0;     ///< MEM-A port access
+  double mem_b_pj = 0.0;     ///< MEM-B port access
+  double rf_pj = 0.0;        ///< register-file access
+  double bus_pj = 0.0;       ///< one row/column broadcast (spans nr PEs)
+  double sfu_pj = 0.0;       ///< one special-function op
+  double dma_word_pj = 0.0;  ///< one word over the core's memory interface
+};
+
+/// Per-event energies for a core at `node`; `onchip_mbytes` sizes the
+/// memory the DMA interface streams from (the LAP's shared SRAM).
+EventEnergies core_event_energies(const arch::CoreConfig& core,
+                                  arch::TechNode node, double onchip_mbytes);
+
+/// One kernel execution's energy bill.
+struct EnergyReport {
+  double dynamic_nj = 0.0;   ///< switching energy
+  double static_nj = 0.0;    ///< leakage over the kernel's makespan
+  double avg_power_w = 0.0;  ///< total energy / makespan
+  double area_mm2 = 0.0;     ///< silicon evaluated (core or chip) at node
+  double energy_nj() const { return dynamic_nj + static_nj; }
+};
+
+/// Full-activity (GEMM steady-state) dynamic power of one core in mW at
+/// `node`, and the matching always-on leakage power.
+double core_busy_mw(const arch::CoreConfig& core, arch::TechNode node);
+double core_leakage_mw(const arch::CoreConfig& core, arch::TechNode node);
+
+/// Core area at `node` (the 45nm model scaled classically).
+double core_area_mm2_at(const arch::CoreConfig& core, arch::TechNode node);
+/// Chip area at `node`: S cores + on-chip memory.
+double chip_area_mm2_at(const arch::ChipConfig& chip, arch::TechNode node);
+
+/// Closed-form core energy: busy power x utilization + leakage over
+/// `cycles` at the core clock.
+EnergyReport core_energy_model(const arch::CoreConfig& core, arch::TechNode node,
+                               double cycles, double utilization);
+
+/// Activity-based core energy: per-event energies x sim counters + the same
+/// leakage term over `cycles`.
+EnergyReport core_energy_from_stats(const arch::CoreConfig& core,
+                                    arch::TechNode node, const sim::Stats& stats,
+                                    double cycles, double onchip_mbytes);
+
+/// Closed-form chip (LAP) energy: S cores as above plus the shared on-chip
+/// memory streaming at its interface bandwidth for the busy fraction.
+EnergyReport chip_energy_model(const arch::ChipConfig& chip, arch::TechNode node,
+                               double cycles, double utilization);
+
+/// Activity-based chip energy: aggregated core counters plus dma_words
+/// through the shared memory, plus chip leakage.
+EnergyReport chip_energy_from_stats(const arch::ChipConfig& chip,
+                                    arch::TechNode node, const sim::Stats& stats,
+                                    double cycles);
+
+}  // namespace lac::power

@@ -1,7 +1,10 @@
 #pragma once
 // Efficiency metrics used across the dissertation's comparisons:
-// GFLOPS/W, GFLOPS/mm^2, W/mm^2, energy-delay (W/GFLOPS^2) and its inverse
-// (GFLOPS^2/W, "inverse E-D" -- bigger is better).
+// GFLOPS/W, GFLOPS/mm^2, W/mm^2, energy-delay (mW/GFLOPS^2, the Fig 3.6
+// convention) and its inverse (GFLOPS^2/W, the Table 4.2 convention --
+// bigger is better). The two published conventions use different power
+// units, so energy_delay() * inverse_energy_delay() == 1000 (mW per W),
+// not 1; tests/test_power_models.cpp pins both definitions.
 namespace lac::power {
 
 struct Metrics {
@@ -15,8 +18,10 @@ struct Metrics {
   double mw_per_gflop() const { return gflops > 0 ? watts * 1000.0 / gflops : 0.0; }
   double mm2_per_gflop() const { return gflops > 0 ? area_mm2 / gflops : 0.0; }
   /// Energy-delay product in mW/GFLOPS^2 (lower is better, Fig 3.6).
+  /// Note the milliwatt convention: this is mw_per_gflop() / gflops, and
+  /// 1000x the reciprocal of inverse_energy_delay() (which is in watts).
   double energy_delay() const { return gflops > 0 ? watts * 1000.0 / (gflops * gflops) : 0.0; }
-  /// Inverse energy-delay in GFLOPS^2/W (higher is better, Tables 4.2).
+  /// Inverse energy-delay in GFLOPS^2/W (higher is better, Table 4.2).
   double inverse_energy_delay() const { return watts > 0 ? gflops * gflops / watts : 0.0; }
 };
 

@@ -45,6 +45,8 @@ PePower pe_power(const arch::CoreConfig& core, const PeActivity& activity) {
   return out;
 }
 
+double rf_access_pj() { return kRfMwPerGhz; }
+
 double pe_area_mm2(const arch::CoreConfig& core) {
   const arch::PeConfig& pe = core.pe;
   const double freq_premium =

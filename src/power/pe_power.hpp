@@ -33,6 +33,10 @@ struct PePower {
 /// Dynamic + idle power of one PE inside an nr x nr core.
 PePower pe_power(const arch::CoreConfig& core, const PeActivity& activity);
 
+/// Energy (pJ) of one register-file access (clock-independent: the RF model
+/// is linear in frequency, so mW/GHz at activity 1 equals pJ/access).
+double rf_access_pj();
+
 /// Area of one PE (FMAC + local stores + RF + bus share) in mm^2.
 double pe_area_mm2(const arch::CoreConfig& core);
 

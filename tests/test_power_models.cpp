@@ -178,5 +178,24 @@ TEST(Metrics, Definitions) {
   EXPECT_DOUBLE_EQ(m.inverse_energy_delay(), 5000.0);
 }
 
+TEST(Metrics, EnergyDelayUnitConventionsPinned) {
+  // The two published energy-delay conventions use different power units:
+  // energy_delay() is mW/GFLOPS^2 (Fig 3.6, what bench_fig_3_6_3_7 prints)
+  // and inverse_energy_delay() is GFLOPS^2/W (Table 4.2). Pin both, and the
+  // exact mW-per-W factor between them, so neither silently changes scale.
+  Metrics m;
+  m.gflops = 100.0;
+  m.watts = 2.0;
+  // mW/GFLOPS^2 == mW_per_gflop spread over the delay of one more GFLOP.
+  EXPECT_DOUBLE_EQ(m.energy_delay(), m.mw_per_gflop() / m.gflops);
+  EXPECT_DOUBLE_EQ(m.energy_delay() * m.inverse_energy_delay(), 1000.0);
+  // Fig 3.6 magnitudes: a ~38 mW DP PE at 1 GHz / 2 GFLOPS peak sits at
+  // ~10 mW/GFLOPS^2 -- the convention that produces O(10) values there.
+  Metrics pe;
+  pe.gflops = 2.0;
+  pe.watts = 0.038;
+  EXPECT_NEAR(pe.energy_delay(), 9.5, 1e-9);
+}
+
 }  // namespace
 }  // namespace lac::power

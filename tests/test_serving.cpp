@@ -1,6 +1,6 @@
 // The persistent serving layer: ThreadPool scheduling and exception
 // semantics, AsyncExecutor futures under mixed-kernel stress on both
-// backends, determinism across pool widths, CycleCache hit behavior, and
+// backends, determinism across pool widths, CostCache hit behavior, and
 // the zero-copy request path.
 #include <gtest/gtest.h>
 
@@ -205,8 +205,8 @@ TEST(AsyncExecutor, ExceptionsPropagateThroughFutures) {
   EXPECT_TRUE(ok.submit(make_cholesky(cfg, 2.0, spd.view())).get().ok);
 }
 
-TEST(CycleCache, RepeatedShapesHitAndMatchUncached) {
-  CycleCache cache;
+TEST(CostCache, RepeatedShapesHitAndMatchUncached) {
+  CostCache cache;
   ModelExecutor cached(&cache);
   std::vector<KernelRequest> reqs = serving_workload(10);
   const std::size_t unique_shapes = serving_workload(1).size();
@@ -217,12 +217,17 @@ TEST(CycleCache, RepeatedShapesHitAndMatchUncached) {
     ASSERT_TRUE(got[i].ok);
     EXPECT_EQ(got[i].cycles, expect[i].cycles) << "request " << i;
     EXPECT_EQ(got[i].utilization, expect[i].utilization) << "request " << i;
+    // The memoized energy path must be bit-identical to re-estimation.
+    EXPECT_EQ(got[i].energy_nj, expect[i].energy_nj) << "request " << i;
+    EXPECT_EQ(got[i].avg_power_w, expect[i].avg_power_w) << "request " << i;
+    EXPECT_EQ(got[i].area_mm2, expect[i].area_mm2) << "request " << i;
   }
-  // Every repeat beyond the first sighting of a shape is a hit. Concurrent
-  // first sightings may each count a miss, so bound from both sides.
+  // Exactly one miss per distinct shape -- threads racing on a cold key
+  // resolve to one inserted entry (the miss) and hits for the losers.
   EXPECT_EQ(cache.hits() + cache.misses(), reqs.size());
-  EXPECT_GE(cache.misses(), unique_shapes);
-  EXPECT_GE(cache.hits(), reqs.size() - 4 * unique_shapes);
+  EXPECT_EQ(cache.misses(), unique_shapes);
+  EXPECT_EQ(cache.size(), unique_shapes);
+  EXPECT_EQ(cache.hits(), reqs.size() - unique_shapes);
   EXPECT_GT(cache.hit_rate(), 0.5);
 
   const std::uint64_t hits_before = cache.hits();
@@ -231,7 +236,96 @@ TEST(CycleCache, RepeatedShapesHitAndMatchUncached) {
   EXPECT_LT(cache.hits(), hits_before);
 }
 
-TEST(CycleCache, SignatureSeparatesShapeAndConfig) {
+TEST(CostCache, ColdKeyRaceCountsOneMissPerEntry) {
+  // Many threads racing on the same cold key must resolve to exactly one
+  // miss (the inserting thread) -- the pre-fix behavior counted one miss
+  // per racing thread for a single inserted entry, skewing hit_rate().
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  auto a = std::make_shared<const MatrixD>(random_matrix(16, 16, 200));
+  auto b = std::make_shared<const MatrixD>(random_matrix(16, 16, 201));
+  auto c = std::make_shared<const MatrixD>(random_matrix(16, 16, 202));
+  for (int round = 0; round < 8; ++round) {
+    CostCache cache;
+    constexpr unsigned kThreads = 8;
+    ThreadPool pool(kThreads);
+    std::vector<std::future<CostCache::Estimate>> futs;
+    for (unsigned t = 0; t < kThreads; ++t)
+      futs.push_back(pool.submit(
+          [&] { return cache.estimate(make_gemm(cfg, 2.0, a, b, c)); }));
+    CostCache::Estimate first = futs[0].get();
+    for (std::size_t t = 1; t < futs.size(); ++t) {
+      CostCache::Estimate e = futs[t].get();
+      EXPECT_EQ(e.cycles, first.cycles);
+      EXPECT_EQ(e.energy_nj, first.energy_nj);
+    }
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.misses(), 1u) << "round " << round;
+    EXPECT_EQ(cache.hits(), kThreads - 1u) << "round " << round;
+  }
+}
+
+TEST(CostCache, SignatureKeysEveryEnergyRelevantField) {
+  // Cycles ignore clock, precision, local-store sizing and the technology
+  // context -- the energy model reads all of them, so the memo key must
+  // separate each (the cycle-only cache would have aliased these points).
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD a = random_matrix(16, 16, 210), b = random_matrix(16, 16, 211),
+          c = random_matrix(16, 16, 212);
+  const KernelRequest base = make_gemm(cfg, 2.0, a.view(), b.view(), c.view());
+  const std::string sig = CostCache::signature(base);
+
+  KernelRequest other_node = base;
+  other_node.tech.node = arch::TechNode::nm32;
+  EXPECT_NE(CostCache::signature(other_node), sig);
+
+  KernelRequest other_clock = base;
+  other_clock.tech.clock_ghz = 1.4;
+  EXPECT_NE(CostCache::signature(other_clock), sig);
+
+  arch::CoreConfig sp = arch::lac_4x4_sp();
+  EXPECT_NE(
+      CostCache::signature(make_gemm(sp, 2.0, a.view(), b.view(), c.view())),
+      sig);
+
+  arch::CoreConfig small_store = cfg;
+  small_store.pe.mem_a_kbytes = 8.0;
+  EXPECT_NE(CostCache::signature(
+                make_gemm(small_store, 2.0, a.view(), b.view(), c.view())),
+            sig);
+
+  // And a cached executor serves the distinct points distinct energies.
+  CostCache cache;
+  ModelExecutor cached(&cache);
+  KernelResult at45 = cached.execute(base);
+  KernelResult at32 = cached.execute(other_node);
+  ASSERT_TRUE(at45.ok && at32.ok);
+  EXPECT_EQ(at45.cycles, at32.cycles);
+  EXPECT_GT(at45.energy_nj, at32.energy_nj);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(CostCache, SignatureSeparatesExtensionBools) {
+  // The two MAC-extension flags are delimited fields, not a concatenated
+  // bit blob: flipping either one alone must change the key.
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD panel = random_matrix(16, 4, 220);
+  const std::string base = CostCache::signature(make_lu(cfg, panel.view()));
+  arch::CoreConfig with_cmp = cfg;
+  with_cmp.pe.extensions.comparator = true;
+  arch::CoreConfig with_exp = cfg;
+  with_exp.pe.extensions.extended_exponent = true;
+  const std::string sig_cmp = CostCache::signature(make_lu(with_cmp, panel.view()));
+  const std::string sig_exp = CostCache::signature(make_lu(with_exp, panel.view()));
+  EXPECT_NE(sig_cmp, base);
+  EXPECT_NE(sig_exp, base);
+  EXPECT_NE(sig_cmp, sig_exp);
+  // Explicit delimiter between the flags (regression for the unseparated
+  // "<<bool<<bool" streaming): flipping comparator on changes exactly the
+  // field before the delimiter, so the flags parse as ",1,0" not ",10".
+  EXPECT_NE(sig_cmp.find(",1,0|"), std::string::npos);
+}
+
+TEST(CostCache, SignatureSeparatesShapeAndConfig) {
   arch::CoreConfig cfg = arch::lac_4x4_dp();
   MatrixD a16 = random_matrix(16, 16, 90), b16 = random_matrix(16, 16, 91),
           c16 = random_matrix(16, 16, 92);
@@ -243,22 +337,22 @@ TEST(CycleCache, SignatureSeparatesShapeAndConfig) {
   KernelRequest other_n = make_gemm(cfg, 2.0, a32.view(), b32.view(), c32.view());
   KernelRequest other_bw = make_gemm(cfg, 4.0, a16.view(), b16.view(), c16.view());
   KernelRequest other_kind = make_syrk(cfg, 2.0, a16.view(), c16.view());
-  EXPECT_EQ(CycleCache::signature(r1), CycleCache::signature(same_shape));
-  EXPECT_NE(CycleCache::signature(r1), CycleCache::signature(other_n));
-  EXPECT_NE(CycleCache::signature(r1), CycleCache::signature(other_bw));
-  EXPECT_NE(CycleCache::signature(r1), CycleCache::signature(other_kind));
+  EXPECT_EQ(CostCache::signature(r1), CostCache::signature(same_shape));
+  EXPECT_NE(CostCache::signature(r1), CostCache::signature(other_n));
+  EXPECT_NE(CostCache::signature(r1), CostCache::signature(other_bw));
+  EXPECT_NE(CostCache::signature(r1), CostCache::signature(other_kind));
 
   arch::CoreConfig wider = cfg;
   wider.pe.pipeline_stages += 2;
   KernelRequest other_core =
       make_gemm(wider, 2.0, a16.view(), b16.view(), c16.view());
-  EXPECT_NE(CycleCache::signature(r1), CycleCache::signature(other_core));
+  EXPECT_NE(CostCache::signature(r1), CostCache::signature(other_core));
 
   // Bandwidths differing only past the sixth significant digit (a
   // fine-grained sweep step) must still key separately.
   KernelRequest bw_lo = make_gemm(cfg, 1024.001, a16.view(), b16.view(), c16.view());
   KernelRequest bw_hi = make_gemm(cfg, 1024.004, a16.view(), b16.view(), c16.view());
-  EXPECT_NE(CycleCache::signature(bw_lo), CycleCache::signature(bw_hi));
+  EXPECT_NE(CostCache::signature(bw_lo), CostCache::signature(bw_hi));
 }
 
 }  // namespace
