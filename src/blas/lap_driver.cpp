@@ -6,6 +6,8 @@
 
 #include "blas/ref_blas.hpp"
 #include "fabric/sim_executor.hpp"
+#include "sched/graph_builders.hpp"
+#include "sched/graph_scheduler.hpp"
 
 namespace lac::blas {
 namespace {
@@ -120,6 +122,40 @@ DriverReport lap_cholesky(const fabric::Executor& ex, const arch::CoreConfig& cf
   const double useful = static_cast<double>(n) * n * n / 3.0 / 2.0 / (nr * nr);
   rep.utilization = rep.total_cycles > 0 ? useful / rep.total_cycles : 0.0;
   finalize_power(rep, cfg);
+  return rep;
+}
+
+DriverReport lap_cholesky_graph(const fabric::Executor& ex,
+                                const arch::CoreConfig& cfg,
+                                double bw_words_per_cycle, index_t block,
+                                ViewD a, unsigned workers, ThreadPool* pool) {
+  const int nr = cfg.nr;
+  const index_t n = a.rows();
+  assert(a.cols() == n && n % block == 0 && block % nr == 0);
+
+  sched::FactorGraph fg =
+      sched::build_cholesky_graph(cfg, bw_words_per_cycle, a, block);
+  sched::SchedulerOptions opts;
+  opts.workers = workers;
+  // Fall back to a dedicated pool, never the shared one: this call blocks
+  // on the graph future, and parking a shared-pool thread on work that
+  // itself needs shared-pool workers can deadlock the pool (e.g. a sweep
+  // dispatching drivers via parallel_for).
+  ThreadPool local(workers);
+  sched::GraphScheduler scheduler(ex, opts, pool ? pool : &local);
+  sched::GraphResult gres = scheduler.submit(0, std::move(fg.graph)).get();
+  if (!gres.ok)
+    throw std::runtime_error("lap driver kernel failed: " + gres.error);
+  sched::extract_lower(fg, a);
+
+  DriverReport rep;
+  for (const fabric::KernelResult& k : gres.nodes) absorb(rep, k);
+  const double useful = static_cast<double>(n) * n * n / 3.0 / 2.0 / (nr * nr);
+  rep.utilization = rep.total_cycles > 0 ? useful / rep.total_cycles : 0.0;
+  finalize_power(rep, cfg);
+  rep.makespan_cycles = gres.makespan_cycles;
+  rep.graph_speedup = gres.speedup;
+  rep.graph_workers = gres.workers;
   return rep;
 }
 

@@ -12,6 +12,7 @@
 
 #include "arch/configs.hpp"
 #include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
 #include "fabric/executor.hpp"
 
 namespace lac::blas {
@@ -24,6 +25,12 @@ struct DriverReport {
   double area_mm2 = 0.0;         ///< silicon evaluated (max over kernels)
   sim::Stats stats;              ///< zero when run on the analytical backend
   int kernel_calls = 0;
+  /// Graph-mode extras (zero on the serial driver paths): the W-worker
+  /// list-schedule length of the kernel DAG and the serial-sum-over-
+  /// makespan speedup it implies.
+  double makespan_cycles = 0.0;
+  double graph_speedup = 0.0;
+  unsigned graph_workers = 0;
 };
 
 /// Accelerated GEMM: C += A * B for arbitrary (m, n, k) padded to nr
@@ -37,6 +44,25 @@ DriverReport lap_gemm(const fabric::Executor& ex, const arch::CoreConfig& cfg,
 /// the fabric. `a` is overwritten with L (lower).
 DriverReport lap_cholesky(const fabric::Executor& ex, const arch::CoreConfig& cfg,
                           double bw_words_per_cycle, index_t block, ViewD a);
+
+/// Blocked Cholesky re-expressed as a tile-level kernel graph
+/// (POTRF/TRSM/SYRK/GEMM DAG, see sched::build_cholesky_graph) executed
+/// with panel-level parallelism on the kernel-graph scheduler. Same
+/// contract and numerics class as lap_cholesky; the report additionally
+/// carries the makespan/speedup figures, and total cycles/energy stay
+/// within the graph-vs-serial regression tolerance of the serial driver.
+/// `workers` sets the scheduler width; pass it explicitly when the
+/// makespan figures must be host-independent (0 sizes to the hardware
+/// concurrency). `pool` reuses a caller-owned ThreadPool across calls
+/// (e.g. a sweep); by default each call runs a dedicated pool -- never
+/// the shared one, because this call blocks on the graph future and
+/// parking a shared-pool thread on work that needs shared-pool workers
+/// can deadlock.
+DriverReport lap_cholesky_graph(const fabric::Executor& ex,
+                                const arch::CoreConfig& cfg,
+                                double bw_words_per_cycle, index_t block,
+                                ViewD a, unsigned workers = 0,
+                                ThreadPool* pool = nullptr);
 
 /// Accelerated blocked LU with partial pivoting (§6.1.2): the LAC factors
 /// each k x nr panel (pivot search + reciprocal scale + rank-1 updates);

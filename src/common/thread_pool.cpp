@@ -44,12 +44,51 @@ void ThreadPool::worker_loop() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_) return;
+      // On stop with work still queued, keep draining: shutdown() promises
+      // completion, and the destructor clears the queue first anyway.
+      if (queue_.empty()) return;
       job = std::move(queue_.front());
       queue_.pop_front();
+      ++active_;
     }
     job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
   }
+}
+
+void ThreadPool::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::shutdown() {
+  std::vector<std::thread> joined;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // One quiesce at a time: a second caller entering while the first is
+    // joining would reset stop_ before the first caller's workers observe
+    // it, wedging that join forever.
+    idle_cv_.wait(lock, [this] {
+      return !quiescing_ && queue_.empty() && active_ == 0;
+    });
+    if (!started_) return;
+    quiescing_ = true;
+    stop_ = true;
+    joined.swap(workers_);
+  }
+  cv_.notify_all();
+  for (std::thread& t : joined) t.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+    started_ = false;
+    quiescing_ = false;
+  }
+  idle_cv_.notify_all();
 }
 
 void ThreadPool::parallel_for(std::size_t n,

@@ -51,6 +51,23 @@ class ThreadPool {
     return fut;
   }
 
+  /// Fire-and-forget: queue a job with no future (the scheduler's dispatch
+  /// loops don't need one). The job must not throw.
+  void post(std::function<void()> job);
+
+  /// Block until every job queued so far has been taken *and* completed
+  /// (the pool is momentarily idle). Jobs submitted concurrently extend
+  /// the wait; the workers stay up.
+  void drain();
+
+  /// Quiesce deterministically: complete all outstanding work, join the
+  /// workers, and return the pool to its not-started state, so a later
+  /// submit lazily restarts a fresh worker set. Safe to call repeatedly
+  /// (a no-op on a never-started pool). Submitting concurrently with
+  /// shutdown() is a caller-side race -- the scheduler layer drains its
+  /// own traffic before quiescing the pool.
+  void shutdown();
+
   /// Run fn(i) for i in [0, n) across the pool, the calling thread
   /// participating as one worker (so progress never depends on pool
   /// availability, even when every pool thread is busy elsewhere).
@@ -62,7 +79,6 @@ class ThreadPool {
                     unsigned max_workers = 0);
 
  private:
-  void post(std::function<void()> job);
   void worker_loop();
 
   unsigned target_ = 1;
@@ -70,8 +86,11 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
   bool started_ = false;
   bool stop_ = false;
+  bool quiescing_ = false;  ///< a shutdown() is mid-join; serializes callers
 };
 
 }  // namespace lac

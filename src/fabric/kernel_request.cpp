@@ -268,6 +268,23 @@ double useful_macs(const KernelRequest& req) {
   return 0.0;
 }
 
+KernelResult make_failed(std::string tag, std::string backend,
+                         std::string error) {
+  KernelResult res;
+  res.ok = false;
+  res.backend = std::move(backend);
+  res.tag = std::move(tag);
+  res.error = std::move(error);
+  // Every cost/accounting field stays at its zero default: failures (and
+  // cancellations) must contribute nothing to any roll-up.
+  return res;
+}
+
+KernelResult make_failed(const KernelRequest& req, std::string backend,
+                         std::string error) {
+  return make_failed(req.tag, std::move(backend), std::move(error));
+}
+
 std::string validate(const KernelRequest& req) {
   std::ostringstream err;
   const int nr = req.core.nr;

@@ -164,6 +164,16 @@ arch::ChipConfig effective_chip(const KernelRequest& req);
 void attach_cost(KernelResult& res, const KernelRequest& req,
                  const power::EnergyReport& energy);
 
+/// Canonical failed result: ok = false with the error set and every cost
+/// field zeroed (the PR 2 failure-accounting contract both executors
+/// follow). The tag-only overload serves callers with no request in hand
+/// -- the scheduler's cancelled-downstream nodes -- so cancelled work
+/// reports exactly like failed work.
+KernelResult make_failed(std::string tag, std::string backend,
+                         std::string error);
+KernelResult make_failed(const KernelRequest& req, std::string backend,
+                         std::string error);
+
 /// Shape/blocking sanity check; returns an empty string when valid.
 std::string validate(const KernelRequest& req);
 

@@ -1,0 +1,65 @@
+#pragma once
+// Builders that express the paper's blocked factorizations as KernelGraphs.
+//
+// Blocked Cholesky/LU/QR are not single kernels: they are DAGs of
+// POTRF/TRSM/SYRK/GEMM panel operations (Ch. 6, and the algorithms-by-
+// blocks driver layer in src/blas). The serial drivers walk those DAGs in
+// program order; these builders emit the DAG itself, so the GraphScheduler
+// can overlap independent panels -- at step k of a tiled Cholesky every
+// TRSM of the panel and every SYRK/GEMM of the trailing update is
+// independent work.
+//
+// Every builder copies the input into a shared working matrix that the
+// node closures read and commit into. Conflicting accesses are fully
+// ordered by edges, so the factor is byte-identical for any worker count.
+#include <memory>
+#include <vector>
+
+#include "arch/configs.hpp"
+#include "common/matrix.hpp"
+#include "sched/kernel_graph.hpp"
+
+namespace lac::sched {
+
+/// A factorization expressed as a kernel graph. After the graph has run
+/// (all nodes ok), `work` holds the factor:
+///   - Cholesky: L in the lower triangle, strict upper *tiles* of the
+///     diagonal zeroed; use extract_lower() for the full L contract.
+///   - LU: L\U in-place with `pivots` filled (global row indices).
+///   - QR: Householder vectors below the diagonal, R on/above, `taus`.
+struct FactorGraph {
+  KernelGraph graph;
+  std::shared_ptr<MatrixD> work;                 ///< factor accumulates here
+  std::shared_ptr<std::vector<index_t>> pivots;  ///< LU only
+  std::shared_ptr<std::vector<double>> taus;     ///< QR only
+  index_t block = 0;                             ///< tile width used
+};
+
+/// Tiled Cholesky (POTRF/TRSM/SYRK/GEMM DAG) of the SPD matrix `a`
+/// (n x n, n % block == 0, block % cfg.nr == 0). Node count is
+/// T + T(T-1)/2 + T(T-1)/2 + T(T-1)(T-2)/6 for T = n/block tiles.
+FactorGraph build_cholesky_graph(const arch::CoreConfig& cfg,
+                                 double bw_words_per_cycle, ConstViewD a,
+                                 index_t block);
+
+/// Tiled LU with partial pivoting (m x n, m >= n, both multiples of
+/// cfg.nr; trailing updates split into `block`-wide column tiles). The
+/// pivot application serializes each panel against the previous step's
+/// updates -- the realistic LU DAG shape -- while the per-step trailing
+/// GEMMs run in parallel.
+FactorGraph build_lu_graph(const arch::CoreConfig& cfg,
+                           double bw_words_per_cycle, ConstViewD a,
+                           index_t block);
+
+/// Tiled Householder QR (m x n, m >= n, both multiples of cfg.nr). The
+/// per-reflector w = (u^T/tau) A2 and rank-1 update A2 -= u w^T chains run
+/// independently per `block`-wide trailing column tile.
+FactorGraph build_qr_graph(const arch::CoreConfig& cfg,
+                           double bw_words_per_cycle, ConstViewD a,
+                           index_t block);
+
+/// Copy the Cholesky factor out of `fg.work` with the serial-driver
+/// contract applied (strict upper triangle zeroed).
+void extract_lower(const FactorGraph& fg, ViewD out);
+
+}  // namespace lac::sched

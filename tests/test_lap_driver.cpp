@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "arch/presets.hpp"
 #include "blas/ref_blas.hpp"
 #include "blas/ref_lapack.hpp"
 #include "common/numeric.hpp"
 #include "common/random.hpp"
+#include "fabric/model_executor.hpp"
+#include "fabric/sim_executor.hpp"
 
 namespace lac::blas {
 namespace {
@@ -47,6 +51,44 @@ TEST(LapDriver, CholeskyByBlocksMatchesReference) {
   DriverReport rep = lap_cholesky(cfg, 2.0, 8, a.view());
   EXPECT_LT(rel_error(a.view(), expect.view()), 1e-9);
   EXPECT_GT(rep.kernel_calls, 3);
+}
+
+TEST(LapDriver, CholeskyGraphMatchesSerialDriverWithinTolerance) {
+  // The graph route runs the same blocked factorization as tile-level
+  // kernels (per-tile TRSM/SYRK/GEMM instead of whole-panel calls), so its
+  // accumulated cycles and energy must track the serial driver path -- the
+  // regression guard for re-expressing composites as kernel graphs.
+  const fabric::SimExecutor sim;
+  const fabric::ModelExecutor model;
+  struct Case {
+    const fabric::Executor* ex;
+    index_t n;
+  };
+  for (const Case& c : {Case{&model, 48}, Case{&sim, 24}}) {
+    arch::CoreConfig cfg = arch::lac_4x4_dp();
+    const index_t block = 8;
+    MatrixD src = random_spd(c.n, 60);
+    MatrixD serial = to_matrix<double>(ConstViewD(src.view()));
+    MatrixD graphed = to_matrix<double>(ConstViewD(src.view()));
+
+    DriverReport rs = lap_cholesky(*c.ex, cfg, 2.0, block, serial.view());
+    DriverReport rg = lap_cholesky_graph(*c.ex, cfg, 2.0, block, graphed.view(), 4);
+
+    // Same factor (both are the blocked algorithm against the same input).
+    EXPECT_LT(rel_error(graphed.view(), serial.view()), 1e-8) << c.n;
+    // Cycles and energy within the graph-vs-serial tolerance.
+    ASSERT_GT(rs.total_cycles, 0.0);
+    ASSERT_GT(rs.energy_nj, 0.0);
+    EXPECT_LT(std::abs(rg.total_cycles - rs.total_cycles) / rs.total_cycles, 0.35)
+        << "cycles " << rg.total_cycles << " vs " << rs.total_cycles;
+    EXPECT_LT(std::abs(rg.energy_nj - rs.energy_nj) / rs.energy_nj, 0.35)
+        << "energy " << rg.energy_nj << " vs " << rs.energy_nj;
+    // Graph-mode extras are populated.
+    EXPECT_EQ(rg.graph_workers, 4u);
+    EXPECT_GT(rg.makespan_cycles, 0.0);
+    EXPECT_GT(rg.graph_speedup, 1.0);
+    EXPECT_LE(rg.makespan_cycles, rg.total_cycles);
+  }
 }
 
 TEST(LapDriver, CholeskySolvesSystemEndToEnd) {
