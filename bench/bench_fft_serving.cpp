@@ -1,0 +1,281 @@
+// FFT serving bench: the tenth fabric kernel under sustained tenant
+// traffic through the scheduler/serving stack.
+//
+// Two workload profiles run per backend:
+//   fft-only  -- one tenant streaming batched 64-point FFT frames over
+//                repeated shapes (the CostCache profile);
+//   fft+gemm  -- two tenants (an FFT tenant and a GEMM tenant, weights
+//                2:1) contending through the GraphScheduler's
+//                weighted-fair queues, the mixed-kernel serving claim.
+// Backends: the CostCache-backed ModelExecutor (model+cache) and the
+// cycle-exact SimExecutor. Emits JSON records (requests/s, p50/p99 wall
+// latency, cache hit rate, per-tenant cycles) to stdout and
+// BENCH_fft.json, plus a spectra-identical determinism check across pool
+// widths. Set LAC_BENCH_SMOKE=1 for a CI-sized run.
+#include <algorithm>
+#include <chrono>
+#include <complex>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/presets.hpp"
+#include "common/random.hpp"
+#include "common/thread_pool.hpp"
+#include "fabric/model_executor.hpp"
+#include "fabric/serving.hpp"
+#include "fabric/sim_executor.hpp"
+#include "sched/graph_scheduler.hpp"
+
+namespace {
+
+using namespace lac;
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// FFT-only workload: repeated frame-batch shapes over shared payloads.
+std::vector<fabric::KernelRequest> fft_workload(const arch::CoreConfig& cfg,
+                                                int repeats) {
+  std::vector<fabric::KernelRequest> reqs;
+  const double bw = 2.0;
+  int seed = 1;
+  for (std::size_t frames : {1u, 4u, 8u}) {
+    const fabric::SharedCplxVector payload(
+        random_cplx_vector(64 * frames, static_cast<std::uint64_t>(seed++)));
+    for (int r = 0; r < repeats; ++r) {
+      fabric::KernelRequest req = fabric::make_fft(cfg, bw, payload);
+      req.tag = "fft/" + std::to_string(frames);
+      reqs.push_back(std::move(req));
+    }
+  }
+  return reqs;
+}
+
+/// GEMM workload of comparable request count (the contending tenant).
+std::vector<fabric::KernelRequest> gemm_workload(const arch::CoreConfig& cfg,
+                                                 int repeats) {
+  std::vector<fabric::KernelRequest> reqs;
+  const double bw = 2.0;
+  int seed = 100;
+  for (index_t n : {16, 32}) {
+    auto a = fabric::SharedMatrix(random_matrix(n, n, static_cast<std::uint64_t>(seed++)));
+    auto b = fabric::SharedMatrix(random_matrix(n, n, static_cast<std::uint64_t>(seed++)));
+    auto c = fabric::SharedMatrix(random_matrix(n, n, static_cast<std::uint64_t>(seed++)));
+    for (int r = 0; r < repeats; ++r) {
+      fabric::KernelRequest req = fabric::make_gemm(cfg, bw, a, b, c);
+      req.tag = "gemm/" + std::to_string(n);
+      reqs.push_back(std::move(req));
+    }
+  }
+  return reqs;
+}
+
+struct ModeStats {
+  std::size_t requests = 0;
+  double wall_ms = 0.0;
+  double requests_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t failures = 0;
+};
+
+ModeStats finalize(double wall_ms, std::vector<double> lat, std::uint64_t failures) {
+  ModeStats s;
+  s.requests = lat.size();
+  s.wall_ms = wall_ms;
+  s.requests_per_s =
+      wall_ms > 0 ? static_cast<double>(lat.size()) / (wall_ms / 1e3) : 0.0;
+  std::sort(lat.begin(), lat.end());
+  if (!lat.empty()) {
+    s.p50_ms = lat[lat.size() / 2];
+    s.p99_ms = lat[std::min(lat.size() - 1, lat.size() * 99 / 100)];
+  }
+  s.failures = failures;
+  return s;
+}
+
+/// FFT-only profile through the AsyncExecutor serving path.
+ModeStats run_fft_only(const fabric::Executor& ex, ThreadPool& pool,
+                       const std::vector<fabric::KernelRequest>& reqs) {
+  fabric::AsyncExecutor async(ex, &pool);
+  std::vector<double> lat(reqs.size());
+  std::uint64_t failures = 0;
+  const auto t0 = Clock::now();
+  std::vector<std::future<fabric::KernelResult>> futs;
+  futs.reserve(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto submitted = Clock::now();
+    double* slot = &lat[i];
+    futs.push_back(async.submit(reqs[i], [slot, submitted](const fabric::KernelResult&) {
+      *slot = ms_between(submitted, Clock::now());
+    }));
+  }
+  for (auto& f : futs)
+    if (!f.get().ok) ++failures;
+  return finalize(ms_between(t0, Clock::now()), std::move(lat), failures);
+}
+
+struct TenantOut {
+  std::string name;
+  std::uint64_t requests = 0;
+  double cycles = 0.0;
+  double energy_nj = 0.0;
+};
+
+/// Mixed profile: FFT and GEMM tenants contend through the scheduler's
+/// weighted-fair queues (weights 2:1).
+ModeStats run_mixed(const fabric::Executor& ex, ThreadPool& pool,
+                    std::vector<fabric::KernelRequest> fft_reqs,
+                    std::vector<fabric::KernelRequest> gemm_reqs,
+                    std::vector<TenantOut>& tenants_out) {
+  sched::GraphScheduler scheduler(ex, {.workers = 0, .queue_capacity = 128},
+                                  &pool);
+  const sched::TenantId fft_tenant = scheduler.add_tenant({"fft", 2.0, 0});
+  const sched::TenantId gemm_tenant = scheduler.add_tenant({"gemm", 1.0, 0});
+  std::vector<double> lat(fft_reqs.size() + gemm_reqs.size());
+  std::vector<std::future<fabric::KernelResult>> futs;
+  futs.reserve(lat.size());
+  std::uint64_t failures = 0;
+  const auto t0 = Clock::now();
+  // Interleave submissions so both tenants keep a backlog.
+  const std::size_t total = fft_reqs.size() + gemm_reqs.size();
+  std::size_t fi = 0, gi = 0, slot_idx = 0;
+  while (fi < fft_reqs.size() || gi < gemm_reqs.size()) {
+    const bool pick_fft =
+        gi >= gemm_reqs.size() ||
+        (fi < fft_reqs.size() && slot_idx % 3 != 2);  // 2:1 submission mix
+    const auto submitted = Clock::now();
+    double* slot = &lat[slot_idx++];
+    auto hook = [slot, submitted](const fabric::KernelResult&) {
+      *slot = ms_between(submitted, Clock::now());
+    };
+    if (pick_fft)
+      futs.push_back(scheduler.submit(fft_tenant, std::move(fft_reqs[fi++]), hook));
+    else
+      futs.push_back(scheduler.submit(gemm_tenant, std::move(gemm_reqs[gi++]), hook));
+  }
+  for (auto& f : futs)
+    if (!f.get().ok) ++failures;
+  const double wall = ms_between(t0, Clock::now());
+  for (sched::TenantId id : {fft_tenant, gemm_tenant}) {
+    const sched::TenantStats ts = scheduler.tenant_stats(id);
+    tenants_out.push_back({ts.name, ts.units_completed, ts.cycles, ts.energy_nj});
+  }
+  ModeStats s = finalize(wall, std::move(lat), failures);
+  s.requests = total;
+  return s;
+}
+
+/// Spectra byte-identical across pool widths on both backends.
+bool deterministic_across_widths(const fabric::Executor& ex,
+                                 const std::vector<fabric::KernelRequest>& reqs) {
+  ThreadPool serial(1);
+  std::vector<fabric::KernelResult> expect;
+  for (auto& f : fabric::AsyncExecutor(ex, &serial).submit_all(reqs))
+    expect.push_back(f.get());
+  for (unsigned width : {2u, 4u}) {
+    ThreadPool pool(width);
+    std::vector<std::future<fabric::KernelResult>> futs =
+        fabric::AsyncExecutor(ex, &pool).submit_all(reqs);
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      fabric::KernelResult got = futs[i].get();
+      if (!got.ok || got.cycles != expect[i].cycles ||
+          got.spectrum != expect[i].spectrum)
+        return false;
+    }
+  }
+  return true;
+}
+
+std::string json_mode(const char* backend, const char* mode, const ModeStats& s,
+                      const fabric::CostCache* cache,
+                      const std::vector<TenantOut>* tenants) {
+  std::ostringstream os;
+  os << "    {\"backend\": \"" << backend << "\", \"mode\": \"" << mode
+     << "\", \"requests\": " << s.requests << ", \"failures\": " << s.failures
+     << ", \"wall_ms\": " << s.wall_ms
+     << ", \"requests_per_s\": " << s.requests_per_s
+     << ", \"p50_ms\": " << s.p50_ms << ", \"p99_ms\": " << s.p99_ms;
+  if (cache)
+    os << ", \"cache_hits\": " << cache->hits()
+       << ", \"cache_misses\": " << cache->misses()
+       << ", \"cache_hit_rate\": " << cache->hit_rate();
+  if (tenants) {
+    os << ", \"tenants\": [";
+    for (std::size_t t = 0; t < tenants->size(); ++t) {
+      const TenantOut& to = (*tenants)[t];
+      os << (t ? ", " : "") << "{\"name\": \"" << to.name
+         << "\", \"requests\": " << to.requests << ", \"cycles\": " << to.cycles
+         << ", \"energy_nj\": " << to.energy_nj << "}";
+    }
+    os << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("LAC_BENCH_SMOKE") != nullptr;
+  const arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const int repeats = smoke ? 20 : 80;  // x3 frame-batch shapes (fft-only)
+  const unsigned width = 8;
+  ThreadPool pool(width);
+
+  const fabric::SimExecutor sim;
+  fabric::CostCache cache;
+  const fabric::ModelExecutor cached_model(&cache);
+
+  std::vector<fabric::KernelRequest> fft_reqs = fft_workload(cfg, repeats);
+  std::vector<fabric::KernelRequest> gemm_reqs = gemm_workload(cfg, repeats);
+  std::printf("fft serving workload: %zu fft requests (+%zu gemm in mixed mode)\n",
+              fft_reqs.size(), gemm_reqs.size());
+
+  std::ostringstream json;
+  json << "{\n  \"worker_width\": " << width << ",\n  \"modes\": [\n";
+
+  // FFT-only tenant traffic.
+  const ModeStats model_only = run_fft_only(cached_model, pool, fft_reqs);
+  json << json_mode("model+cache", "fft-only", model_only, &cache, nullptr) << ",\n";
+  const ModeStats sim_only = run_fft_only(sim, pool, fft_reqs);
+  json << json_mode("sim", "fft-only", sim_only, nullptr, nullptr) << ",\n";
+
+  // Mixed FFT+GEMM tenants through the weighted-fair scheduler.
+  cache.clear();
+  std::vector<TenantOut> model_tenants;
+  const ModeStats model_mixed =
+      run_mixed(cached_model, pool, fft_workload(cfg, repeats),
+                std::move(gemm_reqs), model_tenants);
+  json << json_mode("model+cache", "fft+gemm", model_mixed, &cache, &model_tenants)
+       << ",\n";
+  std::vector<TenantOut> sim_tenants;
+  const ModeStats sim_mixed =
+      run_mixed(sim, pool, fft_workload(cfg, smoke ? 6 : 20),
+                gemm_workload(cfg, smoke ? 6 : 20), sim_tenants);
+  json << json_mode("sim", "fft+gemm", sim_mixed, nullptr, &sim_tenants)
+       << "\n  ],\n";
+
+  const bool det = deterministic_across_widths(sim, fft_workload(cfg, 2)) &&
+                   deterministic_across_widths(cached_model, fft_workload(cfg, 2));
+  json << "  \"deterministic_across_pool_widths\": " << (det ? "true" : "false")
+       << ",\n  \"total_failures\": "
+       << (model_only.failures + sim_only.failures + model_mixed.failures +
+           sim_mixed.failures)
+       << "\n}\n";
+
+  std::printf("\n%s", json.str().c_str());
+  std::ofstream out("BENCH_fft.json");
+  out << json.str();
+  std::printf("wrote BENCH_fft.json\n");
+  const bool clean = det && model_only.failures == 0 && sim_only.failures == 0 &&
+                     model_mixed.failures == 0 && sim_mixed.failures == 0;
+  return clean ? 0 : 1;
+}

@@ -84,6 +84,12 @@ std::vector<fabric::KernelRequest> sweep_grid(const arch::CoreConfig& cfg) {
     r = fabric::make_vnorm(cfg, std::move(x));
     r.tag = "vnorm/" + std::to_string(n);
     reqs.push_back(std::move(r));
+
+    // The tenth kernel: one 64-point FFT frame per 16 of n.
+    r = fabric::make_fft(
+        cfg, bw, random_cplx_vector(64 * static_cast<std::size_t>(n / 16), seed++));
+    r.tag = "fft/" + std::to_string(n);
+    reqs.push_back(std::move(r));
   }
   return reqs;
 }

@@ -69,4 +69,12 @@ MatrixD random_lower_triangular(index_t n, std::uint64_t seed) {
   return l;
 }
 
+std::vector<std::complex<double>> random_cplx_vector(std::size_t size,
+                                                     std::uint64_t seed) {
+  std::vector<std::complex<double>> x(size);
+  Rng rng(seed);
+  for (auto& v : x) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  return x;
+}
+
 }  // namespace lac

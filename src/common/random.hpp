@@ -1,6 +1,8 @@
 #pragma once
 // Deterministic random fills for tests, examples and benchmarks.
+#include <complex>
 #include <cstdint>
+#include <vector>
 
 #include "common/matrix.hpp"
 
@@ -34,5 +36,9 @@ MatrixD random_spd(index_t n, std::uint64_t seed);
 /// Random lower-triangular matrix with dominant diagonal (well-conditioned
 /// for TRSM / LU style tests).
 MatrixD random_lower_triangular(index_t n, std::uint64_t seed);
+
+/// Random complex signal (uniform components in [-1, 1)), e.g. FFT frames.
+std::vector<std::complex<double>> random_cplx_vector(std::size_t size,
+                                                     std::uint64_t seed);
 
 }  // namespace lac

@@ -4,7 +4,9 @@
 // Callers (the LAP driver layer, benches, the batch dispatcher) describe
 // work as KernelRequests and never name a backend directly; swapping the
 // cycle-exact simulator for the instant analytical model is a constructor
-// argument, not a different call path.
+// argument, not a different call path. Both backends dispatch per-kernel
+// behaviour through the kernel registry (fabric/kernel_registry.hpp), so
+// neither executor knows any kernel by name.
 #include "fabric/kernel_request.hpp"
 
 namespace lac::fabric {

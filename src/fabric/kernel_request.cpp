@@ -1,6 +1,6 @@
 #include "fabric/kernel_request.hpp"
 
-#include <sstream>
+#include "fabric/kernel_registry.hpp"
 
 namespace lac::fabric {
 namespace {
@@ -10,18 +10,10 @@ SharedMatrix own(ConstViewD v) { return SharedMatrix(to_matrix<double>(v)); }
 }  // namespace
 
 const char* to_string(KernelKind kind) {
-  switch (kind) {
-    case KernelKind::Gemm: return "GEMM";
-    case KernelKind::Syrk: return "SYRK";
-    case KernelKind::Syr2k: return "SYR2K";
-    case KernelKind::Trsm: return "TRSM";
-    case KernelKind::Cholesky: return "CHOL";
-    case KernelKind::Lu: return "LU";
-    case KernelKind::Qr: return "QR";
-    case KernelKind::Vnorm: return "VNORM";
-    case KernelKind::ChipGemm: return "CHIP_GEMM";
-  }
-  return "?";
+  // The registry's name field is the one source of truth: to_string, the
+  // CostCache signature prefix and find_kernel_traits cannot drift.
+  const KernelTraits* traits = try_kernel_traits(kind);
+  return traits ? traits->name : "?";
 }
 
 KernelRequest make_gemm(const arch::CoreConfig& core, double bw, ConstViewD a,
@@ -118,6 +110,11 @@ KernelRequest make_chip_gemm(const arch::ChipConfig& chip, index_t mc, index_t k
   req.b = own(b);
   req.c = own(c);
   return req;
+}
+
+KernelRequest make_fft(const arch::CoreConfig& core, double bw,
+                       std::vector<std::complex<double>> x, FftVariant variant) {
+  return make_fft(core, bw, SharedCplxVector(std::move(x)), variant);
 }
 
 
@@ -218,6 +215,19 @@ KernelRequest make_chip_gemm(const arch::ChipConfig& chip, index_t mc, index_t k
   return req;
 }
 
+KernelRequest make_fft(const arch::CoreConfig& core, double bw,
+                       SharedCplxVector x, FftVariant variant) {
+  KernelRequest req;
+  req.kind = KernelKind::Fft;
+  req.core = core;
+  req.bw_words_per_cycle = bw;
+  req.xc = std::move(x);
+  req.fft_n = 64;
+  req.fft_radix = 4;
+  req.fft_variant = variant;
+  return req;
+}
+
 arch::CoreConfig effective_core(const KernelRequest& req) {
   arch::CoreConfig core = req.core;
   if (req.tech.clock_ghz > 0.0) core.pe.clock_ghz = req.tech.clock_ghz;
@@ -244,28 +254,8 @@ void attach_cost(KernelResult& res, const KernelRequest& req,
 }
 
 double useful_macs(const KernelRequest& req) {
-  const double m = static_cast<double>(req.a.rows());
-  const double k = static_cast<double>(req.a.cols());
-  switch (req.kind) {
-    case KernelKind::Gemm:
-    case KernelKind::ChipGemm:
-      return m * k * req.b.cols();
-    case KernelKind::Syrk:
-      return m * (m + 1) / 2.0 * k;
-    case KernelKind::Syr2k:
-      return m * (m + 1) * k;
-    case KernelKind::Trsm:
-      return m * m / 2.0 * req.b.cols();
-    case KernelKind::Cholesky:
-      return m * m * m / 3.0 / 2.0;
-    case KernelKind::Lu:
-      return m * k * k / 2.0;
-    case KernelKind::Qr:
-      return m * k * k;
-    case KernelKind::Vnorm:
-      return static_cast<double>(req.x.size());
-  }
-  return 0.0;
+  const KernelTraits* traits = try_kernel_traits(req.kind);
+  return traits ? traits->useful_macs(req) : 0.0;
 }
 
 KernelResult make_failed(std::string tag, std::string backend,
@@ -286,60 +276,9 @@ KernelResult make_failed(const KernelRequest& req, std::string backend,
 }
 
 std::string validate(const KernelRequest& req) {
-  std::ostringstream err;
-  const int nr = req.core.nr;
-  const auto mult = [&](index_t v) { return v > 0 && v % nr == 0; };
-  switch (req.kind) {
-    case KernelKind::Gemm:
-      if (!mult(req.a.rows()) || !mult(req.b.cols()) || req.a.cols() <= 0 ||
-          req.b.rows() != req.a.cols() || req.c.rows() != req.a.rows() ||
-          req.c.cols() != req.b.cols())
-        err << "GEMM shapes: C(" << req.c.rows() << "x" << req.c.cols()
-            << ") += A(" << req.a.rows() << "x" << req.a.cols() << ") * B("
-            << req.b.rows() << "x" << req.b.cols() << "), m and n multiples of nr";
-      break;
-    case KernelKind::Syrk:
-      if (!mult(req.a.rows()) || req.c.rows() != req.a.rows() ||
-          req.c.cols() != req.a.rows())
-        err << "SYRK shapes: C square of A's rows, rows multiple of nr";
-      break;
-    case KernelKind::Syr2k:
-      if (!mult(req.a.rows()) || req.b.rows() != req.a.rows() ||
-          req.b.cols() != req.a.cols() || req.c.rows() != req.a.rows() ||
-          req.c.cols() != req.a.rows())
-        err << "SYR2K shapes: A and B congruent, C square, rows multiple of nr";
-      break;
-    case KernelKind::Trsm:
-      if (!mult(req.a.rows()) || req.a.cols() != req.a.rows() ||
-          req.b.rows() != req.a.rows() || !mult(req.b.cols()))
-        err << "TRSM shapes: L square multiple of nr, B conformal";
-      break;
-    case KernelKind::Cholesky:
-      if (!mult(req.a.rows()) || req.a.cols() != req.a.rows())
-        err << "CHOL shapes: A square multiple of nr";
-      break;
-    case KernelKind::Lu:
-    case KernelKind::Qr:
-      if (req.a.cols() != nr || !mult(req.a.rows()) || req.a.rows() < nr)
-        err << to_string(req.kind) << " panel must be (k x nr) with k a multiple of nr";
-      break;
-    case KernelKind::Vnorm:
-      if (req.x.empty() || static_cast<index_t>(req.x.size()) % (2 * nr) != 0)
-        err << "VNORM vector length must be a positive multiple of 2*nr";
-      break;
-    case KernelKind::ChipGemm: {
-      const index_t m = req.c.rows();
-      const index_t s = req.chip.cores;
-      if (req.mc <= 0 || req.kc <= 0 || req.mc % nr != 0 || req.kc % nr != 0 ||
-          m % (s * nr) != 0 || (m / s) % req.mc != 0 || !mult(req.c.cols()) ||
-          req.a.cols() % req.kc != 0 || req.a.rows() != m ||
-          req.b.rows() != req.a.cols() || req.b.cols() != req.c.cols())
-        err << "CHIP_GEMM shapes/blocking: m splits into S row panels of mc, "
-               "k into kc panels";
-      break;
-    }
-  }
-  return err.str();
+  const KernelTraits* traits = try_kernel_traits(req.kind);
+  if (!traits) return "unregistered kernel kind";
+  return traits->validate(req);
 }
 
 }  // namespace lac::fabric

@@ -2,13 +2,17 @@
 // Unified kernel descriptor for the fabric execution layer.
 //
 // One KernelRequest describes one atomic unit of accelerator work -- any of
-// the nine kernels the statically-scheduled fabric serves (the paper's core
-// claim) -- in backend-neutral form. An Executor (sim-backed and cycle-exact,
+// the ten kernels the statically-scheduled fabric serves (the paper's core
+// claim, plus the hybrid-design FFT of Ch. 6.2) -- in backend-neutral form.
+// Per-kernel behaviour (validation, flop accounting, execution, energy)
+// lives in the kernel registry (fabric/kernel_registry.hpp); this header
+// only names the kinds and carries the operands. An Executor (sim-backed and cycle-exact,
 // or model-backed and instant) turns it into a KernelResult. Operands are
 // immutable shared payloads: a request keeps its batch-safety (no aliasing
 // of mutable state between concurrent executions) while copying a request,
 // or fanning one payload out across many requests on the serving path,
 // costs pointer copies instead of matrix copies.
+#include <complex>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,9 +36,19 @@ enum class KernelKind {
   Qr,        ///< k x nr panel Householder QR (§6.1.3)
   Vnorm,     ///< vector 2-norm (§6.1.3, Fig 6.4)
   ChipGemm,  ///< multi-core (LAP) GEMM over the shared interfaces (Ch. 4)
+  Fft,       ///< radix-4 FFT on the hybrid core (Ch. 6.2 / Appendix B)
 };
 
+/// Registry-backed name of the kind ("GEMM", "FFT", ...); "?" when the
+/// kind has no registered traits (see fabric/kernel_registry.hpp -- the
+/// name and the registry entry come from one table and cannot drift).
 const char* to_string(KernelKind kind);
+
+/// How an Fft request maps onto the fabric (Appendix B schedules).
+enum class FftVariant {
+  Batched64,  ///< pipelined 64-point frames with streamed I/O (Fig B.2)
+  FourStep,   ///< 4096-point four-step transform: 64x64 grid (Fig B.4)
+};
 
 /// Immutable shared matrix operand. Null-safe dimension accessors mirror a
 /// default-constructed MatrixD so unset operands validate the same way.
@@ -54,6 +68,28 @@ class SharedMatrix {
 
  private:
   std::shared_ptr<const MatrixD> ptr_;
+};
+
+/// Immutable shared complex-vector operand (Fft frames), same sharing
+/// contract as SharedMatrix/SharedVector.
+class SharedCplxVector {
+ public:
+  using cplx = std::complex<double>;
+
+  SharedCplxVector() = default;
+  SharedCplxVector(std::vector<cplx> v)
+      : ptr_(std::make_shared<const std::vector<cplx>>(std::move(v))) {}
+  SharedCplxVector(std::shared_ptr<const std::vector<cplx>> v)
+      : ptr_(std::move(v)) {}
+
+  std::size_t size() const { return ptr_ ? ptr_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  const cplx* data() const { return ptr_ ? ptr_->data() : nullptr; }
+  const std::vector<cplx>& vec() const { return *ptr_; }
+  const std::shared_ptr<const std::vector<cplx>>& payload() const { return ptr_; }
+
+ private:
+  std::shared_ptr<const std::vector<cplx>> ptr_;
 };
 
 /// Immutable shared vector operand (Vnorm), same sharing contract.
@@ -84,6 +120,10 @@ struct KernelRequest {
   SharedMatrix a, b, c;                        ///< operands (kernel-dependent)
   SharedVector x;                              ///< Vnorm operand
   int owner_col = 2;                           ///< Vnorm PE column
+  SharedCplxVector xc;                         ///< Fft operand (frame batch)
+  index_t fft_n = 64;                          ///< Fft transform size per frame
+  int fft_radix = 4;                           ///< Fft butterfly radix
+  FftVariant fft_variant = FftVariant::Batched64;
   arch::TechContext tech;                      ///< node + clock for energy/area
   std::string tag;                             ///< caller label (batch reports)
 };
@@ -97,6 +137,8 @@ struct KernelResult {
   std::vector<index_t> pivots;        ///< Lu
   std::vector<double> taus;           ///< Qr
   double scalar = 0.0;                ///< Vnorm
+  /// Fft: natural-order spectra, frame f at [f*fft_n, (f+1)*fft_n).
+  std::vector<std::complex<double>> spectrum;
   double cycles = 0.0;
   double utilization = 0.0;
   /// Energy/power/area at the request's TechContext. The sim backend prices
@@ -147,9 +189,19 @@ KernelRequest make_chip_gemm(const arch::ChipConfig& chip, index_t mc, index_t k
                              ConstViewD a, ConstViewD b, ConstViewD c);
 KernelRequest make_chip_gemm(const arch::ChipConfig& chip, index_t mc, index_t kc,
                              SharedMatrix a, SharedMatrix b, SharedMatrix c);
+/// FFT over the hybrid core. Batched64: `x` holds any positive number of
+/// 64-point frames back to back; FourStep: `x` is one 4096-point signal.
+KernelRequest make_fft(const arch::CoreConfig& core, double bw,
+                       std::vector<std::complex<double>> x,
+                       FftVariant variant = FftVariant::Batched64);
+KernelRequest make_fft(const arch::CoreConfig& core, double bw,
+                       SharedCplxVector x,
+                       FftVariant variant = FftVariant::Batched64);
 
 /// Useful MAC count of the request (the numerator of every utilization
-/// figure in the paper; lower-order terms follow each kernel's convention).
+/// figure in the paper; lower-order terms follow each kernel's convention;
+/// Fft counts FMA slots of the Fig B.1 butterfly schedule). Dispatches
+/// through the kernel registry.
 double useful_macs(const KernelRequest& req);
 
 /// The core/chip the request effectively runs on: the configured one with
@@ -175,6 +227,7 @@ KernelResult make_failed(const KernelRequest& req, std::string backend,
                          std::string error);
 
 /// Shape/blocking sanity check; returns an empty string when valid.
+/// Dispatches through the kernel registry's per-kind validators.
 std::string validate(const KernelRequest& req);
 
 }  // namespace lac::fabric

@@ -1,242 +1,20 @@
 #include "fabric/model_executor.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "blas/ref_blas.hpp"
+#include "fabric/kernel_registry.hpp"
 #include "fabric/serving.hpp"
-#include "blas/ref_lapack.hpp"
-#include "model/chip_model.hpp"
-#include "model/factor_model.hpp"
-#include "model/level3_model.hpp"
 
 namespace lac::fabric {
-namespace {
 
-double gemm_cycles(const KernelRequest& req) {
-  model::CoreGemmParams p;
-  p.nr = req.core.nr;
-  p.mc = req.a.rows();
-  p.kc = req.a.cols();
-  p.n = req.b.cols();
-  p.bw_words_per_cycle = req.bw_words_per_cycle;
-  p.overlap = req.overlap;
-  return model::core_cycles(p);
+double model_cycles(const KernelRequest& req) {
+  return kernel_traits(req.kind).model_cycles(req);
 }
-
-double syrk_cycles(const KernelRequest& req) {
-  const int nr = req.core.nr;
-  const int p = req.core.pe.pipeline_stages;
-  const double x = req.bw_words_per_cycle;
-  const double mc = static_cast<double>(req.a.rows());
-  const double kc = static_cast<double>(req.a.cols());
-  const double mb = mc / nr;
-  const double blocks = mb * (mb + 1) / 2.0;  // lower blocks incl. diagonal
-  // The in-order DMA queue serializes each block's C-in behind the previous
-  // block's drain-gated C-out, so per block the kc bus sweeps, the 2*nr^2
-  // words of C traffic and a drain overhead all stack.
-  const double per_block = kc + 2.0 * nr * nr / x + p + req.core.bus_latency;
-  return mc * kc / x + blocks * per_block;
-}
-
-double syr2k_cycles(const KernelRequest& req) {
-  const int nr = req.core.nr;
-  const int p = req.core.pe.pipeline_stages;
-  const double x = req.bw_words_per_cycle;
-  const double mc = static_cast<double>(req.a.rows());
-  const double kc = static_cast<double>(req.a.cols());
-  const double mb = mc / nr;
-  const double blocks = mb * (mb + 1) / 2.0;
-  // Two rank-1 sweeps per block; C traffic partially hides behind the
-  // doubled compute (unlike SYRK the sweeps dominate the bus schedule).
-  const double sweeps = 2.0 * kc;
-  const double traffic = 2.0 * nr * nr / x;
-  const double per_block = std::max(sweeps, traffic) +
-                           0.5 * std::min(sweeps, traffic) + p +
-                           req.core.bus_latency;
-  // Two transpose captures (A1^T, B1^T) of kc row-bus slots per diagonal.
-  return 2.0 * mc * kc / x + mb * 2.0 * kc + blocks * per_block;
-}
-
-double trsm_cycles(const KernelRequest& req) {
-  const int nr = req.core.nr;
-  const int p = req.core.pe.pipeline_stages;
-  const double x = req.bw_words_per_cycle;
-  const double n = static_cast<double>(req.a.rows());
-  const double m = static_cast<double>(req.b.cols());
-  const index_t kb = req.a.rows() / nr;
-  const double jbs = m / nr;
-  // Serialized nr-step substitution chain per diagonal block: reciprocal,
-  // bus hops, scale and rank-1 subtract per step, plus entry/exit drains.
-  const double solve =
-      nr * (model::recip_latency(req.core) + 2.0 * req.core.bus_latency + 2.0) +
-      2.0 * p;
-  double total = 0.0;
-  for (index_t i = 0; i < kb; ++i) {
-    // i GEMM sweeps of nr rank-1 steps race (2+i)*nr^2 streamed words.
-    const double gemm = static_cast<double>(i) * nr;
-    const double stream = (2.0 + i) * nr * nr / x;
-    total += jbs * (std::max(gemm, stream) + solve);
-  }
-  return n * (n + 1) / 2.0 / x + total;
-}
-
-double cholesky_cycles(const KernelRequest& req) {
-  const int nr = req.core.nr;
-  const int p = req.core.pe.pipeline_stages;
-  const double x = req.bw_words_per_cycle;
-  const double n = static_cast<double>(req.a.rows());
-  const index_t kb = req.a.rows() / nr;
-  const int q = model::rsqrt_latency(req.core);
-  const int r = model::recip_latency(req.core);
-  double compute = 0.0;
-  for (index_t d = 0; d < kb; ++d) {
-    const double below = static_cast<double>(kb - d - 1);
-    const double pairs = below * (below + 1) / 2.0;
-    compute += static_cast<double>(model::cholesky_unblocked_cycles(nr, p, q));
-    // Panel substitution: nr column steps per block below the diagonal,
-    // each a reciprocal (serialized on the shared SFU) + broadcast + scaled
-    // update chain.
-    compute += below * nr * (r + p + 2.0);
-    // Trailing rank-nr updates: nr bus sweeps per block pair, each a
-    // broadcast pair plus the accumulation chain hand-off.
-    compute += pairs * 2.0 * nr + (below > 0 ? nr * p : 0.0);
-  }
-  return n * (n + 1) / x + compute;  // load + store of the triangle
-}
-
-double lu_cycles(const KernelRequest& req) {
-  const int nr = req.core.nr;
-  const int p = req.core.pe.pipeline_stages;
-  const bool cmp = req.core.pe.extensions.comparator;
-  const double rows_per_pe =
-      std::max(1.0, static_cast<double>(req.a.rows()) / nr);
-  const int r = model::recip_latency(req.core);
-  double total = 0.0;
-  for (int i = 0; i < nr; ++i) {
-    // Pivot search: the emulated magnitude compare is a dependent chain --
-    // two issue slots plus a pipeline drain per fragment element -- the
-    // comparator extension makes it one cycle per element.
-    total += rows_per_pe * (cmp ? 1.0 : p + 2.0) + nr;
-    // Reciprocal, scaled column broadcast, rank-1 update of the trailing
-    // columns (one fragment pass, pipelined).
-    total += r + req.core.bus_latency + p + (i + 1 < nr ? rows_per_pe + p : 0.0);
-  }
-  return total;
-}
-
-double qr_cycles(const KernelRequest& req) {
-  const int nr = req.core.nr;
-  const int p = req.core.pe.pipeline_stages;
-  const double k = static_cast<double>(req.a.rows());
-  const int r = model::recip_latency(req.core);
-  const int sq = model::rsqrt_latency(req.core);
-  double compute = 0.0;
-  for (int j = 0; j < nr; ++j) {
-    const double frag = std::max(1.0, (k - j) / nr);
-    // norm^2 partials are a dependent FMA chain per PE row (the broadcast
-    // hand-offs hide ~a quarter of the drain), then a column-bus reduce-all.
-    const double chain = frag * (3.0 * p / 4.0);
-    compute += chain + nr * (req.core.bus_latency + 1.0);
-    // Householder scalars (sqrt + reciprocal) and the column scale.
-    compute += sq + r + frag + p;
-    // Trailing columns: dot chain + reduce + rank-1 apply, one per column.
-    compute += (nr - 1.0 - j) *
-                   (chain + frag + nr * req.core.bus_latency + 2.0 * p) +
-               (j + 1 < nr ? r : 0);
-  }
-  // Panel kernels stage over an effectively infinite test interface (the
-  // sim uses bw = 1e9), so no staging term is added.
-  return compute;
-}
-
-double vnorm_fabric_cycles(const KernelRequest& req) {
-  const int nr = req.core.nr;
-  const int p = req.core.pe.pipeline_stages;
-  const bool expext = req.core.pe.extensions.extended_exponent;
-  const bool cmp = req.core.pe.extensions.comparator;
-  const double frag =
-      std::max(1.0, static_cast<double>(req.x.size()) / nr);  // owner column
-  double total = 0.0;
-  if (!expext) {
-    // Guard pass: emulated magnitude compares chain a drain per element.
-    total += frag * (cmp ? 1.0 : p + 3.0) + model::recip_latency(req.core) +
-             req.core.bus_latency;
-  }
-  // S1: scale + squared partials (two issue slots per owner-half element,
-  // one plus a bus hop for the neighbour half), then the reductions.
-  total += 2.0 * frag + 2.0 * p;
-  total += req.core.bus_latency + p;                       // S2
-  total += nr * (req.core.bus_latency + 1.0) + nr * p / 2.0;  // S3 reduce-all
-  total += model::rsqrt_latency(req.core) + p + 2.0;       // sqrt (+ unscale)
-  return total;
-}
-
-double chip_gemm_cycles(const KernelRequest& req) {
-  const arch::ChipConfig& chip = req.chip;
-  const int nr = chip.core.nr;
-  const int p = chip.core.pe.pipeline_stages;
-  const double s = chip.cores;
-  const double y_eff = chip.onchip_bw_words_per_cycle / s;  // shared, contended
-  const double z = chip.offchip_bw_words_per_cycle;
-  const double m = static_cast<double>(req.c.rows());
-  const double n = static_cast<double>(req.c.cols());
-  const double k = static_cast<double>(req.a.cols());
-  const double mc = static_cast<double>(req.mc);
-  const double kc = static_cast<double>(req.kc);
-  // Per (kc-panel, row-tile) group every core stages its A tile, then per
-  // nr-wide column block streams the B slice plus drain-serialized C blocks
-  // through its share of the on-chip interface (§4.1 generalized to m x n
-  // x k; the in-order per-core DMA stacks streams and compute as in the
-  // core-level kernels).
-  const double per_block =
-      kc + 2.0 * nr * nr / y_eff + p + chip.core.bus_latency;
-  const double per_jb = kc * nr / y_eff + (mc / nr) * per_block;
-  const double per_group = mc * kc / y_eff + (n / nr) * per_jb;
-  const double groups = (m / s) / mc;
-  const double panels = k / kc;
-  const double onchip = groups * panels * per_group;
-  // Off-chip staging of the A/B panels overlaps compute of the previous
-  // panel; the first staging is exposed.
-  const double offchip_total = panels * (m * kc + kc * n) / z;
-  const double first_stage = (m * kc + kc * n) / z;
-  return std::max(first_stage + onchip, offchip_total);
-}
-
-double estimate_cycles(const KernelRequest& req) {
-  switch (req.kind) {
-    case KernelKind::Gemm: return gemm_cycles(req);
-    case KernelKind::Syrk: return syrk_cycles(req);
-    case KernelKind::Syr2k: return syr2k_cycles(req);
-    case KernelKind::Trsm: return trsm_cycles(req);
-    case KernelKind::Cholesky: return cholesky_cycles(req);
-    case KernelKind::Lu: return lu_cycles(req);
-    case KernelKind::Qr: return qr_cycles(req);
-    case KernelKind::Vnorm: return vnorm_fabric_cycles(req);
-    case KernelKind::ChipGemm: return chip_gemm_cycles(req);
-  }
-  return 0.0;
-}
-
-}  // namespace
-
-double model_cycles(const KernelRequest& req) { return estimate_cycles(req); }
 
 ModelCost model_cost(const KernelRequest& req) {
+  const KernelTraits& traits = kernel_traits(req.kind);
   ModelCost cost;
-  cost.cycles = estimate_cycles(req);
-  const int nr = req.core.nr;
-  const double pes = req.kind == KernelKind::ChipGemm
-                         ? static_cast<double>(req.chip.cores) * nr * nr
-                         : static_cast<double>(nr) * nr;
-  cost.utilization =
-      cost.cycles > 0 ? useful_macs(req) / (cost.cycles * pes) : 0.0;
-  cost.energy =
-      req.kind == KernelKind::ChipGemm
-          ? power::chip_energy_model(effective_chip(req), req.tech.node,
-                                     cost.cycles, cost.utilization)
-          : power::core_energy_model(effective_core(req), req.tech.node,
-                                     cost.cycles, cost.utilization);
+  cost.cycles = traits.model_cycles(req);
+  cost.utilization = traits.model_utilization(req, cost.cycles);
+  cost.energy = traits.model_energy(req, cost.cycles, cost.utilization);
   return cost;
 }
 
@@ -249,52 +27,13 @@ KernelResult ModelExecutor::execute(const KernelRequest& req) const {
     return res;
   }
 
-  switch (req.kind) {
-    case KernelKind::Gemm:
-    case KernelKind::ChipGemm:
-      res.out = req.c.matrix();
-      blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, req.a.view(), req.b.view(),
-                 1.0, res.out.view());
-      break;
-    case KernelKind::Syrk:
-      res.out = req.c.matrix();
-      blas::syrk(blas::Uplo::Lower, 1.0, req.a.view(), 1.0, res.out.view());
-      break;
-    case KernelKind::Syr2k:
-      res.out = req.c.matrix();
-      blas::syr2k(blas::Uplo::Lower, 1.0, req.a.view(), req.b.view(), 1.0,
-                  res.out.view());
-      break;
-    case KernelKind::Trsm:
-      res.out = req.b.matrix();
-      blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::No,
-                 blas::Diag::NonUnit, 1.0, req.a.view(), res.out.view());
-      break;
-    case KernelKind::Cholesky: {
-      res.out = req.a.matrix();
-      if (!blas::cholesky(res.out.view())) {
-        res.error = "CHOL: matrix not positive definite";
-        return res;
-      }
-      for (index_t j = 1; j < res.out.cols(); ++j)
-        for (index_t i = 0; i < j; ++i) res.out(i, j) = 0.0;
-      break;
-    }
-    case KernelKind::Lu: {
-      res.out = req.a.matrix();
-      if (!blas::lu_partial_pivot(res.out.view(), res.pivots)) {
-        res.error = "LU: zero pivot";
-        return res;
-      }
-      break;
-    }
-    case KernelKind::Qr:
-      res.out = req.a.matrix();
-      res.taus = blas::qr_householder(res.out.view());
-      break;
-    case KernelKind::Vnorm:
-      res.scalar = blas::nrm2(static_cast<index_t>(req.x.size()), req.x.data());
-      break;
+  // Numerics from the registered host reference (bit-identical to the
+  // golden models the simulator is tested against); in-band failures leave
+  // every cost field at its zero default.
+  const KernelTraits& traits = kernel_traits(req.kind);
+  if (std::string err = traits.reference_run(req, res); !err.empty()) {
+    res.error = std::move(err);
+    return res;
   }
 
   if (cache_) {

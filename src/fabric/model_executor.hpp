@@ -1,9 +1,10 @@
 #pragma once
-// Analytical backend: numerics come from the host reference BLAS/LAPACK
-// (bit-identical to the golden models the simulator is tested against) and
-// cycle counts come from the paper's closed-form performance models
-// (§3.4 core GEMM, Ch. 4 chip model, Ch. 5 level-3 forms, Ch. 6/App. A
-// factorization forms). Evaluation is instant, which makes this backend the
+// Analytical backend: numerics come from each kernel's registered host
+// reference (bit-identical to the golden models the simulator is tested
+// against) and cycle counts come from the paper's closed-form performance
+// models (§3.4 core GEMM, Ch. 4 chip model, Ch. 5 level-3 forms,
+// Ch. 6/App. A factorization forms, App. B FFT), all dispatched through
+// the kernel registry. Evaluation is instant, which makes this backend the
 // one to use for large design-space sweeps; the SimExecutor cross-checks it
 // cycle-exactly (see tests/test_fabric.cpp).
 #include "fabric/executor.hpp"

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "fabric/kernel_registry.hpp"
 #include "fabric/model_executor.hpp"
 
 namespace lac::fabric {
@@ -63,10 +64,12 @@ std::string CostCache::signature(const KernelRequest& req) {
      << core.pe.mem_b_kbytes << ',' << core.pe.mem_b_ports
      << "|tech:" << static_cast<int>(req.tech.node) << ',' << req.tech.clock_ghz
      << "|mem:" << req.chip.onchip_mem_mbytes;
-  if (req.kind == KernelKind::ChipGemm)
-    os << "|chip:" << req.chip.cores << ',' << req.chip.onchip_bw_words_per_cycle
-       << ',' << req.chip.offchip_bw_words_per_cycle << ','
-       << static_cast<int>(req.chip.mem_kind);
+  // Kind-specific key fields (ChipGemm's chip organisation, Fft's
+  // size/radix/variant/frame-count) come from the registry entry, so a new
+  // kernel's signature extension lands with its registration.
+  if (const KernelTraits* traits = try_kernel_traits(req.kind);
+      traits && traits->signature_extra)
+    traits->signature_extra(req, os);
   return os.str();
 }
 

@@ -55,6 +55,9 @@ class CostCache {
   /// The memo key: every field of the request that the cycle or energy
   /// models read, each separated by an explicit delimiter (no two adjacent
   /// fields may concatenate ambiguously as more fields are added).
+  /// Kind-specific fields (ChipGemm's chip organisation, Fft's
+  /// size/radix/variant/frames) come from the registry's signature_extra
+  /// hook, so they register with the kernel.
   static std::string signature(const KernelRequest& req);
 
   std::uint64_t hits() const { return hits_.load(); }

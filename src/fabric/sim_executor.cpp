@@ -1,32 +1,9 @@
 #include "fabric/sim_executor.hpp"
 
-#include <cmath>
-
-#include "kernels/chip_gemm.hpp"
-#include "kernels/cholesky_kernel.hpp"
-#include "kernels/gemm_kernel.hpp"
-#include "kernels/lu_kernel.hpp"
-#include "kernels/qr_kernel.hpp"
-#include "kernels/syrk_kernel.hpp"
-#include "kernels/trsm_kernel.hpp"
-#include "kernels/vnorm_kernel.hpp"
+#include "fabric/kernel_registry.hpp"
 
 namespace lac::fabric {
 namespace {
-
-void absorb(KernelResult& res, kernels::KernelResult&& k) {
-  res.out = std::move(k.out);
-  res.cycles = k.cycles;
-  res.utilization = k.utilization;
-  res.stats = k.stats;
-}
-
-bool all_finite(const MatrixD& m) {
-  for (index_t j = 0; j < m.cols(); ++j)
-    for (index_t i = 0; i < m.rows(); ++i)
-      if (!std::isfinite(m(i, j))) return false;
-  return true;
-}
 
 /// Failed requests charge nothing: a result that reports ok = false must
 /// not leak the cycles/activity/energy the simulator absorbed before
@@ -42,20 +19,6 @@ void void_accounting(KernelResult& res) {
   res.stats = sim::Stats{};
 }
 
-/// Price the simulator's activity counters at the request's TechContext:
-/// per-event energies for the dynamic part, leakage over the exact cycle
-/// count for the static part.
-void attach_sim_cost(KernelResult& res, const KernelRequest& req) {
-  const power::EnergyReport energy =
-      req.kind == KernelKind::ChipGemm
-          ? power::chip_energy_from_stats(effective_chip(req), req.tech.node,
-                                          res.stats, res.cycles)
-          : power::core_energy_from_stats(effective_core(req), req.tech.node,
-                                          res.stats, res.cycles,
-                                          req.chip.onchip_mem_mbytes);
-  attach_cost(res, req, energy);
-}
-
 }  // namespace
 
 KernelResult SimExecutor::execute(const KernelRequest& req) const {
@@ -67,76 +30,17 @@ KernelResult SimExecutor::execute(const KernelRequest& req) const {
     return res;
   }
 
-  const double bw = req.bw_words_per_cycle;
-  switch (req.kind) {
-    case KernelKind::Gemm:
-      absorb(res, kernels::gemm_core(req.core, bw, req.a.view(), req.b.view(),
-                                     req.c.view(), req.overlap));
-      break;
-    case KernelKind::Syrk:
-      absorb(res, kernels::syrk_core(req.core, bw, req.a.view(), req.c.view()));
-      break;
-    case KernelKind::Syr2k:
-      absorb(res, kernels::syr2k_core(req.core, bw, req.a.view(), req.b.view(),
-                                      req.c.view()));
-      break;
-    case KernelKind::Trsm:
-      absorb(res, kernels::trsm_core(req.core, bw, req.a.view(), req.b.view()));
-      break;
-    case KernelKind::Cholesky:
-      absorb(res, kernels::cholesky_core(req.core, bw, req.a.view()));
-      // The fabric has no PD check; a negative diagonal turns into NaNs
-      // through the inverse square root. Report it in-band so both
-      // backends fail the same way (the model backend detects it in
-      // blas::cholesky).
-      if (!all_finite(res.out)) {
-        res.error = "CHOL: matrix not positive definite";
-        void_accounting(res);
-        return res;
-      }
-      break;
-    case KernelKind::Lu: {
-      kernels::LuResult lu = kernels::lu_panel(req.core, req.a.view());
-      res.pivots = std::move(lu.pivots);
-      absorb(res, std::move(lu.kernel));
-      if (!all_finite(res.out)) {  // zero pivot -> 1/0 through the SFU
-        res.error = "LU: zero pivot";
-        void_accounting(res);
-        return res;
-      }
-      break;
-    }
-    case KernelKind::Qr: {
-      kernels::QrResult qr = kernels::qr_panel(req.core, req.a.view());
-      res.taus = std::move(qr.taus);
-      absorb(res, std::move(qr.kernel));
-      break;
-    }
-    case KernelKind::Vnorm: {
-      kernels::VnormResult vn = kernels::vnorm(req.core, req.x.vec(), req.owner_col);
-      res.scalar = vn.norm;
-      res.cycles = vn.cycles;
-      res.stats = vn.stats;
-      // Utilization counts useful MACs (one per element), matching the
-      // model backend's definition; mac_ops also counts the guard pass and
-      // reduction slots, which are overhead, not useful work.
-      res.utilization =
-          vn.cycles > 0
-              ? useful_macs(req) / (vn.cycles * req.core.nr * req.core.nr)
-              : 0.0;
-      break;
-    }
-    case KernelKind::ChipGemm: {
-      kernels::ChipGemmResult cg = kernels::chip_gemm(
-          req.chip, req.mc, req.kc, req.a.view(), req.b.view(), req.c.view());
-      res.out = std::move(cg.out);
-      res.cycles = cg.cycles;
-      res.utilization = cg.utilization;
-      res.stats = cg.stats;
-      break;
-    }
+  // Cycle-exact execution through the registered sim-run closure, then the
+  // registered energy hook prices the simulator's activity counters at the
+  // request's TechContext: per-event energies for the dynamic part,
+  // leakage over the exact cycle count for the static part.
+  const KernelTraits& traits = kernel_traits(req.kind);
+  if (std::string err = traits.sim_run(req, res); !err.empty()) {
+    res.error = std::move(err);
+    void_accounting(res);
+    return res;
   }
-  attach_sim_cost(res, req);
+  attach_cost(res, req, traits.sim_energy(req, res.stats, res.cycles));
   res.ok = true;
   return res;
 }

@@ -129,24 +129,23 @@ FftResult fft64_core(const arch::CoreConfig& cfg, const std::vector<cplx>& x) {
   return res;
 }
 
-FftResult fft64_batched(const arch::CoreConfig& cfg, double bw_words_per_cycle,
-                        const std::vector<std::vector<cplx>>& inputs) {
-  assert(cfg.nr == 4);
-  sim::Core core(cfg, bw_words_per_cycle, 1);
+FftResult fft64_stream(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                       const std::vector<cplx>& x) {
+  assert(cfg.nr == 4 && x.size() % 64 == 0);
   FftResult res;
+  const std::size_t frames = x.size() / 64;
+  if (!frames) return res;
+  sim::Core core(cfg, bw_words_per_cycle, 1);
   const auto perm = digit_reversal4(64);
-  const std::size_t frames = inputs.size();
   // Frame pipeline: in(f+1) prefetches and out(f-1) streams while frame f
   // computes (mirrors the GEMM double-buffering discipline).
   std::vector<sim::time_t_> in_ready(frames, 0.0);
   sim::time_t_ dma_cursor = core.dma(128.0, 0.0);
-  if (!frames) return res;
   in_ready[0] = dma_cursor;
   sim::time_t_ prev_done = -1.0;
   sim::time_t_ finish = 0.0;
+  res.out.resize(x.size());
   for (std::size_t f = 0; f < frames; ++f) {
-    const auto& x = inputs[f];
-    assert(x.size() == 64);
     if (f + 1 < frames) {
       dma_cursor = core.dma(128.0, dma_cursor);
       in_ready[f + 1] = dma_cursor;
@@ -157,11 +156,11 @@ FftResult fft64_batched(const arch::CoreConfig& cfg, double bw_words_per_cycle,
     }
     std::vector<TimedCplx> vals(64);
     for (index_t g = 0; g < 64; ++g)
-      vals[static_cast<std::size_t>(g)] = timed(x[static_cast<std::size_t>(g)], in_ready[f]);
+      vals[static_cast<std::size_t>(g)] =
+          timed(x[64 * f + static_cast<std::size_t>(g)], in_ready[f]);
     prev_done = fft64_schedule(core, vals, in_ready[f]);
-    res.out.resize(64);
     for (index_t g = 0; g < 64; ++g)
-      res.out[static_cast<std::size_t>(perm[static_cast<std::size_t>(g)])] =
+      res.out[64 * f + static_cast<std::size_t>(perm[static_cast<std::size_t>(g)])] =
           vals[static_cast<std::size_t>(g)].value();
   }
   dma_cursor = core.dma(128.0, std::max(dma_cursor, prev_done));
@@ -170,6 +169,23 @@ FftResult fft64_batched(const arch::CoreConfig& cfg, double bw_words_per_cycle,
   res.stats = core.stats();
   res.utilization =
       static_cast<double>(res.stats.mac_ops + res.stats.mul_ops) / (res.cycles * 16.0);
+  return res;
+}
+
+FftResult fft64_batched(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                        const std::vector<std::vector<cplx>>& inputs) {
+  assert(cfg.nr == 4);
+  if (inputs.empty()) return FftResult{};
+  std::vector<cplx> stream;
+  stream.reserve(inputs.size() * 64);
+  for (const auto& frame : inputs) {
+    assert(frame.size() == 64);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  FftResult res = fft64_stream(cfg, bw_words_per_cycle, stream);
+  // The historical batched contract: `out` is the final frame's spectrum.
+  res.out.erase(res.out.begin(),
+                res.out.begin() + static_cast<std::ptrdiff_t>((inputs.size() - 1) * 64));
   return res;
 }
 

@@ -25,7 +25,14 @@ FftResult fft64_core(const arch::CoreConfig& cfg, const std::vector<cplx>& x);
 /// Batched 64-point FFTs (the building block of the large-transform
 /// schedules): `batch` back-to-back transforms with streamed I/O at
 /// `bw_words_per_cycle`; utilization reflects the overlap achieved.
+/// `out` holds the final frame's spectrum.
 FftResult fft64_batched(const arch::CoreConfig& cfg, double bw_words_per_cycle,
                         const std::vector<std::vector<cplx>>& inputs);
+
+/// The fabric serving path: `x` concatenates any positive number of
+/// 64-point frames; the identical pipelined schedule runs and `out` keeps
+/// every frame's natural-order spectrum (frame f at [64f, 64f + 64)).
+FftResult fft64_stream(const arch::CoreConfig& cfg, double bw_words_per_cycle,
+                       const std::vector<cplx>& x);
 
 }  // namespace lac::fft

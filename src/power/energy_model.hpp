@@ -16,6 +16,12 @@
 // All component models are calibrated at 45nm; other nodes apply the
 // classical scaling of arch/technology.hpp (power ~ L, area ~ L^2, leakage
 // fraction per node).
+//
+// Which estimator a kernel uses (core vs chip silicon, closed-form vs
+// predicted-activity pricing) is that kernel's registered energy hook in
+// fabric/kernel_registry.cpp -- this header stays kernel-agnostic. A
+// statically-scheduled kernel (e.g. the FFT) may price exact predicted
+// counts through core_energy_from_stats as its closed form.
 #include "arch/configs.hpp"
 #include "sim/engine.hpp"
 

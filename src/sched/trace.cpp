@@ -9,18 +9,13 @@
 #include <thread>
 
 #include "common/random.hpp"
+#include "fabric/kernel_registry.hpp"
 #include "sched/graph_builders.hpp"
 
 namespace lac::sched {
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-const fabric::KernelKind kMix[] = {
-    fabric::KernelKind::Gemm, fabric::KernelKind::Syrk,
-    fabric::KernelKind::Trsm, fabric::KernelKind::Cholesky,
-    fabric::KernelKind::Lu,   fabric::KernelKind::Qr,
-};
 
 /// Nearest-rank percentile: ceil(p * N) - 1 on the sorted sample, so the
 /// median of two values is the lower one and p99 of 100 samples is the
@@ -33,13 +28,14 @@ double percentile(std::vector<double>& sorted, double p) {
   return sorted[idx];
 }
 
-/// Shared operand payloads for one single-kernel shape; built once per
-/// (kind, n, shape_seed) and fanned out across every repeat (zero-copy).
-struct ShapePayloads {
-  fabric::SharedMatrix a, b, c;
-};
-
 }  // namespace
+
+std::vector<fabric::KernelKind> default_serving_mix() {
+  return {fabric::KernelKind::Gemm, fabric::KernelKind::Syrk,
+          fabric::KernelKind::Trsm, fabric::KernelKind::Cholesky,
+          fabric::KernelKind::Lu,   fabric::KernelKind::Qr,
+          fabric::KernelKind::Fft};
+}
 
 std::vector<TraceEvent> generate_trace(const TraceConfig& config) {
   Rng rng(config.seed);
@@ -64,7 +60,9 @@ std::vector<TraceEvent> generate_trace(const TraceConfig& config) {
       ev.block = config.graph_block;
       ev.shape_seed = 7000 + static_cast<std::uint64_t>(config.graph_n);
     } else {
-      ev.kind = kMix[i % (sizeof(kMix) / sizeof(kMix[0]))];
+      ev.kind = config.mix.empty()
+                    ? fabric::KernelKind::Gemm
+                    : config.mix[static_cast<std::size_t>(i) % config.mix.size()];
       ev.n = config.sizes.empty()
                  ? 16
                  : config.sizes[static_cast<std::size_t>(
@@ -97,53 +95,31 @@ ReplayReport replay(GraphScheduler& scheduler, const std::vector<TraceEvent>& tr
     tenant_ids.push_back(scheduler.add_tenant(std::move(tc)));
   }
 
-  // Build each distinct single-kernel shape once; repeats share payloads.
-  // Keyed by (kind, n) -- shape_seed seeds the fill but is not collision-
-  // free across kinds, and a Cholesky event must never reuse, say, a GEMM
-  // event's non-SPD payload.
-  std::map<std::pair<fabric::KernelKind, index_t>, ShapePayloads> shapes;
-  auto payloads = [&](const TraceEvent& ev) -> const ShapePayloads& {
+  // Build each distinct single-kernel shape once through the registry's
+  // sized_request hook; repeats copy the cached request, which copies
+  // shared operand payloads, not matrices (the zero-copy serving
+  // pattern). Keyed by (kind, n) -- shape_seed seeds the fill but is not
+  // collision-free across kinds, and a Cholesky event must never reuse,
+  // say, a GEMM event's non-SPD payload.
+  std::map<std::pair<fabric::KernelKind, index_t>, fabric::KernelRequest> shapes;
+  auto make_request = [&](const TraceEvent& ev) -> fabric::KernelRequest {
     const auto key = std::make_pair(ev.kind, ev.n);
     auto it = shapes.find(key);
-    if (it != shapes.end()) return it->second;
-    const std::uint64_t s = ev.shape_seed;
-    ShapePayloads p;
-    switch (ev.kind) {
-      case fabric::KernelKind::Trsm:
-        p.a = fabric::SharedMatrix(random_lower_triangular(ev.n, s));
-        p.b = fabric::SharedMatrix(random_matrix(ev.n, ev.n, s + 1));
-        break;
-      case fabric::KernelKind::Cholesky:
-        p.a = fabric::SharedMatrix(random_spd(ev.n, s));
-        break;
-      case fabric::KernelKind::Lu:
-      case fabric::KernelKind::Qr:
-        p.a = fabric::SharedMatrix(random_matrix(ev.n, cfg.nr, s));
-        break;
-      default:
-        p.a = fabric::SharedMatrix(random_matrix(ev.n, ev.n, s));
-        p.b = fabric::SharedMatrix(random_matrix(ev.n, ev.n, s + 1));
-        p.c = fabric::SharedMatrix(random_matrix(ev.n, ev.n, s + 2));
-        break;
+    if (it == shapes.end()) {
+      const fabric::KernelTraits* traits = fabric::try_kernel_traits(ev.kind);
+      fabric::KernelRequest req;
+      if (traits && traits->sized_request) {
+        req = traits->sized_request(cfg, bw, ev.n, ev.shape_seed);
+      } else {
+        // A kind with no registered workload recipe: submit it bare so it
+        // fails validation in-band (loud in the replay report's failure
+        // count, never a crash or a borrowed payload).
+        req.kind = ev.kind;
+        req.core = cfg;
+      }
+      it = shapes.emplace(key, std::move(req)).first;
     }
-    return shapes.emplace(key, std::move(p)).first->second;
-  };
-  auto make_request = [&](const TraceEvent& ev) {
-    const ShapePayloads& p = payloads(ev);
-    switch (ev.kind) {
-      case fabric::KernelKind::Syrk:
-        return fabric::make_syrk(cfg, bw, p.a, p.c);
-      case fabric::KernelKind::Trsm:
-        return fabric::make_trsm(cfg, bw, p.a, p.b);
-      case fabric::KernelKind::Cholesky:
-        return fabric::make_cholesky(cfg, bw, p.a);
-      case fabric::KernelKind::Lu:
-        return fabric::make_lu(cfg, p.a);
-      case fabric::KernelKind::Qr:
-        return fabric::make_qr(cfg, p.a);
-      default:
-        return fabric::make_gemm(cfg, bw, p.a, p.b, p.c);
-    }
+    return it->second;
   };
   // One SPD source per graph size; each graph event factors a fresh copy.
   std::map<index_t, MatrixD> spd_sources;

@@ -22,6 +22,12 @@ enum class ArrivalProcess {
   Bursty,   ///< back-to-back groups of `burst_size`, idle `burst_gap_ms`
 };
 
+/// Default single-kernel serving mix: GEMM, SYRK, TRSM, CHOL, LU, QR and
+/// the hybrid-core FFT (every kind the registry serves on the baseline
+/// 4x4 core; ChipGemm and Syr2k stay out of the default traffic profile,
+/// as in the serving bench).
+std::vector<fabric::KernelKind> default_serving_mix();
+
 struct TraceConfig {
   std::uint64_t seed = 1;
   int events = 200;
@@ -30,8 +36,13 @@ struct TraceConfig {
   int burst_size = 8;
   double burst_gap_ms = 3.0;
   /// Fraction of events that are tiled-Cholesky graphs (the rest are
-  /// single kernels drawn round-robin from the serving mix).
+  /// single kernels drawn round-robin from `mix`).
   double graph_fraction = 0.2;
+  /// Single-kernel mix. Trim it to the kinds the replay core can run --
+  /// e.g. drop Fft when replaying on a core with nr != 4 -- otherwise the
+  /// incompatible events fail validation in-band and count as failures in
+  /// the ReplayReport.
+  std::vector<fabric::KernelKind> mix = default_serving_mix();
   std::vector<index_t> sizes = {16, 32};  ///< single-kernel operand sizes
   index_t graph_n = 32;                   ///< graph problem size
   index_t graph_block = 8;                ///< graph tile width

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <complex>
 
 #include "arch/presets.hpp"
 #include "blas/lap_driver.hpp"
@@ -16,6 +17,7 @@
 #include "fabric/batch.hpp"
 #include "fabric/model_executor.hpp"
 #include "fabric/sim_executor.hpp"
+#include "fft/reference_fft.hpp"
 
 namespace lac::fabric {
 namespace {
@@ -163,6 +165,83 @@ TEST(FabricParity, Vnorm) {
   EXPECT_GT(model.utilization, 0.0);
   EXPECT_NEAR(sim.utilization, model.utilization,
               0.35 * model.utilization + 0.02);
+}
+
+TEST(FabricParity, Fft) {
+  // The tenth fabric kernel: pipelined 64-point radix-4 frames on the
+  // hybrid core. Both backends must reproduce the radix-4 reference and
+  // the analytical cycle/utilization estimates must track the simulated
+  // schedule inside the composite-kernel band (<= 35%), like the others.
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  for (std::size_t frames : {1u, 4u, 8u}) {
+    const std::vector<std::complex<double>> x =
+        random_cplx_vector(64 * frames, 40 + frames);
+    for (double bw : {0.5, 2.0, 8.0}) {
+      KernelRequest req = make_fft(cfg, bw, x);
+      KernelResult sim = kSim.execute(req);
+      KernelResult model = kModel.execute(req);
+      ASSERT_TRUE(sim.ok) << sim.error;
+      ASSERT_TRUE(model.ok) << model.error;
+      // Frame-by-frame numerics against the host radix-4 reference.
+      ASSERT_EQ(sim.spectrum.size(), x.size());
+      ASSERT_EQ(model.spectrum.size(), x.size());
+      for (std::size_t f = 0; f < frames; ++f) {
+        std::vector<fft::cplx> frame(x.begin() + static_cast<std::ptrdiff_t>(64 * f),
+                                     x.begin() + static_cast<std::ptrdiff_t>(64 * (f + 1)));
+        const std::vector<fft::cplx> ref = fft::fft_radix4(frame);
+        for (std::size_t i = 0; i < 64; ++i) {
+          EXPECT_LT(std::abs(sim.spectrum[64 * f + i] - ref[i]), 1e-9) << f << "," << i;
+          EXPECT_LT(std::abs(model.spectrum[64 * f + i] - ref[i]), 1e-9) << f << "," << i;
+        }
+      }
+      EXPECT_GT(sim.cycles, 0.0);
+      EXPECT_NEAR(sim.cycles, model.cycles, 0.35 * model.cycles + 50.0)
+          << "bw=" << bw << " frames=" << frames;
+      EXPECT_GT(sim.utilization, 0.0);
+      EXPECT_GT(model.utilization, 0.0);
+      EXPECT_NEAR(sim.utilization, model.utilization,
+                  0.35 * model.utilization + 0.02);
+    }
+  }
+}
+
+TEST(FabricParity, FftFourStep) {
+  // 4096-point four-step variant: 64x64 grid of core transforms plus the
+  // twiddle pass, validated against the flat radix-4 reference.
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const std::vector<std::complex<double>> x = random_cplx_vector(4096, 77);
+  const std::vector<fft::cplx> ref = fft::fft_radix4(x);
+  KernelRequest req = make_fft(cfg, 4.0, x, FftVariant::FourStep);
+  KernelResult sim = kSim.execute(req);
+  KernelResult model = kModel.execute(req);
+  ASSERT_TRUE(sim.ok) << sim.error;
+  ASSERT_TRUE(model.ok) << model.error;
+  double err = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    err = std::max(err, std::abs(sim.spectrum[i] - ref[i]));
+  EXPECT_LT(err, 1e-8);
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_LT(std::abs(model.spectrum[i] - ref[i]), 1e-12) << i;
+  EXPECT_NEAR(sim.cycles, model.cycles, 0.35 * model.cycles + 50.0);
+}
+
+TEST(FabricExecutor, FftRejectsInvalidShapesInBand) {
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  std::vector<KernelRequest> bad;
+  bad.push_back(make_fft(cfg, 2.0, random_cplx_vector(63, 1)));   // not 64-mult
+  bad.push_back(make_fft(cfg, 2.0, std::vector<std::complex<double>>{}));
+  bad.push_back(make_fft(cfg, 2.0, random_cplx_vector(128, 1),
+                         FftVariant::FourStep));                  // != 4096
+  bad.push_back(make_fft(arch::lac_8x8_dp(), 2.0, random_cplx_vector(64, 1)));
+  for (const KernelRequest& req : bad) {
+    for (const Executor* ex : {static_cast<const Executor*>(&kSim),
+                               static_cast<const Executor*>(&kModel)}) {
+      KernelResult res = ex->execute(req);
+      EXPECT_FALSE(res.ok) << res.backend;
+      EXPECT_FALSE(res.error.empty()) << res.backend;
+      EXPECT_EQ(res.cycles, 0.0) << res.backend;
+    }
+  }
 }
 
 TEST(FabricParity, ChipGemm) {

@@ -1,0 +1,121 @@
+// Kernel registry completeness and consistency: every KernelKind has
+// registered traits with every hook filled, names round-trip through
+// to_string()/find_kernel_traits(), both backends execute every registered
+// kind's sample request without throwing, and the CostCache signature
+// keys the registry extras (ChipGemm chip organisation, FFT
+// size/radix/variant/frames) with the explicit-delimiter convention.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "arch/presets.hpp"
+#include "common/random.hpp"
+#include "fabric/kernel_registry.hpp"
+#include "fabric/model_executor.hpp"
+#include "fabric/serving.hpp"
+#include "fabric/sim_executor.hpp"
+
+namespace lac::fabric {
+namespace {
+
+const SimExecutor kSim;
+const ModelExecutor kModel;
+
+TEST(KernelRegistry, EveryKindHasCompleteTraits) {
+  const std::vector<KernelKind>& kinds = registered_kernel_kinds();
+  // The fabric serves ten kernels (the paper's nine plus the hybrid FFT).
+  EXPECT_EQ(kinds.size(), 10u);
+  for (KernelKind kind : kinds) {
+    const KernelTraits* t = try_kernel_traits(kind);
+    ASSERT_NE(t, nullptr) << static_cast<int>(kind);
+    EXPECT_EQ(t->kind, kind);
+    EXPECT_STRNE(t->name, "?") << static_cast<int>(kind);
+    EXPECT_TRUE(t->validate != nullptr) << t->name;
+    EXPECT_TRUE(t->useful_macs != nullptr) << t->name;
+    EXPECT_TRUE(t->model_cycles != nullptr) << t->name;
+    EXPECT_TRUE(t->model_utilization != nullptr) << t->name;
+    EXPECT_TRUE(t->reference_run != nullptr) << t->name;
+    EXPECT_TRUE(t->sim_run != nullptr) << t->name;
+    EXPECT_TRUE(t->model_energy != nullptr) << t->name;
+    EXPECT_TRUE(t->sim_energy != nullptr) << t->name;
+    EXPECT_TRUE(t->sample_request != nullptr) << t->name;
+  }
+}
+
+TEST(KernelRegistry, NamesRoundTripAndAreUnique) {
+  std::set<std::string> names;
+  for (KernelKind kind : registered_kernel_kinds()) {
+    const char* name = to_string(kind);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+    const KernelTraits* back = find_kernel_traits(name);
+    ASSERT_NE(back, nullptr) << name;
+    EXPECT_EQ(back->kind, kind) << name;
+    // to_string and the registry read the same field, so they agree by
+    // construction; pin the indirection anyway.
+    EXPECT_STREQ(back->name, name);
+  }
+  EXPECT_EQ(find_kernel_traits("NO_SUCH_KERNEL"), nullptr);
+}
+
+TEST(KernelRegistry, SampleRequestsExecuteOnBothBackends) {
+  for (KernelKind kind : registered_kernel_kinds()) {
+    const KernelTraits& t = kernel_traits(kind);
+    const KernelRequest req = t.sample_request(1234);
+    EXPECT_EQ(req.kind, kind) << t.name;
+    EXPECT_EQ(validate(req), "") << t.name;
+    for (const Executor* ex : {static_cast<const Executor*>(&kSim),
+                               static_cast<const Executor*>(&kModel)}) {
+      KernelResult res;
+      ASSERT_NO_THROW(res = ex->execute(req)) << t.name << " " << ex->name();
+      EXPECT_TRUE(res.ok) << t.name << " " << ex->name() << ": " << res.error;
+      EXPECT_GT(res.cycles, 0.0) << t.name << " " << ex->name();
+      EXPECT_GT(res.utilization, 0.0) << t.name << " " << ex->name();
+      EXPECT_LE(res.utilization, 1.0 + 1e-9) << t.name << " " << ex->name();
+      EXPECT_GT(res.energy_nj, 0.0) << t.name << " " << ex->name();
+      EXPECT_GT(useful_macs(req), 0.0) << t.name;
+    }
+  }
+}
+
+TEST(KernelRegistry, ModelCostMatchesTraitHooks) {
+  for (KernelKind kind : registered_kernel_kinds()) {
+    const KernelTraits& t = kernel_traits(kind);
+    const KernelRequest req = t.sample_request(99);
+    const ModelCost cost = model_cost(req);
+    EXPECT_DOUBLE_EQ(cost.cycles, t.model_cycles(req)) << t.name;
+    EXPECT_DOUBLE_EQ(cost.utilization, t.model_utilization(req, cost.cycles))
+        << t.name;
+    EXPECT_DOUBLE_EQ(cost.energy.energy_nj(),
+                     t.model_energy(req, cost.cycles, cost.utilization).energy_nj())
+        << t.name;
+  }
+}
+
+TEST(KernelRegistry, UnregisteredKindFailsInBand) {
+  const KernelKind bogus = static_cast<KernelKind>(250);
+  EXPECT_EQ(try_kernel_traits(bogus), nullptr);
+  EXPECT_STREQ(to_string(bogus), "?");
+  EXPECT_EQ(useful_macs(KernelRequest{.kind = bogus}), 0.0);
+  KernelRequest req = kernel_traits(KernelKind::Gemm).sample_request(7);
+  req.kind = bogus;
+  for (const Executor* ex : {static_cast<const Executor*>(&kSim),
+                             static_cast<const Executor*>(&kModel)}) {
+    KernelResult res;
+    ASSERT_NO_THROW(res = ex->execute(req)) << ex->name();
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.error, "unregistered kernel kind");
+  }
+}
+
+TEST(KernelRegistry, SignaturesOfDistinctKindsNeverCollide) {
+  std::set<std::string> sigs;
+  for (KernelKind kind : registered_kernel_kinds()) {
+    const KernelRequest req = kernel_traits(kind).sample_request(5);
+    EXPECT_TRUE(sigs.insert(CostCache::signature(req)).second)
+        << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace lac::fabric

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <complex>
 #include <future>
 #include <memory>
 #include <stdexcept>
@@ -38,6 +39,8 @@ std::vector<KernelRequest> serving_workload(int repeats) {
     auto l = std::make_shared<const MatrixD>(random_lower_triangular(n, seed++));
     auto spd = std::make_shared<const MatrixD>(random_spd(n, seed++));
     auto panel = std::make_shared<const MatrixD>(random_matrix(n, cfg.nr, seed++));
+    const SharedCplxVector frames(
+        random_cplx_vector(64 * static_cast<std::size_t>(n / 8), seed++));
     for (int r = 0; r < repeats; ++r) {
       reqs.push_back(make_gemm(cfg, 2.0, a, b, c));
       reqs.push_back(make_syrk(cfg, 2.0, a, c));
@@ -45,6 +48,7 @@ std::vector<KernelRequest> serving_workload(int repeats) {
       reqs.push_back(make_cholesky(cfg, 2.0, spd));
       reqs.push_back(make_lu(cfg, panel));
       reqs.push_back(make_qr(cfg, panel));
+      reqs.push_back(make_fft(cfg, 2.0, frames));
     }
   }
   return reqs;
@@ -135,7 +139,7 @@ TEST(ZeroCopyRequest, SharedPayloadIsNotDuplicated) {
 }
 
 TEST(AsyncExecutor, StressMixedKernelsBothBackends) {
-  std::vector<KernelRequest> reqs = serving_workload(25);  // 300 requests
+  std::vector<KernelRequest> reqs = serving_workload(25);  // 350 requests
   ASSERT_GE(reqs.size(), 200u);
   for (const Executor* ex : {static_cast<const Executor*>(&kSim),
                              static_cast<const Executor*>(&kModel)}) {
@@ -353,6 +357,95 @@ TEST(CostCache, SignatureSeparatesShapeAndConfig) {
   KernelRequest bw_lo = make_gemm(cfg, 1024.001, a16.view(), b16.view(), c16.view());
   KernelRequest bw_hi = make_gemm(cfg, 1024.004, a16.view(), b16.view(), c16.view());
   EXPECT_NE(CostCache::signature(bw_lo), CostCache::signature(bw_hi));
+}
+
+TEST(CostCache, SignatureKeysFftFieldsWithoutCollisions) {
+  // Regression for the tenth kernel: the FFT-specific fields (transform
+  // size, radix, variant, frame count) are part of the key, each behind an
+  // explicit delimiter, so no two distinct FFT operating points -- and no
+  // ambiguous field concatenation -- can share an entry.
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const std::vector<std::complex<double>> one = random_cplx_vector(64, 300);
+  const std::vector<std::complex<double>> two = random_cplx_vector(128, 301);
+  const KernelRequest base = make_fft(cfg, 2.0, one);
+  const std::string sig = CostCache::signature(base);
+
+  // Same payload size, different variant.
+  std::vector<std::complex<double>> grid = random_cplx_vector(4096, 302);
+  KernelRequest batched_grid = make_fft(cfg, 2.0, grid);
+  KernelRequest four_step = make_fft(cfg, 2.0, grid, FftVariant::FourStep);
+  EXPECT_NE(CostCache::signature(batched_grid), CostCache::signature(four_step));
+
+  // Frame count is keyed (the cycle model scales with it).
+  EXPECT_NE(CostCache::signature(make_fft(cfg, 2.0, two)), sig);
+
+  // Size/radix are keyed individually: a hypothetical 640-point radix-4
+  // and 64-point radix-40 request must not concatenate onto one key
+  // ("640|4" vs "64|04" style collisions -- the explicit-delimiter
+  // convention of PR 3).
+  KernelRequest n640 = base;
+  n640.fft_n = 640;
+  KernelRequest r40 = base;
+  r40.fft_n = 64;
+  r40.fft_radix = 40;
+  EXPECT_NE(CostCache::signature(n640), CostCache::signature(r40));
+  EXPECT_NE(CostCache::signature(n640), sig);
+  EXPECT_NE(CostCache::signature(r40), sig);
+
+  // Same signature fields, different payload values: one entry.
+  const std::vector<std::complex<double>> other_vals = random_cplx_vector(64, 303);
+  EXPECT_EQ(CostCache::signature(make_fft(cfg, 2.0, other_vals)), sig);
+
+  // And a cached model executor serves FFT traffic with one miss per
+  // distinct operating point.
+  CostCache cache;
+  ModelExecutor cached(&cache);
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    ASSERT_TRUE(cached.execute(base).ok);
+    ASSERT_TRUE(cached.execute(make_fft(cfg, 2.0, two)).ok);
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 6u);
+}
+
+TEST(AsyncExecutor, FftByteIdenticalAcrossPoolWidths) {
+  // The tenth kernel obeys the serving determinism contract: the same FFT
+  // workload through AsyncExecutors of width 1, 2 and 4 produces
+  // bit-identical spectra and identical accounting on both backends.
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  const SimExecutor sim;
+  const ModelExecutor model;
+  std::vector<KernelRequest> reqs;
+  for (std::size_t frames : {1u, 2u, 4u}) {
+    const SharedCplxVector payload(random_cplx_vector(64 * frames, 400 + frames));
+    for (double bw : {1.0, 4.0})
+      for (int repeat = 0; repeat < 3; ++repeat)
+        reqs.push_back(make_fft(cfg, bw, payload));
+  }
+  for (const Executor* ex : {static_cast<const Executor*>(&sim),
+                             static_cast<const Executor*>(&model)}) {
+    ThreadPool serial(1);
+    std::vector<KernelResult> expect;
+    for (auto& f : AsyncExecutor(*ex, &serial).submit_all(reqs))
+      expect.push_back(f.get());
+    for (unsigned width : {2u, 4u}) {
+      ThreadPool pool(width);
+      std::vector<std::future<KernelResult>> futs =
+          AsyncExecutor(*ex, &pool).submit_all(reqs);
+      for (std::size_t i = 0; i < expect.size(); ++i) {
+        KernelResult got = futs[i].get();
+        ASSERT_TRUE(got.ok) << ex->name();
+        EXPECT_EQ(got.cycles, expect[i].cycles) << ex->name() << " req " << i;
+        EXPECT_EQ(got.energy_nj, expect[i].energy_nj) << ex->name();
+        ASSERT_EQ(got.spectrum.size(), expect[i].spectrum.size());
+        // Byte-identical: exact complex equality, no tolerance.
+        for (std::size_t g = 0; g < got.spectrum.size(); ++g)
+          ASSERT_EQ(got.spectrum[g], expect[i].spectrum[g])
+              << ex->name() << " req " << i << " point " << g;
+      }
+    }
+  }
 }
 
 }  // namespace
