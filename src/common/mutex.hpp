@@ -1,0 +1,99 @@
+#pragma once
+// Annotated mutex primitives for the concurrent serving stack.
+//
+// Thin wrappers over std::mutex / std::lock_guard / std::condition_variable
+// that carry the Clang thread-safety capability annotations from
+// common/thread_annotations.hpp, so every structure guarded by a
+// lac::Mutex gets compile-time lock-discipline checking (-Wthread-safety)
+// at zero runtime cost: each wrapper is a standard-layout shim around the
+// std primitive it replaces, and CondVar::wait runs on the native
+// std::condition_variable futex path (no condition_variable_any
+// indirection).
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace lac {
+
+/// std::mutex annotated as a thread-safety capability. Lockable: works
+/// with std::lock_guard / std::unique_lock, but prefer MutexLock so the
+/// acquisition is visible to the analysis.
+class LAC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LAC_ACQUIRE() { mu_.lock(); }
+  void unlock() LAC_RELEASE() { mu_.unlock(); }
+  bool try_lock() LAC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for interop the analysis cannot model
+  /// (CondVar's wait path); callers must already hold the capability.
+  std::mutex& native() LAC_REQUIRES(this) { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over a lac::Mutex (the std::lock_guard of the annotated
+/// world): acquires in the constructor, releases in the destructor, no
+/// unlock surface in between -- hand-over-hand code should use Mutex
+/// directly with LAC_ACQUIRE/LAC_RELEASE functions instead.
+class LAC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LAC_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() LAC_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with lac::Mutex. wait() takes the Mutex the
+/// caller already holds (enforced by LAC_REQUIRES) rather than a
+/// unique_lock, because std::unique_lock carries no annotations and
+/// would make every guarded access after the wait a false positive. The
+/// mutex is released while blocked and re-held on return, exactly like
+/// std::condition_variable -- the capability is continuously held from
+/// the analysis' point of view, which is the invariant callers rely on
+/// (guarded state is only touched before/after the block, never inside).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Block until `pred()` holds; `mu` must be held (and pred only reads
+  /// state guarded by it).
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) LAC_REQUIRES(mu) {
+    // Adopt the already-held native mutex so the std wait can unlock and
+    // relock it; release() hands ownership back before the unique_lock
+    // destructs, keeping acquire/release strictly paired on `mu`.
+    std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+    cv_.wait(native, std::move(pred));
+    native.release();
+  }
+
+  /// Single unconditional wait; callers loop on their own condition
+  /// (`while (!cond) cv.wait(mu);`) so the predicate check happens in the
+  /// enclosing function, where the thread-safety analysis can see the
+  /// capability being held.
+  void wait(Mutex& mu) LAC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace lac

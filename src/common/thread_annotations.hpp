@@ -1,0 +1,61 @@
+#pragma once
+// Clang thread-safety-analysis capability macros.
+//
+// The serving stack (ThreadPool, CostCache, GraphScheduler) keeps its
+// invariants behind mutexes; these macros let the *compiler* enforce the
+// lock discipline instead of code review: a member tagged LAC_GUARDED_BY
+// read without its mutex, or a *_locked helper called outside
+// LAC_REQUIRES, is a -Wthread-safety error on Clang (a dedicated CI lane
+// builds with -Wthread-safety -Werror). On compilers without the
+// analysis (GCC, MSVC) every macro expands to nothing, so annotations
+// are free to apply everywhere.
+//
+// The analysis only understands types annotated as capabilities, which
+// std::mutex (libstdc++) is not -- use the annotated wrappers in
+// common/mutex.hpp (lac::Mutex / MutexLock / CondVar) for any state
+// these macros guard.
+
+#if defined(__clang__)
+#define LAC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LAC_THREAD_ANNOTATION(x)
+#endif
+
+/// Type is a lockable capability (apply to the mutex class itself).
+#define LAC_CAPABILITY(name) LAC_THREAD_ANNOTATION(capability(name))
+
+/// RAII type that acquires a capability in its constructor and releases
+/// it in its destructor (apply to lock-guard classes).
+#define LAC_SCOPED_CAPABILITY LAC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the named mutex.
+#define LAC_GUARDED_BY(x) LAC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the named mutex.
+#define LAC_PT_GUARDED_BY(x) LAC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the named mutex(es) held.
+#define LAC_REQUIRES(...) \
+  LAC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that must be called with the named mutex(es) NOT held
+/// (it acquires them itself -- re-entry would deadlock).
+#define LAC_EXCLUDES(...) LAC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the capability (and does not release it).
+#define LAC_ACQUIRE(...) LAC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases a held capability.
+#define LAC_RELEASE(...) LAC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability when it returns `ret`.
+#define LAC_TRY_ACQUIRE(ret, ...) \
+  LAC_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Returns a reference to the capability guarding this object.
+#define LAC_RETURN_CAPABILITY(x) LAC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: body is exempt from the analysis. Use only for code the
+/// analysis cannot model (e.g. handing a lock across threads) and say why.
+#define LAC_NO_THREAD_SAFETY_ANALYSIS \
+  LAC_THREAD_ANNOTATION(no_thread_safety_analysis)

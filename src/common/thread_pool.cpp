@@ -10,13 +10,15 @@ ThreadPool::ThreadPool(unsigned threads)
                           : std::max(1u, std::thread::hardware_concurrency())) {}
 
 ThreadPool::~ThreadPool() {
+  std::vector<std::thread> joined;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
     queue_.clear();
+    joined.swap(workers_);
   }
   cv_.notify_all();
-  for (std::thread& t : workers_) t.join();
+  for (std::thread& t : joined) t.join();
 }
 
 ThreadPool& ThreadPool::shared() {
@@ -24,15 +26,17 @@ ThreadPool& ThreadPool::shared() {
   return pool;
 }
 
+void ThreadPool::start_locked() {
+  started_ = true;
+  workers_.reserve(target_);
+  for (unsigned w = 0; w < target_; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
 void ThreadPool::post(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!started_) {
-      started_ = true;
-      workers_.reserve(target_);
-      for (unsigned w = 0; w < target_; ++w)
-        workers_.emplace_back([this] { worker_loop(); });
-    }
+    MutexLock lock(mu_);
+    if (!started_) start_locked();
     queue_.push_back(std::move(job));
   }
   cv_.notify_one();
@@ -42,8 +46,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(mu_);
       // On stop with work still queued, keep draining: shutdown() promises
       // completion, and the destructor clears the queue first anyway.
       if (queue_.empty()) return;
@@ -53,7 +57,7 @@ void ThreadPool::worker_loop() {
     }
     job();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
@@ -61,20 +65,18 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || active_ != 0) idle_cv_.wait(mu_);
 }
 
 void ThreadPool::shutdown() {
   std::vector<std::thread> joined;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // One quiesce at a time: a second caller entering while the first is
     // joining would reset stop_ before the first caller's workers observe
     // it, wedging that join forever.
-    idle_cv_.wait(lock, [this] {
-      return !quiescing_ && queue_.empty() && active_ == 0;
-    });
+    while (quiescing_ || !queue_.empty() || active_ != 0) idle_cv_.wait(mu_);
     if (!started_) return;
     quiescing_ = true;
     stop_ = true;
@@ -83,7 +85,7 @@ void ThreadPool::shutdown() {
   cv_.notify_all();
   for (std::thread& t : joined) t.join();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = false;
     started_ = false;
     quiescing_ = false;
@@ -109,9 +111,9 @@ void ThreadPool::parallel_for(std::size_t n,
     std::function<void(std::size_t)> fn;
     std::atomic<std::size_t> next{0};
     std::atomic<unsigned> inflight{0};
-    std::mutex mu;
-    std::condition_variable done;
-    std::exception_ptr error;
+    Mutex mu;
+    CondVar done;
+    std::exception_ptr error LAC_GUARDED_BY(mu);
   };
   auto st = std::make_shared<Join>();
   st->n = n;
@@ -124,13 +126,13 @@ void ThreadPool::parallel_for(std::size_t n,
            i = st->next.fetch_add(1))
         st->fn(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(st->mu);
+      MutexLock lock(st->mu);
       if (!st->error) st->error = std::current_exception();
       // Drain the remaining iterations so sibling runners exit promptly.
       st->next.store(st->n);
     }
     if (st->inflight.fetch_sub(1) == 1) {
-      std::lock_guard<std::mutex> lock(st->mu);
+      MutexLock lock(st->mu);
       st->done.notify_all();
     }
   };
@@ -143,9 +145,11 @@ void ThreadPool::parallel_for(std::size_t n,
 
   // All indices are claimed once the caller's runner returns (its final
   // fetch_add saw next >= n); wait only for helpers mid-iteration.
-  std::unique_lock<std::mutex> lock(st->mu);
-  st->done.wait(lock, [&] { return st->inflight.load() == 0; });
-  if (st->error) std::rethrow_exception(st->error);
+  {
+    MutexLock lock(st->mu);
+    while (st->inflight.load() != 0) st->done.wait(st->mu);
+    if (st->error) std::rethrow_exception(st->error);
+  }
 }
 
 }  // namespace lac

@@ -10,15 +10,21 @@
 // `parallel_for` mirrors lac::parallel_for's contract (index-addressed work,
 // worker-count clamping, first exception rethrown on the caller) on top of
 // the persistent workers.
-#include <condition_variable>
+//
+// All queue/worker state is guarded by one lac::Mutex and annotated for
+// Clang's thread-safety analysis (see common/thread_annotations.hpp): a
+// dedicated CI lane compiles with -Wthread-safety -Werror, so touching
+// `queue_` or the lifecycle flags without `mu_` is a build error, not a
+// TSan report.
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace lac {
 
@@ -44,7 +50,7 @@ class ThreadPool {
 
   /// Queue a callable; the returned future carries its result or exception.
   template <typename F, typename R = std::invoke_result_t<std::decay_t<F>>>
-  std::future<R> submit(F&& f) {
+  std::future<R> submit(F&& f) LAC_EXCLUDES(mu_) {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     post([task] { (*task)(); });
@@ -53,20 +59,20 @@ class ThreadPool {
 
   /// Fire-and-forget: queue a job with no future (the scheduler's dispatch
   /// loops don't need one). The job must not throw.
-  void post(std::function<void()> job);
+  void post(std::function<void()> job) LAC_EXCLUDES(mu_);
 
   /// Block until every job queued so far has been taken *and* completed
   /// (the pool is momentarily idle). Jobs submitted concurrently extend
   /// the wait; the workers stay up.
-  void drain();
+  void drain() LAC_EXCLUDES(mu_);
 
   /// Quiesce deterministically: complete all outstanding work, join the
   /// workers, and return the pool to its not-started state, so a later
   /// submit lazily restarts a fresh worker set. Safe to call repeatedly
-  /// (a no-op on a never-started pool). Submitting concurrently with
-  /// shutdown() is a caller-side race -- the scheduler layer drains its
-  /// own traffic before quiescing the pool.
-  void shutdown();
+  /// (a no-op on a never-started pool) and safe to race with concurrent
+  /// submits: jobs posted while the workers are joining are queued and
+  /// run when the next submit restarts the pool.
+  void shutdown() LAC_EXCLUDES(mu_);
 
   /// Run fn(i) for i in [0, n) across the pool, the calling thread
   /// participating as one worker (so progress never depends on pool
@@ -76,21 +82,23 @@ class ThreadPool {
   /// remaining iterations are abandoned (fail-fast), and the first
   /// exception is rethrown here after all in-flight iterations finish.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                    unsigned max_workers = 0);
+                    unsigned max_workers = 0) LAC_EXCLUDES(mu_);
 
  private:
-  void worker_loop();
+  void worker_loop() LAC_EXCLUDES(mu_);
+  void start_locked() LAC_REQUIRES(mu_);
 
-  unsigned target_ = 1;
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::size_t active_ = 0;
-  bool started_ = false;
-  bool stop_ = false;
-  bool quiescing_ = false;  ///< a shutdown() is mid-join; serializes callers
+  unsigned target_ = 1;  ///< immutable after construction
+
+  Mutex mu_;
+  CondVar cv_;       ///< work available / stop requested
+  CondVar idle_cv_;  ///< queue drained and no job in flight
+  std::vector<std::thread> workers_ LAC_GUARDED_BY(mu_);
+  std::deque<std::function<void()>> queue_ LAC_GUARDED_BY(mu_);
+  std::size_t active_ LAC_GUARDED_BY(mu_) = 0;
+  bool started_ LAC_GUARDED_BY(mu_) = false;
+  bool stop_ LAC_GUARDED_BY(mu_) = false;
+  bool quiescing_ LAC_GUARDED_BY(mu_) = false;  ///< a shutdown() is mid-join
 };
 
 }  // namespace lac

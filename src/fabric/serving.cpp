@@ -12,7 +12,7 @@ namespace lac::fabric {
 CostCache::Estimate CostCache::estimate(const KernelRequest& req) {
   const std::string key = signature(req);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -28,7 +28,7 @@ CostCache::Estimate CostCache::estimate(const KernelRequest& req) {
   e.energy_nj = cost.energy.energy_nj();
   e.avg_power_w = cost.energy.avg_power_w;
   e.area_mm2 = cost.energy.area_mm2;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const bool inserted = map_.emplace(key, e).second;
   // Exactly one racing thread owns the insert (one miss per entry); the
   // losers found the value present and count as hits, keeping
@@ -80,12 +80,12 @@ double CostCache::hit_rate() const {
 }
 
 std::size_t CostCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return map_.size();
 }
 
 void CostCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   map_.clear();
   hits_.store(0);
   misses_.store(0);

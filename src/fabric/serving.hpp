@@ -23,11 +23,11 @@
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/thread_pool.hpp"
 #include "fabric/executor.hpp"
 
@@ -50,7 +50,7 @@ class CostCache {
 
   /// Cached estimate for the request, computing (and remembering) it on a
   /// miss via the closed-form models behind ModelExecutor.
-  Estimate estimate(const KernelRequest& req);
+  Estimate estimate(const KernelRequest& req) LAC_EXCLUDES(mu_);
 
   /// The memo key: every field of the request that the cycle or energy
   /// models read, each separated by an explicit delimiter (no two adjacent
@@ -66,12 +66,12 @@ class CostCache {
   /// a cold key resolve to one miss (the inserting thread) and hits for the
   /// rest, so hits + misses == lookups and misses == distinct entries.
   double hit_rate() const;
-  std::size_t size() const;
-  void clear();
+  std::size_t size() const LAC_EXCLUDES(mu_);
+  void clear() LAC_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Estimate> map_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Estimate> map_ LAC_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
 };

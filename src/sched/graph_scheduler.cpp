@@ -99,15 +99,14 @@ GraphScheduler::GraphScheduler(const fabric::Executor& backend,
 }
 
 GraphScheduler::~GraphScheduler() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Wait for the jobs *and* for every worker to leave the dispatch loop
   // (a worker may still be inside take_batch after the last completion).
-  drain_cv_.wait(lock,
-                 [this] { return unresolved_jobs_ == 0 && inflight_ == 0; });
+  while (unresolved_jobs_ != 0 || inflight_ != 0) drain_cv_.wait(mu_);
 }
 
 TenantId GraphScheduler::add_tenant(TenantConfig cfg) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (cfg.weight <= 0.0) cfg.weight = 1.0;
   tenants_.push_back(std::make_unique<Tenant>());
   tenants_.back()->cfg = std::move(cfg);
@@ -115,7 +114,7 @@ TenantId GraphScheduler::add_tenant(TenantConfig cfg) {
 }
 
 std::size_t GraphScheduler::tenant_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tenants_.size();
 }
 
@@ -144,7 +143,7 @@ std::optional<std::future<fabric::KernelResult>> GraphScheduler::try_submit(
 }
 
 bool GraphScheduler::admit_slot(bool block) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // try_submit's refusal applies everywhere -- it never blocks, so it is
   // always deadlock-free and backpressure stays observable from hooks.
   if (!block && pending_jobs_ >= opts_.queue_capacity) return false;
@@ -153,8 +152,7 @@ bool GraphScheduler::admit_slot(bool block) {
   // need that very worker to free (self-deadlock). Such hook-chained jobs
   // are admitted over capacity instead, visible in peak_pending().
   if (g_hook_depth == 0)
-    admit_cv_.wait(lock,
-                   [this] { return pending_jobs_ < opts_.queue_capacity; });
+    while (pending_jobs_ >= opts_.queue_capacity) admit_cv_.wait(mu_);
   ++pending_jobs_;
   ++unresolved_jobs_;
   peak_pending_ = std::max(peak_pending_, pending_jobs_);
@@ -195,7 +193,7 @@ std::optional<std::future<GraphResult>> GraphScheduler::admit_graph(
   job->admitted = Clock::now();
   std::future<GraphResult> fut = job->gpromise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++tenants_[tenant]->jobs_submitted;
   }
 
@@ -219,7 +217,7 @@ std::optional<std::future<fabric::KernelResult>> GraphScheduler::admit_single(
   job->admitted = Clock::now();
   std::future<fabric::KernelResult> fut = job->kpromise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++tenants_[tenant]->jobs_submitted;
   }
 
@@ -257,7 +255,7 @@ std::unique_ptr<GraphScheduler::Unit> GraphScheduler::build_unit(
 
 void GraphScheduler::enqueue(std::vector<std::unique_ptr<Unit>> units) {
   if (units.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (std::unique_ptr<Unit>& unit : units) {
     Tenant& ten = *tenants_[unit->job->tenant];
     if (ten.ready.empty() && ten.inflight == 0) {
@@ -333,7 +331,7 @@ void GraphScheduler::worker() {
   for (;;) {
     std::vector<std::unique_ptr<Unit>> batch;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       batch = take_batch_locked();
       if (batch.empty()) {
         --inflight_;
@@ -387,7 +385,7 @@ void GraphScheduler::complete_unit(std::unique_ptr<Unit> unit,
   std::vector<NodeId> to_build;
   bool job_finished = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Tenant& ten = *tenants_[job->tenant];
     if (ten.inflight > 0) --ten.inflight;
     ++ten.units_completed;
@@ -462,7 +460,7 @@ void GraphScheduler::complete_unit(std::unique_ptr<Unit> unit,
       finalize_job(job);
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --unresolved_jobs_;
     }
     drain_cv_.notify_all();
@@ -504,22 +502,22 @@ void GraphScheduler::finalize_job(const std::shared_ptr<Job>& job) {
 }
 
 void GraphScheduler::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drain_cv_.wait(lock, [this] { return unresolved_jobs_ == 0; });
+  MutexLock lock(mu_);
+  while (unresolved_jobs_ != 0) drain_cv_.wait(mu_);
 }
 
 std::size_t GraphScheduler::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pending_jobs_;
 }
 
 std::size_t GraphScheduler::peak_pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return peak_pending_;
 }
 
 TenantStats GraphScheduler::tenant_stats(TenantId tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   assert(tenant < tenants_.size());
   const Tenant& t = *tenants_[tenant];
   TenantStats s;

@@ -23,17 +23,16 @@
 // (ok = false, zero cost), and every node downstream of it is cancelled
 // with the same zero-cost accounting instead of running on garbage.
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/thread_pool.hpp"
 #include "fabric/executor.hpp"
 #include "sched/kernel_graph.hpp"
@@ -141,16 +140,16 @@ class GraphScheduler {
 
   /// Block until every admitted job has completed -- its completion hook
   /// has returned and its future is ready.
-  void drain();
+  void drain() LAC_EXCLUDES(mu_);
 
   /// Admitted-but-unfinished jobs right now / the high-water mark. Stays
   /// within queue_capacity for all boundary traffic; only blocking submits
   /// chained from completion hooks may push it past the bound (they are
   /// exempted from the wait to avoid self-deadlock).
-  std::size_t pending() const;
-  std::size_t peak_pending() const;
+  std::size_t pending() const LAC_EXCLUDES(mu_);
+  std::size_t peak_pending() const LAC_EXCLUDES(mu_);
 
-  TenantStats tenant_stats(TenantId tenant) const;
+  TenantStats tenant_stats(TenantId tenant) const LAC_EXCLUDES(mu_);
   const fabric::Executor& backend() const { return backend_; }
   unsigned workers() const { return slots_; }
 
@@ -161,19 +160,23 @@ class GraphScheduler {
 
   std::optional<std::future<GraphResult>> admit_graph(
       TenantId tenant, KernelGraph graph,
-      std::function<void(const GraphResult&)> hook, bool block);
+      std::function<void(const GraphResult&)> hook, bool block)
+      LAC_EXCLUDES(mu_);
   std::optional<std::future<fabric::KernelResult>> admit_single(
       TenantId tenant, fabric::KernelRequest req,
-      std::function<void(const fabric::KernelResult&)> hook, bool block);
-  bool admit_slot(bool block);  // capacity gate; false = full (non-blocking)
+      std::function<void(const fabric::KernelResult&)> hook, bool block)
+      LAC_EXCLUDES(mu_);
+  // Capacity gate; false = full (non-blocking).
+  bool admit_slot(bool block) LAC_EXCLUDES(mu_);
 
   std::unique_ptr<Unit> build_unit(std::shared_ptr<Job> job, NodeId id);
-  void enqueue(std::vector<std::unique_ptr<Unit>> units);
-  void pump_locked();
-  std::vector<std::unique_ptr<Unit>> take_batch_locked();
-  void worker();
-  void run_unit(std::unique_ptr<Unit> unit);
-  void complete_unit(std::unique_ptr<Unit> unit, fabric::KernelResult res);
+  void enqueue(std::vector<std::unique_ptr<Unit>> units) LAC_EXCLUDES(mu_);
+  void pump_locked() LAC_REQUIRES(mu_);
+  std::vector<std::unique_ptr<Unit>> take_batch_locked() LAC_REQUIRES(mu_);
+  void worker() LAC_EXCLUDES(mu_);
+  void run_unit(std::unique_ptr<Unit> unit) LAC_EXCLUDES(mu_);
+  void complete_unit(std::unique_ptr<Unit> unit, fabric::KernelResult res)
+      LAC_EXCLUDES(mu_);
   void finalize_job(const std::shared_ptr<Job>& job);
 
   const fabric::Executor& backend_;
@@ -181,19 +184,21 @@ class GraphScheduler {
   ThreadPool& pool_;
   unsigned slots_ = 1;
 
-  mutable std::mutex mu_;
-  std::condition_variable admit_cv_;
-  std::condition_variable drain_cv_;
-  std::vector<std::unique_ptr<Tenant>> tenants_;
+  mutable Mutex mu_;
+  CondVar admit_cv_;
+  CondVar drain_cv_;
+  /// Tenant roster and queues. The vector itself only grows (add_tenant);
+  /// both it and the per-tenant state behind the pointers are guarded.
+  std::vector<std::unique_ptr<Tenant>> tenants_ LAC_GUARDED_BY(mu_);
   /// Admission occupancy (capacity gate): released the moment a job's last
   /// unit finishes, *before* its completion hook runs, so a hook may chain
   /// a blocking submit() without deadlocking on its own slot.
-  std::size_t pending_jobs_ = 0;
+  std::size_t pending_jobs_ LAC_GUARDED_BY(mu_) = 0;
   /// Jobs admitted whose hook/promise have not yet resolved: what drain()
   /// and the destructor wait on.
-  std::size_t unresolved_jobs_ = 0;
-  std::size_t peak_pending_ = 0;
-  unsigned inflight_ = 0;
+  std::size_t unresolved_jobs_ LAC_GUARDED_BY(mu_) = 0;
+  std::size_t peak_pending_ LAC_GUARDED_BY(mu_) = 0;
+  unsigned inflight_ LAC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lac::sched

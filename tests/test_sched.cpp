@@ -26,6 +26,7 @@
 #include "sched/graph_builders.hpp"
 #include "sched/graph_scheduler.hpp"
 #include "sched/trace.hpp"
+#include "test_support.hpp"
 
 namespace lac::sched {
 namespace {
@@ -145,7 +146,9 @@ TEST(GraphScheduler, TopologicalSafetyOn300NodeRandomDags) {
   for (unsigned width : {1u, 4u, 8u}) {
     // Random 300-node DAG: edges only forward (i -> j, i < j), so it is
     // acyclic by construction; density tuned for a deep-and-wide mix.
-    const std::size_t n = 300;
+    // LAC_TEST_SCALE shrinks it for the sanitizer lanes (min 60 nodes
+    // keeps the deep-and-wide structure).
+    const std::size_t n = test::scaled<std::size_t>(300, 60);
     KernelGraph g;
     std::vector<std::vector<NodeId>> deps(n);
     for (std::size_t i = 0; i < n; ++i)
@@ -501,6 +504,50 @@ TEST(GraphScheduler, CompletionHookMayChainABlockingSubmitAtCapacity) {
   EXPECT_EQ(scheduler.pending(), 0u);
 }
 
+TEST(GraphScheduler, CancellationRacingCompletionHooksStaysCoherent) {
+  // Many graphs whose root fails: downstream cancellation cascades run on
+  // worker threads while sibling jobs' completion hooks (also on worker
+  // threads) fire and the submitting thread keeps admitting against the
+  // capacity bound. The TSan lane runs this to pin the lock discipline
+  // around Job bookkeeping vs. hook/promise resolution.
+  arch::CoreConfig cfg = arch::lac_4x4_dp();
+  MatrixD bad(8, 8, 0.0);
+  for (index_t i = 0; i < 8; ++i) bad(i, i) = -1.0;  // not positive definite
+  ThreadPool pool(4);
+  SchedulerOptions opts;
+  opts.workers = 4;
+  opts.queue_capacity = 8;  // force admission backpressure while hooks run
+  GraphScheduler scheduler(kModel, opts, &pool);
+  std::atomic<int> hooks{0};
+  std::vector<std::future<GraphResult>> futs;
+  const int jobs = test::scaled(40, 8);
+  for (int j = 0; j < jobs; ++j) {
+    KernelGraph g;
+    NodeId fail = g.add_node(fabric::make_cholesky(cfg, 2.0, bad.view()), "bad");
+    NodeId mid = g.add_node(small_gemm(cfg, "mid"));
+    NodeId down = g.add_node(small_gemm(cfg, "down"));
+    NodeId indep = g.add_node(small_gemm(cfg, "indep"));
+    g.add_edge(fail, mid);
+    g.add_edge(mid, down);
+    (void)indep;
+    futs.push_back(scheduler.submit(
+        0, std::move(g),
+        [&hooks](const GraphResult& r) { if (!r.ok) hooks.fetch_add(1); }));
+  }
+  for (auto& f : futs) {
+    GraphResult res = f.get();
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.failed, 3);  // bad + mid + down; indep survives
+    ASSERT_EQ(res.nodes.size(), 4u);
+    EXPECT_TRUE(res.nodes[3].ok);
+    EXPECT_EQ(res.nodes[2].error.rfind("cancelled:", 0), 0u);
+  }
+  scheduler.drain();
+  // Every hook ran exactly once, after its job's last unit resolved.
+  EXPECT_EQ(hooks.load(), jobs);
+  EXPECT_EQ(scheduler.pending(), 0u);
+}
+
 TEST(GraphScheduler, ThrowingCompletionHookIsSwallowed) {
   arch::CoreConfig cfg = arch::lac_4x4_dp();
   GraphScheduler scheduler(kModel);
@@ -523,8 +570,9 @@ TEST(GraphScheduler, AffinityBatchingKeepsCostCacheResultsExact) {
   opts.queue_capacity = 256;
   GraphScheduler scheduler(cached, opts, &pool);
 
+  const int requests = test::scaled(120, 24);
   std::vector<std::future<fabric::KernelResult>> futs;
-  for (int i = 0; i < 120; ++i)
+  for (int i = 0; i < requests; ++i)
     futs.push_back(scheduler.submit(0, small_gemm(cfg, "g" + std::to_string(i))));
   const fabric::KernelResult expect = kModel.execute(small_gemm(cfg, "x"));
   for (auto& f : futs) {
@@ -536,7 +584,7 @@ TEST(GraphScheduler, AffinityBatchingKeepsCostCacheResultsExact) {
   }
   // One distinct signature -> exactly one miss; the batched repeats hit.
   EXPECT_EQ(cache.misses(), 1u);
-  EXPECT_EQ(cache.hits(), 119u);
+  EXPECT_EQ(cache.hits(), static_cast<std::uint64_t>(requests) - 1u);
 }
 
 TEST(Trace, GenerateIsDeterministicAndPacedReplayCompletes) {

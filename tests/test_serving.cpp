@@ -19,6 +19,7 @@
 #include "fabric/model_executor.hpp"
 #include "fabric/serving.hpp"
 #include "fabric/sim_executor.hpp"
+#include "test_support.hpp"
 
 namespace lac::fabric {
 namespace {
@@ -139,8 +140,11 @@ TEST(ZeroCopyRequest, SharedPayloadIsNotDuplicated) {
 }
 
 TEST(AsyncExecutor, StressMixedKernelsBothBackends) {
-  std::vector<KernelRequest> reqs = serving_workload(25);  // 350 requests
-  ASSERT_GE(reqs.size(), 200u);
+  // 350 requests at full scale; LAC_TEST_SCALE shrinks the repeat count
+  // for the sanitizer lanes (min 4 repeats keeps every kernel contended).
+  const int repeats = test::scaled(25, 4);
+  std::vector<KernelRequest> reqs = serving_workload(repeats);
+  ASSERT_EQ(reqs.size(), 14u * static_cast<std::size_t>(repeats));
   for (const Executor* ex : {static_cast<const Executor*>(&kSim),
                              static_cast<const Executor*>(&kModel)}) {
     // Serial reference results.
@@ -212,7 +216,7 @@ TEST(AsyncExecutor, ExceptionsPropagateThroughFutures) {
 TEST(CostCache, RepeatedShapesHitAndMatchUncached) {
   CostCache cache;
   ModelExecutor cached(&cache);
-  std::vector<KernelRequest> reqs = serving_workload(10);
+  std::vector<KernelRequest> reqs = serving_workload(test::scaled(10, 3));
   const std::size_t unique_shapes = serving_workload(1).size();
 
   std::vector<KernelResult> got = BatchDispatcher(cached, {4}).run(reqs);
@@ -248,7 +252,7 @@ TEST(CostCache, ColdKeyRaceCountsOneMissPerEntry) {
   auto a = std::make_shared<const MatrixD>(random_matrix(16, 16, 200));
   auto b = std::make_shared<const MatrixD>(random_matrix(16, 16, 201));
   auto c = std::make_shared<const MatrixD>(random_matrix(16, 16, 202));
-  for (int round = 0; round < 8; ++round) {
+  for (int round = 0; round < test::scaled(8, 2); ++round) {
     CostCache cache;
     constexpr unsigned kThreads = 8;
     ThreadPool pool(kThreads);

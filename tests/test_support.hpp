@@ -1,0 +1,39 @@
+#pragma once
+// Shared helpers for the test suite.
+//
+// LAC_TEST_SCALE: the stress tests (labelled `stress` in CTest) size their
+// hammering -- request counts, DAG nodes, race-retry rounds -- through
+// scaled(), which multiplies the nominal count by the LAC_TEST_SCALE
+// environment variable (a factor in (0, 1]; unset or invalid = 1). The
+// sanitizer CI lanes export LAC_TEST_SCALE=0.2 so the same tests run the
+// same code paths under TSan's ~10x slowdown without blowing the CI
+// budget; coverage-critical minimums are preserved via the `floor`
+// argument, and the scale never *raises* a count.
+#include <cstdlib>
+#include <string>
+
+namespace lac::test {
+
+inline double test_scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("LAC_TEST_SCALE");
+    if (!env || !*env) return 1.0;
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end == env || v <= 0.0 || v > 1.0) return 1.0;
+    return v;
+  }();
+  return scale;
+}
+
+/// `n` scaled by LAC_TEST_SCALE, never below `floor` (and never above n).
+template <typename T>
+T scaled(T n, T floor = T{1}) {
+  const double s = static_cast<double>(n) * test_scale();
+  T v = static_cast<T>(s);
+  if (v < floor) v = floor;
+  if (v > n) v = n;
+  return v;
+}
+
+}  // namespace lac::test

@@ -1,0 +1,452 @@
+#!/usr/bin/env python3
+"""Convention linter for the lac fabric stack.
+
+Enforces the repo's load-bearing conventions -- the ones whose violation
+compiles fine today and corrupts an invariant three PRs later:
+
+  stray-kernel-switch   Per-kernel dispatch lives in the registry: no
+                        `case KernelKind::...` outside
+                        src/fabric/kernel_registry.cpp (PR 5). Tests are
+                        exempt -- exhaustive switches over per-kernel pins
+                        are the point there.
+  registry-complete     Every KernelKind enumerator is registered: a
+                        `case` in build_traits(), an entry in kAllKinds,
+                        and a sized_request hook in its traits function
+                        (the trace/serving layers build traffic via
+                        sized_request, so a kind without one is invisible
+                        to the workload generators).
+  signature-delimiters  CostCache::signature and every registered
+                        signature_extra hook put an explicit delimiter
+                        literal between adjacent key fields, and each
+                        extra opens with a '|' literal (PR 3: "640|4" vs
+                        "64|04" style key collisions).
+  raw-thread            No raw std::thread construction outside
+                        src/common/: concurrency goes through the shared
+                        ThreadPool / parallel_for so the sanitizer lanes
+                        and the thread-safety annotations see every
+                        thread. Waive a deliberate exception with a
+                        `lint-allow(raw-thread)` comment on the line.
+
+Exit status 0 = clean, 1 = findings (printed one per line as
+file:line: [check] message), 2 = linter could not run.
+
+--self-test seeds one violation of each rule into an in-memory copy of
+the tree and asserts the corresponding check reports it (run as the
+`lint_selftest` CTest target, so a check that silently stops matching
+the codebase fails CI the same way a violation would).
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REGISTRY = "src/fabric/kernel_registry.cpp"
+REQUEST_HPP = "src/fabric/kernel_request.hpp"
+SERVING_CPP = "src/fabric/serving.cpp"
+
+# Directories holding product/tooling code the conventions bind. Tests are
+# exempt from stray-kernel-switch (see above) but not from raw-thread,
+# except via an explicit waiver.
+PRODUCT_DIRS = ("src", "bench", "examples")
+
+
+def strip_comments(text):
+    """Drop // and /* */ comments, preserving line structure and strings."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n:
+                out.append(text[i])
+                if text[i] == "\\":
+                    if i + 1 < n:
+                        out.append(text[i + 1])
+                    i += 2
+                    continue
+                if text[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            continue
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if text.startswith("/*", i):
+            j = text.find("*/", i)
+            out.append("\n" * text.count("\n", i, n if j < 0 else j + 2))
+            i = n if j < 0 else j + 2
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def matched_body(text, open_brace):
+    """Return (body, end) for the brace block opening at text[open_brace]."""
+    depth = 0
+    i = open_brace
+    clean = text  # caller passes comment-stripped text
+    while i < len(clean):
+        c = clean[i]
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < len(clean):
+                if clean[i] == "\\":
+                    i += 2
+                    continue
+                if clean[i] == quote:
+                    break
+                i += 1
+        elif c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return clean[open_brace + 1 : i], i
+        i += 1
+    return clean[open_brace + 1 :], len(clean)
+
+
+def split_stream_fields(chain):
+    """Split an `a << b << c` chain at top-level << into operand strings."""
+    fields = []
+    depth = 0
+    start = 0
+    i = 0
+    while i < len(chain):
+        c = chain[i]
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < len(chain):
+                if chain[i] == "\\":
+                    i += 2
+                    continue
+                if chain[i] == quote:
+                    break
+                i += 1
+        elif c in "([":
+            depth += 1
+        elif c in ")]":
+            depth -= 1
+        elif depth == 0 and chain.startswith("<<", i):
+            fields.append(chain[start:i].strip())
+            i += 2
+            start = i
+            continue
+        i += 1
+    fields.append(chain[start:].strip())
+    return fields
+
+
+def is_literal(field):
+    return field.startswith('"') or field.startswith("'")
+
+
+class Tree:
+    """File set the checks run against (real repo or a seeded copy)."""
+
+    def __init__(self, files):
+        self.files = files  # {relpath: text}
+
+    @classmethod
+    def load(cls, repo):
+        files = {}
+        for d in PRODUCT_DIRS:
+            root = repo / d
+            if not root.is_dir():
+                continue
+            for p in sorted(root.rglob("*")):
+                if p.suffix in (".cpp", ".hpp", ".h"):
+                    rel = p.relative_to(repo).as_posix()
+                    files[rel] = p.read_text(encoding="utf-8", errors="replace")
+        return cls(files)
+
+
+def check_stray_kernel_switch(tree):
+    findings = []
+    pat = re.compile(r"case\s+[\w:]*KernelKind::")
+    for rel, text in tree.files.items():
+        if rel == REGISTRY:
+            continue
+        clean = strip_comments(text)
+        for m in pat.finditer(clean):
+            findings.append(
+                (rel, line_of(clean, m.start()),
+                 "switch on KernelKind outside the kernel registry -- "
+                 "register per-kernel behaviour in kernel_registry.cpp")
+            )
+    return findings
+
+
+def kernel_kinds(tree):
+    """Enumerators of `enum class KernelKind` from kernel_request.hpp."""
+    text = tree.files.get(REQUEST_HPP, "")
+    clean = strip_comments(text)
+    m = re.search(r"enum\s+class\s+KernelKind\s*\{", clean)
+    if not m:
+        return []
+    body, _ = matched_body(clean, m.end() - 1)
+    return re.findall(r"\b([A-Z]\w*)\b\s*(?:=[^,}]*)?(?:,|$)", body)
+
+
+def check_registry_complete(tree):
+    findings = []
+    kinds = kernel_kinds(tree)
+    if not kinds:
+        return [(REQUEST_HPP, 1, "could not parse enum class KernelKind")]
+    reg = strip_comments(tree.files.get(REGISTRY, ""))
+    if not reg:
+        return [(REGISTRY, 1, "kernel_registry.cpp missing")]
+
+    # build_traits(): one `case KernelKind::X: return x_traits();` per kind.
+    dispatch = dict(
+        re.findall(r"case\s+KernelKind::(\w+)\s*:\s*return\s+(\w+)\s*\(\)", reg)
+    )
+    # kAllKinds: the registry's construction-order table.
+    all_kinds_m = re.search(r"kAllKinds\[\]\s*=\s*\{", reg)
+    all_kinds = (
+        set(re.findall(r"KernelKind::(\w+)", matched_body(reg, all_kinds_m.end() - 1)[0]))
+        if all_kinds_m
+        else set()
+    )
+    # Traits factory bodies, for the per-kind sized_request requirement.
+    bodies = {}
+    for fm in re.finditer(r"KernelTraits\s+(\w+)\s*\(\s*\)\s*\{", reg):
+        bodies[fm.group(1)] = matched_body(reg, fm.end() - 1)[0]
+
+    for kind in kinds:
+        if kind not in dispatch:
+            findings.append(
+                (REGISTRY, 1,
+                 f"KernelKind::{kind} has no `case` in build_traits() -- "
+                 "unregistered kinds fail every backend in-band")
+            )
+            continue
+        if kind not in all_kinds:
+            findings.append(
+                (REGISTRY, 1,
+                 f"KernelKind::{kind} missing from kAllKinds[] -- it would "
+                 "never be constructed into the registry")
+            )
+        fn = dispatch[kind]
+        body = bodies.get(fn, "")
+        if "sized_request" not in body:
+            findings.append(
+                (REGISTRY, 1,
+                 f"{fn}() registers KernelKind::{kind} without a "
+                 "sized_request hook -- the trace/serving generators "
+                 "cannot build traffic for it")
+            )
+    return findings
+
+
+def signature_chains(body):
+    """All `os << ...` field sequences in a function/lambda body, in order."""
+    fields = []
+    for stmt in re.finditer(r"\bos\s*<<(.*?);", body, re.S):
+        chain = "os <<" + stmt.group(1)
+        fields.extend(split_stream_fields(chain)[1:])  # drop the `os` operand
+    return fields
+
+
+def check_fields(rel, line, fields, require_leading_pipe, findings):
+    if require_leading_pipe:
+        if not fields or not (is_literal(fields[0]) and
+                              fields[0].lstrip('"').startswith("|")):
+            findings.append(
+                (rel, line,
+                 "signature_extra must open with a '|...' literal so "
+                 "kind-specific fields cannot run into the shared prefix")
+            )
+    for a, b in zip(fields, fields[1:]):
+        if not is_literal(a) and not is_literal(b):
+            findings.append(
+                (rel, line,
+                 f"adjacent signature fields `{a}` and `{b}` have no "
+                 "delimiter literal between them -- distinct requests "
+                 "could concatenate onto one cache key")
+            )
+
+
+def check_signature_delimiters(tree):
+    findings = []
+    serving = strip_comments(tree.files.get(SERVING_CPP, ""))
+    m = re.search(r"CostCache::signature\s*\([^)]*\)\s*\{", serving)
+    if not m:
+        findings.append((SERVING_CPP, 1, "could not find CostCache::signature"))
+    else:
+        body, _ = matched_body(serving, m.end() - 1)
+        check_fields(SERVING_CPP, line_of(serving, m.start()),
+                     signature_chains(body), False, findings)
+
+    reg = strip_comments(tree.files.get(REGISTRY, ""))
+    for em in re.finditer(r"signature_extra\s*=\s*\[[^\]]*\]\s*\([^)]*\)\s*\{", reg):
+        body, _ = matched_body(reg, em.end() - 1)
+        check_fields(REGISTRY, line_of(reg, em.start()),
+                     signature_chains(body), True, findings)
+    return findings
+
+
+def check_raw_thread(tree):
+    findings = []
+    # std::thread as a type use (construction/member); `std::thread::x`
+    # statics like hardware_concurrency are fine anywhere.
+    pat = re.compile(r"std::thread\b(?!::)")
+    for rel, text in tree.files.items():
+        if rel.startswith("src/common/"):
+            continue
+        clean = strip_comments(text)
+        lines = clean.splitlines()
+        raw_lines = text.splitlines()
+        for i, line in enumerate(lines):
+            if pat.search(line):
+                raw = raw_lines[i] if i < len(raw_lines) else ""
+                if "lint-allow(raw-thread)" in raw:
+                    continue
+                findings.append(
+                    (rel, i + 1,
+                     "raw std::thread outside src/common/ -- use the shared "
+                     "ThreadPool / parallel_for (or waive with "
+                     "lint-allow(raw-thread))")
+                )
+    return findings
+
+
+CHECKS = {
+    "stray-kernel-switch": check_stray_kernel_switch,
+    "registry-complete": check_registry_complete,
+    "signature-delimiters": check_signature_delimiters,
+    "raw-thread": check_raw_thread,
+}
+
+
+def run_checks(tree, names):
+    findings = []
+    for name in names:
+        for rel, line, msg in CHECKS[name](tree):
+            findings.append(f"{rel}:{line}: [{name}] {msg}")
+    return findings
+
+
+def self_test(tree):
+    """Seed one violation per check into a copy; every seed must be caught."""
+    failures = []
+
+    def seeded(mutate):
+        copy = Tree(dict(tree.files))
+        mutate(copy.files)
+        return copy
+
+    # stray-kernel-switch: a switch on KernelKind in a product file.
+    def seed_switch(files):
+        files["src/fabric/batch.cpp"] = files.get("src/fabric/batch.cpp", "") + (
+            "\nint lint_seed(lac::fabric::KernelKind k) {\n"
+            "  switch (k) { case lac::fabric::KernelKind::Gemm: return 1; "
+            "default: return 0; }\n}\n"
+        )
+
+    # registry-complete: drop the Fft dispatch case.
+    def seed_registry(files):
+        files[REGISTRY] = re.sub(
+            r"case\s+KernelKind::Fft\s*:\s*return\s+fft_traits\s*\(\s*\)\s*;",
+            "", files[REGISTRY], count=1)
+
+    # registry-complete: a traits factory without sized_request.
+    def seed_sized_request(files):
+        files[REGISTRY] = re.sub(r"t\.sized_request", "t.lint_seed",
+                                 files[REGISTRY], count=1)
+
+    # signature-delimiters: two adjacent fields with no delimiter.
+    def seed_delimiter(files):
+        files[REGISTRY] = files[REGISTRY] + (
+            "\nnamespace { void lint_seed(lac::fabric::KernelTraits& t) {\n"
+            "  t.signature_extra = [](const lac::fabric::KernelRequest& req,\n"
+            "                         std::ostream& os) {\n"
+            "    os << \"|seed:\" << req.fft_n << req.fft_radix;\n"
+            "  };\n} }\n"
+        )
+
+    # signature-delimiters: an extra that does not open with '|'.
+    def seed_leading_pipe(files):
+        files[REGISTRY] = files[REGISTRY] + (
+            "\nnamespace { void lint_seed2(lac::fabric::KernelTraits& t) {\n"
+            "  t.signature_extra = [](const lac::fabric::KernelRequest& req,\n"
+            "                         std::ostream& os) {\n"
+            "    os << req.fft_n << ',' << req.fft_radix;\n"
+            "  };\n} }\n"
+        )
+
+    # raw-thread: a spawned std::thread outside src/common/.
+    def seed_thread(files):
+        files["src/sched/trace.cpp"] = files.get("src/sched/trace.cpp", "") + (
+            "\nvoid lint_seed() { std::thread t([] {}); t.join(); }\n"
+        )
+
+    seeds = [
+        ("stray-kernel-switch", seed_switch),
+        ("registry-complete", seed_registry),
+        ("registry-complete", seed_sized_request),
+        ("signature-delimiters", seed_delimiter),
+        ("signature-delimiters", seed_leading_pipe),
+        ("raw-thread", seed_thread),
+    ]
+    for name, mutate in seeds:
+        hits = run_checks(seeded(mutate), [name])
+        if not hits:
+            failures.append(f"self-test: [{name}] seed `{mutate.__name__}` "
+                            "was NOT caught")
+        else:
+            print(f"self-test: [{name}] {mutate.__name__} caught: {hits[0]}")
+
+    # And the pristine tree must be clean, or the seeds prove nothing.
+    pristine = run_checks(tree, list(CHECKS))
+    for f in pristine:
+        failures.append(f"self-test: pristine tree not clean: {f}")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--repo", default=".", help="repository root")
+    ap.add_argument("--check", action="append", choices=sorted(CHECKS),
+                    help="run only this check (repeatable; default: all)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify every check catches a seeded violation")
+    args = ap.parse_args()
+
+    repo = Path(args.repo).resolve()
+    if not (repo / REQUEST_HPP).is_file():
+        print(f"lint: {repo} does not look like the lac repo "
+              f"(missing {REQUEST_HPP})", file=sys.stderr)
+        return 2
+    tree = Tree.load(repo)
+
+    if args.self_test:
+        failures = self_test(tree)
+        for f in failures:
+            print(f, file=sys.stderr)
+        print(f"lint self-test: {'FAIL' if failures else 'OK'}")
+        return 1 if failures else 0
+
+    findings = run_checks(tree, args.check or list(CHECKS))
+    for f in findings:
+        print(f)
+    print(f"lint: {len(findings)} finding(s) across "
+          f"{len(tree.files)} files" + (" -- FAIL" if findings else " -- OK"))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Sanitizer runtime options for local runs and CI lanes. Source before
+# running tests/benches from a -DLAC_SANITIZE build:
+#
+#   . tools/sanitizers/env.sh
+#   LAC_TEST_SCALE=0.2 ctest --test-dir build-tsan -L tier1
+#
+# halt_on_error turns every report into a nonzero exit (CI fails instead
+# of scrolling past); the suppression files stay empty by policy (see the
+# comments inside them).
+#
+# This file is sourced, so $0 names the shell, not this script. Resolve
+# the suppression directory from bash/zsh source introspection when
+# available, else by probing from the current directory upward (covers
+# `cd build-tsan && . ../tools/sanitizers/env.sh` style use).
+if [ -n "${BASH_SOURCE:-}" ]; then
+  _san_dir="$(cd "$(dirname "${BASH_SOURCE}")" && pwd)"
+elif [ -n "${ZSH_VERSION:-}" ]; then
+  # shellcheck disable=SC2296
+  _san_dir="$(cd "$(dirname "${(%):-%x}")" && pwd)"
+else
+  _san_dir=""
+  for _san_probe in ./tools/sanitizers ../tools/sanitizers ../../tools/sanitizers; do
+    if [ -f "${_san_probe}/tsan.supp" ]; then
+      _san_dir="$(cd "${_san_probe}" && pwd)"
+      break
+    fi
+  done
+  unset _san_probe
+fi
+
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:abort_on_error=0"
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+if [ -n "${_san_dir}" ] && [ -f "${_san_dir}/tsan.supp" ]; then
+  LSAN_OPTIONS="suppressions=${_san_dir}/asan.supp"
+  TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=${_san_dir}/tsan.supp"
+else
+  echo "tools/sanitizers/env.sh: suppression dir not found; using defaults" >&2
+  LSAN_OPTIONS=""
+  TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+fi
+unset _san_dir
+export ASAN_OPTIONS LSAN_OPTIONS UBSAN_OPTIONS TSAN_OPTIONS
