@@ -36,8 +36,8 @@ int main() {
                                         c.view(), model::Overlap::Partial);
       auto full = kernels::gemm_core(base, bytes / 8.0, a.view(), b.view(),
                                      c.view(), model::Overlap::Full);
-      t.add_row({fmt(bytes, 0), fmt(partial.cycles, 0), fmt(full.cycles, 0),
-                 fmt(partial.cycles / full.cycles, 2) + "x"});
+      t.add_row({fmt(bytes, 0), fmt(partial.cycles.value(), 0), fmt(full.cycles.value(), 0),
+                 fmt(partial.cycles.value() / full.cycles.value(), 2) + "x"});
     }
     t.print();
   }
@@ -58,9 +58,9 @@ int main() {
       auto stacked = kernels::trsm_inner(cfg, kernels::TrsmVariant::Stacked, l.view(), bp.view());
       auto swp = kernels::trsm_inner(cfg, kernels::TrsmVariant::SoftwarePipelined,
                                      l.view(), bg.view(), 4);
-      t.add_row({fmt_int(p), fmt(basic.cycles, 0), fmt(stacked.cycles, 0),
-                 fmt(stacked.cycles / p, 1), fmt(swp.cycles, 0),
-                 fmt(swp.cycles / (4 * p), 1)});
+      t.add_row({fmt_int(p), fmt(basic.cycles.value(), 0), fmt(stacked.cycles.value(), 0),
+                 fmt(stacked.cycles.value() / p, 1), fmt(swp.cycles.value(), 0),
+                 fmt(swp.cycles.value() / (4 * p), 1)});
     }
     t.print();
   }
@@ -76,7 +76,7 @@ int main() {
     both.pe.extensions.extended_exponent = true;
     auto lu0 = kernels::lu_panel(none, a.view());
     auto lu1 = kernels::lu_panel(cmp, a.view());
-    t.add_row({"LU panel 256x4", fmt(lu0.kernel.cycles, 0), fmt(lu1.kernel.cycles, 0),
+    t.add_row({"LU panel 256x4", fmt(lu0.kernel.cycles.value(), 0), fmt(lu1.kernel.cycles.value(), 0),
                "(n/a)"});
     Rng rng(8);
     std::vector<double> x(256);
@@ -84,7 +84,7 @@ int main() {
     auto v0 = kernels::vnorm(none, x);
     auto v1 = kernels::vnorm(cmp, x);
     auto v2 = kernels::vnorm(both, x);
-    t.add_row({"vnorm k=256", fmt(v0.cycles, 0), fmt(v1.cycles, 0), fmt(v2.cycles, 0)});
+    t.add_row({"vnorm k=256", fmt(v0.cycles.value(), 0), fmt(v1.cycles.value(), 0), fmt(v2.cycles.value(), 0)});
     t.print();
   }
 
@@ -99,9 +99,9 @@ int main() {
       arch::CoreConfig cfg = base;
       cfg.sfu = opt;
       auto r = kernels::cholesky_inner(cfg, spd.view());
-      if (opt == arch::SfuOption::IsolatedUnit) iso_cycles = r.cycles;
-      t.add_row({arch::to_string(opt), fmt(r.cycles, 0),
-                 fmt(r.cycles / iso_cycles, 2) + "x"});
+      if (opt == arch::SfuOption::IsolatedUnit) iso_cycles = r.cycles.value();
+      t.add_row({arch::to_string(opt), fmt(r.cycles.value(), 0),
+                 fmt(r.cycles.value() / iso_cycles, 2) + "x"});
     }
     t.print();
   }

@@ -25,9 +25,9 @@ int main() {
       chip.onchip_bw_words_per_cycle = y;
       chip.offchip_bw_words_per_cycle = 8.0;
       auto r = kernels::chip_gemm(chip, 8, 16, a.view(), b.view(), c.view());
-      if (s == 1) base_cycles = r.cycles;
-      t.add_row({fmt_int(s), fmt(y, 0), fmt(r.cycles, 0),
-                 fmt(base_cycles / r.cycles, 2) + "x", fmt_pct(r.utilization)});
+      if (s == 1) base_cycles = r.cycles.value();
+      t.add_row({fmt_int(s), fmt(y, 0), fmt(r.cycles.value(), 0),
+                 fmt(base_cycles / r.cycles.value(), 2) + "x", fmt_pct(r.utilization)});
     }
     t.add_separator();
   }

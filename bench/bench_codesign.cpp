@@ -73,15 +73,15 @@ std::string json_record(const DesignPoint& p, const fabric::KernelResult& res) {
      << res.tag.substr(slash + 1) << ", \"backend\": \"" << res.backend
      << "\", \"nr\": " << p.nr << ", \"bw\": " << p.bw << ", \"node\": \""
      << arch::to_string(p.node) << "\", \"sfu\": \"" << arch::to_string(p.sfu)
-     << "\", \"cycles\": " << res.cycles
+     << "\", \"cycles\": " << res.cycles.value()
      << ", \"utilization\": " << res.utilization
-     << ", \"gflops\": " << res.metrics.gflops
-     << ", \"watts\": " << res.avg_power_w
-     << ", \"area_mm2\": " << res.area_mm2
+     << ", \"gflops\": " << res.metrics.gflops()
+     << ", \"watts\": " << res.avg_power_w.value()
+     << ", \"area_mm2\": " << res.area_mm2.value()
      << ", \"gflops_per_w\": " << res.metrics.gflops_per_w()
      << ", \"gflops_per_mm2\": " << res.metrics.gflops_per_mm2()
-     << ", \"energy_delay_mw_per_gflops2\": " << res.metrics.energy_delay()
-     << ", \"energy_nj\": " << res.energy_nj << "}";
+     << ", \"energy_delay_mw_per_gflops2\": " << res.metrics.energy_delay_mw_per_gflops2()
+     << ", \"energy_nj\": " << res.energy_nj.value() << "}";
   return os.str();
 }
 
@@ -145,7 +145,7 @@ int main() {
             if (node == arch::TechNode::nm45) {
               track_best(best_gfw, res.metrics.gflops_per_w(), false, rec);
               track_best(best_gfmm2, res.metrics.gflops_per_mm2(), false, rec);
-              track_best(best_ed, res.metrics.energy_delay(), true, rec);
+              track_best(best_ed, res.metrics.energy_delay_mw_per_gflops2(), true, rec);
             }
             records.push_back(rec);
             ++model_points;
@@ -176,7 +176,7 @@ int main() {
     json << records[i] << (i + 1 < records.size() ? ",\n" : "\n");
   json << "  ],\n  \"best_45nm\": {\n    \"gflops_per_w\":\n" << best_gfw.record
        << ",\n    \"gflops_per_mm2\":\n" << best_gfmm2.record
-       << ",\n    \"energy_delay\":\n" << best_ed.record
+       << ",\n    \"energy_delay_mw_per_gflops2\":\n" << best_ed.record
        << "\n  },\n  \"cost_cache\": {\"hits\": " << cache.hits()
        << ", \"misses\": " << cache.misses()
        << ", \"hit_rate\": " << cache.hit_rate() << "}\n}\n";

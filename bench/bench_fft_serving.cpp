@@ -166,7 +166,7 @@ ModeStats run_mixed(const fabric::Executor& ex, ThreadPool& pool,
   const double wall = ms_between(t0, Clock::now());
   for (sched::TenantId id : {fft_tenant, gemm_tenant}) {
     const sched::TenantStats ts = scheduler.tenant_stats(id);
-    tenants_out.push_back({ts.name, ts.units_completed, ts.cycles, ts.energy_nj});
+    tenants_out.push_back({ts.name, ts.units_completed, ts.cycles.value(), ts.energy_nj.value()});
   }
   ModeStats s = finalize(wall, std::move(lat), failures);
   s.requests = total;
@@ -186,7 +186,7 @@ bool deterministic_across_widths(const fabric::Executor& ex,
         fabric::AsyncExecutor(ex, &pool).submit_all(reqs);
     for (std::size_t i = 0; i < expect.size(); ++i) {
       fabric::KernelResult got = futs[i].get();
-      if (!got.ok || got.cycles != expect[i].cycles ||
+      if (!got.ok || got.cycles.value() != expect[i].cycles.value() ||
           got.spectrum != expect[i].spectrum)
         return false;
     }

@@ -23,17 +23,17 @@ int main() {
     arch::CoreConfig core = arch::lac_4x4_dp(f);
     const power::PePower p = power::pe_power(core, power::gemm_activity(4));
     power::Metrics m;
-    m.gflops = power::pe_peak_gflops(core.pe);
-    m.watts = p.total_mw / 1000.0;
-    m.area_mm2 = power::pe_area_mm2(core);
+    m.flops_per_s = units::FlopsPerSecond(power::pe_peak_gflops(core.pe) * 1e9);
+    m.watts = units::Watts(p.total_mw / 1000.0);
+    m.area_mm2 = units::SquareMillimeters(power::pe_area_mm2(core));
     t.add_row({fmt(f, 2), fmt(m.mm2_per_gflop(), 4), fmt(m.mw_per_gflop(), 2),
-               fmt(m.energy_delay(), 2), fmt(m.gflops_per_w(), 1),
+               fmt(m.energy_delay_mw_per_gflops2(), 2), fmt(m.gflops_per_w(), 1),
                fmt(m.gflops_per_mm2(), 2)});
     csv.write_row({fmt(f, 2), fmt(m.mm2_per_gflop(), 5), fmt(m.mw_per_gflop(), 3),
-                   fmt(m.energy_delay(), 4), fmt(m.gflops_per_w(), 2),
+                   fmt(m.energy_delay_mw_per_gflops2(), 4), fmt(m.gflops_per_w(), 2),
                    fmt(m.gflops_per_mm2(), 3)});
     // Sweet-spot figure of merit: E-D improvement saturates near 1 GHz.
-    const double merit = m.energy_delay() * (1.0 + 0.25 / f);
+    const double merit = m.energy_delay_mw_per_gflops2() * (1.0 + 0.25 / f);
     if (merit < best_ed) {
       best_ed = merit;
       best_ed_freq = f;

@@ -58,14 +58,14 @@ void report(const char* title, bool lu_mode) {
         if (lu_mode) {
           MatrixD a = random_matrix(k, 4, 7 + static_cast<std::uint64_t>(k));
           auto r = kernels::lu_panel(core, a.view());
-          run.cycles = r.kernel.cycles;
+          run.cycles = r.kernel.cycles.value();
           run.flops = static_cast<double>(r.kernel.stats.flops());
         } else {
           Rng rng(11 + static_cast<std::uint64_t>(k));
           std::vector<double> x(static_cast<std::size_t>(k));
           for (auto& v : x) v = rng.uniform(-1.0, 1.0);
           auto r = kernels::vnorm(core, x);
-          run.cycles = r.cycles;
+          run.cycles = r.cycles.value();
           run.flops = static_cast<double>(r.stats.flops());
         }
         row.push_back(fmt(run.cycles, 0) + "cyc");

@@ -44,6 +44,6 @@ int main() {
   const auto batched = fft::fft64_batched(arch::lac_4x4_dp(), 4.0, frames);
   std::printf("simulator: 16x 64-pt pipeline at 4 w/c: %.0f cycles total, "
               "%.1f cycles/frame, utilization %.1f%%\n",
-              batched.cycles, batched.cycles / 16.0, 100.0 * batched.utilization);
+              batched.cycles.value(), batched.cycles.value() / 16.0, 100.0 * batched.utilization);
   return 0;
 }

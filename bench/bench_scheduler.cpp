@@ -46,8 +46,8 @@ std::string json_replay(const char* backend, const char* arrivals,
     os << "\n      {\"name\": \"" << ts.name << "\", \"weight\": " << ts.weight
        << ", \"requests\": " << ts.requests << ", \"failures\": " << ts.failures
        << ", \"p50_ms\": " << ts.p50_ms << ", \"p99_ms\": " << ts.p99_ms
-       << ", \"mean_ms\": " << ts.mean_ms << ", \"cycles\": " << ts.cycles
-       << ", \"energy_nj\": " << ts.energy_nj << "}";
+       << ", \"mean_ms\": " << ts.mean_ms << ", \"cycles\": " << ts.cycles.value()
+       << ", \"energy_nj\": " << ts.energy_nj.value() << "}";
   }
   os << "]}";
   return os.str();
@@ -71,11 +71,11 @@ std::string json_graph(const fabric::Executor& ex, const char* backend,
   os << "    {\"backend\": \"" << backend << "\", \"n\": " << n
      << ", \"block\": " << block << ", \"nodes\": " << nodes
      << ", \"workers\": " << res.workers
-     << ", \"serial_cycles\": " << res.total_cycles
-     << ", \"makespan_cycles\": " << res.makespan_cycles
+     << ", \"serial_cycles\": " << res.total_cycles.value()
+     << ", \"makespan_cycles\": " << res.makespan_cycles.value()
      << ", \"graph_speedup\": " << res.speedup
-     << ", \"energy_nj\": " << res.energy_nj
-     << ", \"avg_power_w\": " << res.avg_power_w
+     << ", \"energy_nj\": " << res.energy_nj.value()
+     << ", \"avg_power_w\": " << res.avg_power_w.value()
      << ", \"wall_ms\": " << res.wall_ms << "}";
   return os.str();
 }

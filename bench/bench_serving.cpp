@@ -168,7 +168,7 @@ bool deterministic_across_widths(const fabric::Executor& ex,
         fabric::AsyncExecutor(ex, &pool).submit_all(reqs);
     for (std::size_t i = 0; i < expect.size(); ++i) {
       fabric::KernelResult got = futs[i].get();
-      if (!(got.ok && got.cycles == expect[i].cycles && got.out == expect[i].out))
+      if (!(got.ok && got.cycles.value() == expect[i].cycles.value() && got.out == expect[i].out))
         return false;
     }
   }

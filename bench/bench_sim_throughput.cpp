@@ -24,7 +24,7 @@ void BM_GemmCore(benchmark::State& state) {
   double cycles = 0.0;
   for (auto _ : state) {
     auto r = kernels::gemm_core(cfg, 1.0, a.view(), b.view(), c.view());
-    cycles = r.cycles;
+    cycles = r.cycles.value();
     benchmark::DoNotOptimize(r.out.data());
   }
   state.counters["sim_cycles"] = cycles;

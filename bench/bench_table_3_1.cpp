@@ -47,18 +47,18 @@ int main() {
     const double fmac_mw = power::fmac_dynamic_mw(row.prec, row.ghz);
     const double pe_mw = fmac_mw + mem_mw;  // dynamic, as published
     power::Metrics m;
-    m.gflops = power::pe_peak_gflops(core.pe);
-    m.watts = pe_mw / 1000.0;
-    m.area_mm2 = power::pe_area_mm2(core);
+    m.flops_per_s = units::FlopsPerSecond(power::pe_peak_gflops(core.pe) * 1e9);
+    m.watts = units::Watts(pe_mw / 1000.0);
+    m.area_mm2 = units::SquareMillimeters(power::pe_area_mm2(core));
     auto cell = [](double paper, double model, int dec) {
       return fmt(paper, dec) + " | " + fmt(model, dec);
     };
     t.add_row({row.prec == Precision::Double ? "DP" : "SP", fmt(row.ghz, 2),
-               cell(row.area, m.area_mm2, 3), cell(row.mem_mw, mem_mw, 2),
+               cell(row.area, m.area_mm2.value(), 3), cell(row.mem_mw, mem_mw, 2),
                cell(row.fmac_mw, fmac_mw, 1), cell(row.pe_mw, pe_mw, 1),
                cell(row.w_mm2, m.w_per_mm2(), 3), cell(row.gf_mm2, m.gflops_per_mm2(), 2),
                cell(row.gf_w, m.gflops_per_w(), 1),
-               cell(row.gf2_w, m.inverse_energy_delay(), 1)});
+               cell(row.gf2_w, m.inverse_energy_delay_gflops2_per_w(), 1)});
     (void)p;
   }
   t.print();

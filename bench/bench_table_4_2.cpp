@@ -12,7 +12,7 @@ int main() {
   auto emit = [&t](const compare::ArchRow& r) {
     t.add_row({r.name, fmt(r.gflops, 0), fmt(r.w_per_mm2, 2),
                fmt(r.gflops_per_mm2, 2), fmt(r.gflops_per_w, 2),
-               fmt(r.metrics().inverse_energy_delay(), 0), fmt_pct(r.utilization),
+               fmt(r.metrics().inverse_energy_delay_gflops2_per_w(), 0), fmt_pct(r.utilization),
                r.from_model ? "model" : "published"});
   };
   for (const auto& r : compare::table42_published())

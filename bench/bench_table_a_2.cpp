@@ -73,7 +73,7 @@ int main() {
         core.pe.extensions.comparator = e.cmp;
         MatrixD a = random_matrix(k, 4, 31 + static_cast<std::uint64_t>(k));
         auto r = kernels::lu_panel(core, a.view());
-        row.push_back(fmt(r.kernel.cycles, 0) + " | " +
+        row.push_back(fmt(r.kernel.cycles.value(), 0) + " | " +
                       fmt(dynamic_energy_nj(core, r.kernel.stats), 1));
       }
       t.add_row(row);
@@ -93,7 +93,7 @@ int main() {
         std::vector<double> x(static_cast<std::size_t>(k));
         for (auto& v : x) v = rng.uniform(-1.0, 1.0);
         auto r = kernels::vnorm(core, x);
-        row.push_back(fmt(r.cycles, 0) + " | " + fmt(dynamic_energy_nj(core, r.stats), 1));
+        row.push_back(fmt(r.cycles.value(), 0) + " | " + fmt(dynamic_energy_nj(core, r.stats), 1));
       }
       t.add_row(row);
     }

@@ -97,7 +97,7 @@ std::vector<fabric::KernelRequest> sweep_grid(const arch::CoreConfig& cfg) {
 std::string json_record(const fabric::KernelResult& res, index_t n) {
   std::ostringstream os;
   os << "{\"kernel\": \"" << res.tag.substr(0, res.tag.find('/')) << "\""
-     << ", \"n\": " << n << ", \"cycles\": " << res.cycles
+     << ", \"n\": " << n << ", \"cycles\": " << res.cycles.value()
      << ", \"utilization\": " << res.utilization << ", \"backend\": \""
      << res.backend << "\"}";
   return os.str();

@@ -38,7 +38,7 @@ int main() {
   std::printf("  kernel calls: %d (chol + trsm + syrk per diagonal step)\n",
               rep.kernel_calls);
   std::printf("  accumulated accelerator cycles: %.0f (utilization %.1f%%)\n",
-              rep.total_cycles, 100.0 * rep.utilization);
+              rep.total_cycles.value(), 100.0 * rep.utilization);
   std::printf("  SFU ops (rsqrt/recip): %lld, bus transfers: %lld\n",
               static_cast<long long>(rep.stats.sfu_ops),
               static_cast<long long>(rep.stats.row_bus_xfers + rep.stats.col_bus_xfers));
@@ -58,9 +58,9 @@ int main() {
       blas::lap_cholesky_graph(sim, core, bw_words, block, ag.view(), 4);
   std::printf("\nGraph mode (tiled POTRF/TRSM/SYRK/GEMM DAG, %d kernels):\n",
               grep.kernel_calls);
-  std::printf("  serial node-by-node cycles: %.0f\n", grep.total_cycles);
+  std::printf("  serial node-by-node cycles: %.0f\n", grep.total_cycles.value());
   std::printf("  %u-core makespan: %.0f cycles -> graph speedup %.2fx\n",
-              grep.graph_workers, grep.makespan_cycles, grep.graph_speedup);
+              grep.graph_workers, grep.makespan_cycles.value(), grep.graph_speedup);
   std::printf("  factor matches serial path: rel error %.2e\n",
               rel_error(ag.view(), a.view()));
   return 0;

@@ -38,7 +38,7 @@ int main() {
   for (std::size_t i = 0; i < 64; ++i) err = std::max(err, std::abs(r.out[i] - ref[i]));
   std::printf("64-pt FFT on the core: %.0f cycles, utilization %.1f%%, "
               "max err vs reference %.2e\n",
-              r.cycles, 100.0 * r.utilization, err);
+              r.cycles.value(), 100.0 * r.utilization, err);
   std::printf("dominant bins: |X[5]| = %.1f, |X[12]| = %.1f (tones at 5 and 12)\n",
               std::abs(r.out[5]), std::abs(r.out[12]));
   std::printf("bus traffic: %lld row + %lld column transfers (hidden behind "
@@ -51,7 +51,7 @@ int main() {
   fft::FftResult batch = fft::fft64_batched(core, 4.0, frames);
   std::printf("8-frame pipeline at 4 words/cycle: %.1f cycles/frame "
               "(single frame: %.0f)\n",
-              batch.cycles / 8.0, r.cycles);
+              batch.cycles.value() / 8.0, r.cycles.value());
 
   // The hybrid design trade-off.
   std::puts("\nPE design trade-off (normalized to the original LAC on GEMM):");
@@ -75,8 +75,8 @@ int main() {
                                      static_cast<const fabric::Executor*>(&model)}) {
     fabric::KernelResult res = ex->execute(req);
     std::printf("  %-6s %7.0f cycles, util %4.1f%%, %7.1f nJ, %5.2f GFLOPS/W\n",
-                res.backend.c_str(), res.cycles, 100.0 * res.utilization,
-                res.energy_nj, res.metrics.gflops_per_w());
+                res.backend.c_str(), res.cycles.value(), 100.0 * res.utilization,
+                res.energy_nj.value(), res.metrics.gflops_per_w());
   }
   std::printf("registered fabric kernels:");
   for (fabric::KernelKind kind : fabric::registered_kernel_kinds())

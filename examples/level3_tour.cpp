@@ -26,7 +26,7 @@ int main() {
     auto r = kernels::gemm_core(core, bw, a.view(), b.view(), c.view());
     MatrixD e = to_matrix<double>(ConstViewD(c.view()));
     blas::gemm(blas::Trans::No, blas::Trans::No, 1, a.view(), b.view(), 1, e.view());
-    t.add_row({"GEMM", "C48x48 += A*B", fmt(r.cycles, 0), fmt_pct(r.utilization),
+    t.add_row({"GEMM", "C48x48 += A*B", fmt(r.cycles.value(), 0), fmt_pct(r.utilization),
                fmt_sig(rel_error(r.out.view(), e.view()), 2)});
   }
   {  // SYRK
@@ -38,7 +38,7 @@ int main() {
     double err = 0;
     for (index_t j = 0; j < 48; ++j)
       for (index_t i = j; i < 48; ++i) err = std::max(err, std::abs(r.out(i, j) - e(i, j)));
-    t.add_row({"SYRK", "C48 (lower) += A*A^T", fmt(r.cycles, 0),
+    t.add_row({"SYRK", "C48 (lower) += A*A^T", fmt(r.cycles.value(), 0),
                fmt_pct(r.utilization), fmt_sig(err, 2)});
   }
   {  // SYR2K
@@ -50,7 +50,7 @@ int main() {
     double err = 0;
     for (index_t j = 0; j < 32; ++j)
       for (index_t i = j; i < 32; ++i) err = std::max(err, std::abs(r.out(i, j) - e(i, j)));
-    t.add_row({"SYR2K", "C32 += A B^T + B A^T", fmt(r.cycles, 0),
+    t.add_row({"SYR2K", "C32 += A B^T + B A^T", fmt(r.cycles.value(), 0),
                fmt_pct(r.utilization), fmt_sig(err, 2)});
   }
   // TRSM variants on the inner kernel.
@@ -66,20 +66,20 @@ int main() {
   {
     MatrixD b = random_matrix(4, 4, 8);
     auto r = kernels::trsm_inner(deep, kernels::TrsmVariant::Basic, l.view(), b.view());
-    t.add_row({"TRSM basic", "L4 X = B4x4", fmt(r.cycles, 0), fmt_pct(r.utilization),
+    t.add_row({"TRSM basic", "L4 X = B4x4", fmt(r.cycles.value(), 0), fmt_pct(r.utilization),
                fmt_sig(solve_err(l.view(), r.out, b), 2)});
   }
   {
     MatrixD b = random_matrix(4, 32, 9);
     auto r = kernels::trsm_inner(deep, kernels::TrsmVariant::Stacked, l.view(), b.view());
-    t.add_row({"TRSM stacked", "8 blocks share the pipeline", fmt(r.cycles, 0),
+    t.add_row({"TRSM stacked", "8 blocks share the pipeline", fmt(r.cycles.value(), 0),
                fmt_pct(r.utilization), fmt_sig(solve_err(l.view(), r.out, b), 2)});
   }
   {
     MatrixD b = random_matrix(4, 128, 10);
     auto r = kernels::trsm_inner(deep, kernels::TrsmVariant::SoftwarePipelined,
                                  l.view(), b.view(), /*g=*/4);
-    t.add_row({"TRSM sw-pipelined", "4 groups x 8 blocks", fmt(r.cycles, 0),
+    t.add_row({"TRSM sw-pipelined", "4 groups x 8 blocks", fmt(r.cycles.value(), 0),
                fmt_pct(r.utilization), fmt_sig(solve_err(l.view(), r.out, b), 2)});
   }
   t.print();

@@ -42,7 +42,7 @@ int main() {
     std::printf("---- backend: %s\n", r.backend.c_str());
     std::printf("numerical check: rel error vs reference = %.2e\n",
                 rel_error(r.out.view(), expect.view()));
-    std::printf("cycles:          %.0f\n", r.cycles);
+    std::printf("cycles:          %.0f\n", r.cycles.value());
     std::printf("MAC utilization: %.1f%%\n", 100.0 * r.utilization);
     if (r.stats.mac_ops > 0)
       std::printf("MAC ops:         %lld (%lld flops), DMA words: %lld\n",
@@ -54,7 +54,7 @@ int main() {
     // priced its activity counters, the model backend its closed forms.
     std::printf("sustained:       %.1f GFLOPS at %.2f W (%.0f nJ) -> "
                 "%.1f GFLOPS/W, %.1f GFLOPS/mm^2\n",
-                r.metrics.gflops, r.avg_power_w, r.energy_nj,
+                r.metrics.gflops(), r.avg_power_w.value(), r.energy_nj.value(),
                 r.metrics.gflops_per_w(), r.metrics.gflops_per_mm2());
   }
   return 0;

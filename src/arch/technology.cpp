@@ -27,6 +27,26 @@ double power_scale_to_45(TechNode from) {
 
 double power_scale_from_45(TechNode to) { return 1.0 / power_scale_to_45(to); }
 
+units::Picojoules scale_from_45(units::Picojoules at45, TechNode to) {
+  return at45 * power_scale_from_45(to);
+}
+
+units::Nanojoules scale_from_45(units::Nanojoules at45, TechNode to) {
+  return at45 * power_scale_from_45(to);
+}
+
+units::Milliwatts scale_from_45(units::Milliwatts at45, TechNode to) {
+  return at45 * power_scale_from_45(to);
+}
+
+units::Watts scale_from_45(units::Watts at45, TechNode to) {
+  return at45 * power_scale_from_45(to);
+}
+
+units::SquareMillimeters scale_from_45(units::SquareMillimeters at45, TechNode to) {
+  return at45 * area_scale_from_45(to);
+}
+
 double idle_fraction(TechNode node) {
   switch (node) {
     case TechNode::nm65: return 0.25;

@@ -31,8 +31,10 @@ void absorb(DriverReport& rep, const fabric::KernelResult& k) {
 /// accumulated energy over the accumulated makespan at the core clock.
 void finalize_power(DriverReport& rep, const arch::CoreConfig& cfg) {
   const double f = cfg.pe.clock_ghz;
-  const double t_ns = f > 0.0 ? rep.total_cycles / f : 0.0;
-  rep.avg_power_w = t_ns > 0.0 ? rep.energy_nj / t_ns : 0.0;
+  const units::Seconds t = f > 0.0 ? rep.total_cycles / units::Gigahertz(f)
+                                   : units::Seconds{};
+  rep.avg_power_w = t.value() > 0.0 ? units::to_joules(rep.energy_nj) / t
+                                    : units::Watts{};
 }
 
 }  // namespace
@@ -70,7 +72,9 @@ DriverReport lap_gemm(const fabric::Executor& ex, const arch::CoreConfig& cfg,
     }
   }
   const double useful = static_cast<double>(m) * n * k / (nr * nr);
-  rep.utilization = rep.total_cycles > 0 ? useful / rep.total_cycles : 0.0;
+  rep.utilization = rep.total_cycles.value() > 0
+                        ? useful / rep.total_cycles.value()
+                        : 0.0;
   finalize_power(rep, cfg);
   return rep;
 }
@@ -120,7 +124,9 @@ DriverReport lap_cholesky(const fabric::Executor& ex, const arch::CoreConfig& cf
   for (index_t j = 1; j < n; ++j)
     for (index_t i = 0; i < j; ++i) a(i, j) = 0.0;
   const double useful = static_cast<double>(n) * n * n / 3.0 / 2.0 / (nr * nr);
-  rep.utilization = rep.total_cycles > 0 ? useful / rep.total_cycles : 0.0;
+  rep.utilization = rep.total_cycles.value() > 0
+                        ? useful / rep.total_cycles.value()
+                        : 0.0;
   finalize_power(rep, cfg);
   return rep;
 }
@@ -151,7 +157,9 @@ DriverReport lap_cholesky_graph(const fabric::Executor& ex,
   DriverReport rep;
   for (const fabric::KernelResult& k : gres.nodes) absorb(rep, k);
   const double useful = static_cast<double>(n) * n * n / 3.0 / 2.0 / (nr * nr);
-  rep.utilization = rep.total_cycles > 0 ? useful / rep.total_cycles : 0.0;
+  rep.utilization = rep.total_cycles.value() > 0
+                        ? useful / rep.total_cycles.value()
+                        : 0.0;
   finalize_power(rep, cfg);
   rep.makespan_cycles = gres.makespan_cycles;
   rep.graph_speedup = gres.speedup;
@@ -223,7 +231,9 @@ DriverReport lap_lu(const fabric::Executor& ex, const arch::CoreConfig& cfg,
   const double useful =
       (static_cast<double>(m) * n * n - static_cast<double>(n) * n * n / 3.0) /
       (nr * nr);
-  rep.utilization = rep.total_cycles > 0 ? useful / rep.total_cycles : 0.0;
+  rep.utilization = rep.total_cycles.value() > 0
+                        ? useful / rep.total_cycles.value()
+                        : 0.0;
   finalize_power(rep, cfg);
   return rep;
 }
@@ -295,7 +305,9 @@ DriverReport lap_qr(const fabric::Executor& ex, const arch::CoreConfig& cfg,
                         (static_cast<double>(m) * n * n -
                          static_cast<double>(n) * n * n / 3.0) /
                         (2.0 * nr * nr);
-  rep.utilization = rep.total_cycles > 0 ? useful / rep.total_cycles : 0.0;
+  rep.utilization = rep.total_cycles.value() > 0
+                        ? useful / rep.total_cycles.value()
+                        : 0.0;
   finalize_power(rep, cfg);
   return rep;
 }
@@ -333,7 +345,9 @@ DriverReport lap_trmm(const fabric::Executor& ex, const arch::CoreConfig& cfg,
   copy_into<double>(MatrixView<const double>(result.view()), b);
   const double useful = static_cast<double>(m) * (m + 1) / 2.0 * n /
                         (cfg.nr * cfg.nr);
-  rep.utilization = rep.total_cycles > 0 ? useful / rep.total_cycles : 0.0;
+  rep.utilization = rep.total_cycles.value() > 0
+                        ? useful / rep.total_cycles.value()
+                        : 0.0;
   finalize_power(rep, cfg);
   return rep;
 }
@@ -371,7 +385,9 @@ DriverReport lap_symm(const fabric::Executor& ex, const arch::CoreConfig& cfg,
                       c.block(i0, 0, block, n));
   }
   const double useful = static_cast<double>(m) * m * n / (cfg.nr * cfg.nr);
-  rep.utilization = rep.total_cycles > 0 ? useful / rep.total_cycles : 0.0;
+  rep.utilization = rep.total_cycles.value() > 0
+                        ? useful / rep.total_cycles.value()
+                        : 0.0;
   finalize_power(rep, cfg);
   return rep;
 }

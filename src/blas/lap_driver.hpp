@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "arch/configs.hpp"
+#include "common/units.hpp"
 #include "common/matrix.hpp"
 #include "common/thread_pool.hpp"
 #include "fabric/executor.hpp"
@@ -18,17 +19,17 @@
 namespace lac::blas {
 
 struct DriverReport {
-  double total_cycles = 0.0;     ///< accumulated accelerator cycles
+  units::Cycles total_cycles;    ///< accumulated accelerator cycles
   double utilization = 0.0;      ///< useful MACs / (cycles * nr^2)
-  double energy_nj = 0.0;        ///< accumulated kernel energy
-  double avg_power_w = 0.0;      ///< energy over the accumulated makespan
-  double area_mm2 = 0.0;         ///< silicon evaluated (max over kernels)
+  units::Nanojoules energy_nj;   ///< accumulated kernel energy
+  units::Watts avg_power_w;      ///< energy over the accumulated makespan
+  units::SquareMillimeters area_mm2;  ///< silicon evaluated (max over kernels)
   sim::Stats stats;              ///< zero when run on the analytical backend
   int kernel_calls = 0;
   /// Graph-mode extras (zero on the serial driver paths): the W-worker
   /// list-schedule length of the kernel DAG and the serial-sum-over-
   /// makespan speedup it implies.
-  double makespan_cycles = 0.0;
+  units::Cycles makespan_cycles;
   double graph_speedup = 0.0;
   unsigned graph_workers = 0;
 };

@@ -1,0 +1,45 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lac::units {
+namespace {
+
+std::string render(double v, const char* sym) {
+  char buf[64];
+  // Enough digits that a formatted quantity round-trips through the tables
+  // it lands in; trailing-zero noise is the formatter's problem, not ours.
+  std::snprintf(buf, sizeof(buf), "%.6g %s", v, sym);
+  return buf;
+}
+
+}  // namespace
+
+const char* symbol(Cycles) { return "cycles"; }
+const char* symbol(Seconds) { return "s"; }
+const char* symbol(Milliseconds) { return "ms"; }
+const char* symbol(Nanoseconds) { return "ns"; }
+const char* symbol(Joules) { return "J"; }
+const char* symbol(Nanojoules) { return "nJ"; }
+const char* symbol(Picojoules) { return "pJ"; }
+const char* symbol(Watts) { return "W"; }
+const char* symbol(Milliwatts) { return "mW"; }
+const char* symbol(SquareMillimeters) { return "mm^2"; }
+const char* symbol(Flops) { return "flop"; }
+const char* symbol(Bytes) { return "B"; }
+const char* symbol(FlopsPerSecond) { return "flop/s"; }
+const char* symbol(FlopsPerJoule) { return "flop/J"; }
+
+std::string to_string(Cycles q) { return render(q.value(), symbol(q)); }
+std::string to_string(Seconds q) { return render(q.value(), symbol(q)); }
+std::string to_string(Milliseconds q) { return render(q.value(), symbol(q)); }
+std::string to_string(Nanojoules q) { return render(q.value(), symbol(q)); }
+std::string to_string(Picojoules q) { return render(q.value(), symbol(q)); }
+std::string to_string(Watts q) { return render(q.value(), symbol(q)); }
+std::string to_string(Milliwatts q) { return render(q.value(), symbol(q)); }
+std::string to_string(SquareMillimeters q) { return render(q.value(), symbol(q)); }
+std::string to_string(Flops q) { return render(q.value(), symbol(q)); }
+std::string to_string(FlopsPerSecond q) { return render(q.value(), symbol(q)); }
+
+}  // namespace lac::units

@@ -3,6 +3,10 @@
 // 3.2 / 4.2 and Figs 4.13-4.16. Values are the dissertation's 45nm-scaled
 // GEMM numbers; LAC/LAP rows are computed live from our power model so the
 // reproduction exposes the same comparison the paper makes.
+//
+// lint-allow-file: raw-unit (rows transcribe published spec-sheet numbers
+// in their display units -- GFLOPS, GFLOPS/W, GFLOPS/mm^2 -- and metrics()
+// is the one conversion into the typed layer)
 #include <string>
 #include <vector>
 
@@ -26,9 +30,10 @@ struct ArchRow {
 
   power::Metrics metrics() const {
     power::Metrics m;
-    m.gflops = gflops;
-    m.watts = gflops_per_w > 0 ? gflops / gflops_per_w : 0.0;
-    m.area_mm2 = gflops_per_mm2 > 0 ? gflops / gflops_per_mm2 : 0.0;
+    m.flops_per_s = units::FlopsPerSecond(gflops * 1e9);
+    m.watts = units::Watts(gflops_per_w > 0 ? gflops / gflops_per_w : 0.0);
+    m.area_mm2 = units::SquareMillimeters(
+        gflops_per_mm2 > 0 ? gflops / gflops_per_mm2 : 0.0);
     return m;
   }
 };

@@ -1,4 +1,6 @@
 #pragma once
+// lint-allow-file: raw-unit (Figs 4.13-4.15 mW/GFLOP breakdown fractions
+// transcribed from the dissertation in display units)
 // Performance-normalized power breakdowns (Figs 4.13-4.15): component-wise
 // mW/GFLOP for the comparison architectures and for a throughput-matched
 // LAP. The comparator fractions are calibrated to the dissertation's

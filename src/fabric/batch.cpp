@@ -22,7 +22,7 @@ std::vector<KernelResult> BatchDispatcher::run(
 BatchSummary BatchDispatcher::summarize(const std::vector<KernelResult>& results) {
   BatchSummary s;
   double util_sum = 0.0;
-  double power_sum = 0.0;
+  units::Watts power_sum;
   for (const KernelResult& r : results) {
     ++s.requests;
     if (s.backend.empty()) s.backend = r.backend;
@@ -39,7 +39,7 @@ BatchSummary BatchDispatcher::summarize(const std::vector<KernelResult>& results
   }
   const int ok = s.requests - s.failures;
   s.mean_utilization = ok > 0 ? util_sum / ok : 0.0;
-  s.mean_power_w = ok > 0 ? power_sum / ok : 0.0;
+  s.mean_power_w = ok > 0 ? power_sum / ok : units::Watts{};
   return s;
 }
 

@@ -6,6 +6,7 @@
 // identical for any thread count.
 #include <vector>
 
+#include "common/units.hpp"
 #include "fabric/executor.hpp"
 
 namespace lac::fabric {
@@ -21,11 +22,11 @@ struct BatchSummary {
   std::string backend;
   int requests = 0;
   int failures = 0;
-  double total_cycles = 0.0;        ///< sum of per-request makespans
-  double max_cycles = 0.0;          ///< slowest request (sweep critical path)
+  units::Cycles total_cycles;       ///< sum of per-request makespans
+  units::Cycles max_cycles;         ///< slowest request (sweep critical path)
   double mean_utilization = 0.0;    ///< over successful requests
-  double total_energy_nj = 0.0;     ///< summed per-request energy
-  double mean_power_w = 0.0;        ///< over successful requests
+  units::Nanojoules total_energy_nj;  ///< summed per-request energy
+  units::Watts mean_power_w;        ///< over successful requests
   sim::Stats stats;                 ///< summed activity counters
 };
 

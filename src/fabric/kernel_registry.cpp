@@ -59,9 +59,11 @@ bool all_finite(const MatrixD& m) {
 }
 
 /// Default utilization: useful MACs over nr^2 MAC slots per cycle.
-double core_utilization(const KernelRequest& req, double cycles) {
+double core_utilization(const KernelRequest& req, units::Cycles cycles) {
   const double pes = static_cast<double>(req.core.nr) * req.core.nr;
-  return cycles > 0 ? useful_macs(req) / (cycles * pes) : 0.0;
+  return cycles.value() > 0
+             ? useful_macs(req).value() / (cycles.value() * pes)
+             : 0.0;
 }
 
 /// Core-level traits skeleton: every hook a single-core kernel shares.
@@ -70,12 +72,13 @@ KernelTraits core_base(KernelKind kind, const char* name) {
   t.kind = kind;
   t.name = name;
   t.model_utilization = core_utilization;
-  t.model_energy = [](const KernelRequest& req, double cycles, double util) {
+  t.model_energy = [](const KernelRequest& req, units::Cycles cycles,
+                      double util) {
     return power::core_energy_model(effective_core(req), req.tech.node, cycles,
                                     util);
   };
   t.sim_energy = [](const KernelRequest& req, const sim::Stats& stats,
-                    double cycles) {
+                    units::Cycles cycles) {
     return power::core_energy_from_stats(effective_core(req), req.tech.node,
                                          stats, cycles,
                                          req.chip.onchip_mem_mbytes);
@@ -102,7 +105,8 @@ KernelTraits gemm_traits() {
     return err.str();
   };
   t.useful_macs = [](const KernelRequest& req) {
-    return static_cast<double>(req.a.rows()) * req.a.cols() * req.b.cols();
+    return units::Flops(static_cast<double>(req.a.rows()) * req.a.cols() *
+                        req.b.cols());
   };
   t.model_cycles = [](const KernelRequest& req) {
     model::CoreGemmParams p;
@@ -112,7 +116,7 @@ KernelTraits gemm_traits() {
     p.n = req.b.cols();
     p.bw_words_per_cycle = req.bw_words_per_cycle;
     p.overlap = req.overlap;
-    return model::core_cycles(p);
+    return units::Cycles(model::core_cycles(p));
   };
   t.reference_run = [](const KernelRequest& req, KernelResult& res) {
     res.out = req.c.matrix();
@@ -146,7 +150,8 @@ KernelTraits syrk_traits() {
   };
   t.useful_macs = [](const KernelRequest& req) {
     const double m = static_cast<double>(req.a.rows());
-    return m * (m + 1) / 2.0 * static_cast<double>(req.a.cols());
+    return units::Flops(m * (m + 1) / 2.0 *
+                        static_cast<double>(req.a.cols()));
   };
   t.model_cycles = [](const KernelRequest& req) {
     const int nr = req.core.nr;
@@ -160,7 +165,7 @@ KernelTraits syrk_traits() {
     // previous block's drain-gated C-out, so per block the kc bus sweeps,
     // the 2*nr^2 words of C traffic and a drain overhead all stack.
     const double per_block = kc + 2.0 * nr * nr / x + p + req.core.bus_latency;
-    return mc * kc / x + blocks * per_block;
+    return units::Cycles(mc * kc / x + blocks * per_block);
   };
   t.reference_run = [](const KernelRequest& req, KernelResult& res) {
     res.out = req.c.matrix();
@@ -193,7 +198,7 @@ KernelTraits syr2k_traits() {
   };
   t.useful_macs = [](const KernelRequest& req) {
     const double m = static_cast<double>(req.a.rows());
-    return m * (m + 1) * static_cast<double>(req.a.cols());
+    return units::Flops(m * (m + 1) * static_cast<double>(req.a.cols()));
   };
   t.model_cycles = [](const KernelRequest& req) {
     const int nr = req.core.nr;
@@ -211,7 +216,8 @@ KernelTraits syr2k_traits() {
                              0.5 * std::min(sweeps, traffic) + p +
                              req.core.bus_latency;
     // Two transpose captures (A1^T, B1^T) of kc row-bus slots per diagonal.
-    return 2.0 * mc * kc / x + mb * 2.0 * kc + blocks * per_block;
+    return units::Cycles(2.0 * mc * kc / x + mb * 2.0 * kc +
+                        blocks * per_block);
   };
   t.reference_run = [](const KernelRequest& req, KernelResult& res) {
     res.out = req.c.matrix();
@@ -245,7 +251,7 @@ KernelTraits trsm_traits() {
   };
   t.useful_macs = [](const KernelRequest& req) {
     const double m = static_cast<double>(req.a.rows());
-    return m * m / 2.0 * static_cast<double>(req.b.cols());
+    return units::Flops(m * m / 2.0 * static_cast<double>(req.b.cols()));
   };
   t.model_cycles = [](const KernelRequest& req) {
     const int nr = req.core.nr;
@@ -267,7 +273,7 @@ KernelTraits trsm_traits() {
       const double stream = (2.0 + i) * nr * nr / x;
       total += jbs * (std::max(gemm, stream) + solve);
     }
-    return n * (n + 1) / 2.0 / x + total;
+    return units::Cycles(n * (n + 1) / 2.0 / x + total);
   };
   t.reference_run = [](const KernelRequest& req, KernelResult& res) {
     res.out = req.b.matrix();
@@ -299,7 +305,7 @@ KernelTraits cholesky_traits() {
   };
   t.useful_macs = [](const KernelRequest& req) {
     const double m = static_cast<double>(req.a.rows());
-    return m * m * m / 3.0 / 2.0;
+    return units::Flops(m * m * m / 3.0 / 2.0);
   };
   t.model_cycles = [](const KernelRequest& req) {
     const int nr = req.core.nr;
@@ -322,7 +328,7 @@ KernelTraits cholesky_traits() {
       // broadcast pair plus the accumulation chain hand-off.
       compute += pairs * 2.0 * nr + (below > 0 ? nr * p : 0.0);
     }
-    return n * (n + 1) / x + compute;  // load + store of the triangle
+    return units::Cycles(n * (n + 1) / x + compute);  // load + store of the triangle
   };
   t.reference_run = [](const KernelRequest& req, KernelResult& res) -> std::string {
     res.out = req.a.matrix();
@@ -359,7 +365,7 @@ KernelTraits lu_traits() {
   };
   t.useful_macs = [](const KernelRequest& req) {
     const double k = static_cast<double>(req.a.cols());
-    return static_cast<double>(req.a.rows()) * k * k / 2.0;
+    return units::Flops(static_cast<double>(req.a.rows()) * k * k / 2.0);
   };
   t.model_cycles = [](const KernelRequest& req) {
     const int nr = req.core.nr;
@@ -378,7 +384,7 @@ KernelTraits lu_traits() {
       // columns (one fragment pass, pipelined).
       total += r + req.core.bus_latency + p + (i + 1 < nr ? rows_per_pe + p : 0.0);
     }
-    return total;
+    return units::Cycles(total);
   };
   t.reference_run = [](const KernelRequest& req, KernelResult& res) -> std::string {
     res.out = req.a.matrix();
@@ -413,7 +419,7 @@ KernelTraits qr_traits() {
   };
   t.useful_macs = [](const KernelRequest& req) {
     const double k = static_cast<double>(req.a.cols());
-    return static_cast<double>(req.a.rows()) * k * k;
+    return units::Flops(static_cast<double>(req.a.rows()) * k * k);
   };
   t.model_cycles = [](const KernelRequest& req) {
     const int nr = req.core.nr;
@@ -438,7 +444,7 @@ KernelTraits qr_traits() {
     }
     // Panel kernels stage over an effectively infinite test interface (the
     // sim uses bw = 1e9), so no staging term is added.
-    return compute;
+    return units::Cycles(compute);
   };
   t.reference_run = [](const KernelRequest& req, KernelResult& res) {
     res.out = req.a.matrix();
@@ -470,7 +476,7 @@ KernelTraits vnorm_traits() {
     return "";
   };
   t.useful_macs = [](const KernelRequest& req) {
-    return static_cast<double>(req.x.size());
+    return units::Flops(static_cast<double>(req.x.size()));
   };
   t.model_cycles = [](const KernelRequest& req) {
     const int nr = req.core.nr;
@@ -491,7 +497,7 @@ KernelTraits vnorm_traits() {
     total += req.core.bus_latency + p;                          // S2
     total += nr * (req.core.bus_latency + 1.0) + nr * p / 2.0;  // S3 reduce-all
     total += model::rsqrt_latency(req.core) + p + 2.0;          // sqrt (+ unscale)
-    return total;
+    return units::Cycles(total);
   };
   t.reference_run = [](const KernelRequest& req, KernelResult& res) {
     res.scalar = blas::nrm2(static_cast<index_t>(req.x.size()), req.x.data());
@@ -506,8 +512,9 @@ KernelTraits vnorm_traits() {
     // backend's definition; mac_ops also counts the guard pass and
     // reduction slots, which are overhead, not useful work.
     res.utilization =
-        vn.cycles > 0
-            ? useful_macs(req) / (vn.cycles * req.core.nr * req.core.nr)
+        vn.cycles.value() > 0
+            ? useful_macs(req).value() /
+                  (vn.cycles.value() * req.core.nr * req.core.nr)
             : 0.0;
     return std::string();
   };
@@ -541,7 +548,8 @@ KernelTraits chip_gemm_traits() {
     return "";
   };
   t.useful_macs = [](const KernelRequest& req) {
-    return static_cast<double>(req.a.rows()) * req.a.cols() * req.b.cols();
+    return units::Flops(static_cast<double>(req.a.rows()) * req.a.cols() *
+                        req.b.cols());
   };
   t.model_cycles = [](const KernelRequest& req) {
     const arch::ChipConfig& chip = req.chip;
@@ -571,12 +579,14 @@ KernelTraits chip_gemm_traits() {
     // panel; the first staging is exposed.
     const double offchip_total = panels * (m * kc + kc * n) / z;
     const double first_stage = (m * kc + kc * n) / z;
-    return std::max(first_stage + onchip, offchip_total);
+    return units::Cycles(std::max(first_stage + onchip, offchip_total));
   };
-  t.model_utilization = [](const KernelRequest& req, double cycles) {
+  t.model_utilization = [](const KernelRequest& req, units::Cycles cycles) {
     const double pes = static_cast<double>(req.chip.cores) * req.core.nr *
                        req.core.nr;
-    return cycles > 0 ? useful_macs(req) / (cycles * pes) : 0.0;
+    return cycles.value() > 0
+               ? useful_macs(req).value() / (cycles.value() * pes)
+               : 0.0;
   };
   t.reference_run = [](const KernelRequest& req, KernelResult& res) {
     res.out = req.c.matrix();
@@ -593,12 +603,13 @@ KernelTraits chip_gemm_traits() {
     res.stats = cg.stats;
     return std::string();
   };
-  t.model_energy = [](const KernelRequest& req, double cycles, double util) {
+  t.model_energy = [](const KernelRequest& req, units::Cycles cycles,
+                      double util) {
     return power::chip_energy_model(effective_chip(req), req.tech.node, cycles,
                                     util);
   };
   t.sim_energy = [](const KernelRequest& req, const sim::Stats& stats,
-                    double cycles) {
+                    units::Cycles cycles) {
     return power::chip_energy_from_stats(effective_chip(req), req.tech.node,
                                          stats, cycles);
   };
@@ -667,7 +678,7 @@ double fft_batched_model_cycles(const arch::CoreConfig& core, double bw,
   return std::max(io_total, exposed);
 }
 
-double fft_model_cycles(const KernelRequest& req) {
+units::Cycles fft_model_cycles(const KernelRequest& req) {
   const arch::CoreConfig& core = req.core;
   const double bw = req.bw_words_per_cycle;
   if (req.fft_variant == FftVariant::FourStep) {
@@ -677,9 +688,9 @@ double fft_model_cycles(const KernelRequest& req) {
     const double passes = 2.0 * fft_batched_model_cycles(core, bw, 64.0);
     const double twiddle_io = 4.0 * 4096.0 / bw;
     const double twiddle_compute = 511.0 + 257.0 * core.pe.pipeline_stages;
-    return passes + twiddle_io + twiddle_compute;
+    return units::Cycles(passes + twiddle_io + twiddle_compute);
   }
-  return fft_batched_model_cycles(core, bw, fft_frames(req));
+  return units::Cycles(fft_batched_model_cycles(core, bw, fft_frames(req)));
 }
 
 /// Per-event activity of the request, predicted exactly from the schedule
@@ -728,8 +739,8 @@ KernelTraits fft_traits() {
   // the simulator's utilization convention for the hybrid core.
   t.useful_macs = [](const KernelRequest& req) {
     if (req.fft_variant == FftVariant::FourStep)
-      return 128.0 * 48.0 * 28.0 + 4096.0 * 4.0;
-    return fft_frames(req) * 48.0 * 28.0;
+      return units::Flops(128.0 * 48.0 * 28.0 + 4096.0 * 4.0);
+    return units::Flops(fft_frames(req) * 48.0 * 28.0);
   };
   t.model_cycles = fft_model_cycles;
   t.reference_run = [](const KernelRequest& req, KernelResult& res) {
@@ -768,7 +779,7 @@ KernelTraits fft_traits() {
   // Closed-form energy prices the predicted activity at the same per-event
   // energies the sim backend uses -- the schedule is static, so the counts
   // are exact and only the leakage term depends on the cycle estimate.
-  t.model_energy = [](const KernelRequest& req, double cycles, double) {
+  t.model_energy = [](const KernelRequest& req, units::Cycles cycles, double) {
     return power::core_energy_from_stats(effective_core(req), req.tech.node,
                                          fft_predicted_stats(req), cycles,
                                          req.chip.onchip_mem_mbytes);

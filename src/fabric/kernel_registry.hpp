@@ -39,14 +39,15 @@ struct KernelTraits {
   std::function<std::string(const KernelRequest&)> validate;
 
   /// Useful MAC count (the utilization numerator).
-  std::function<double(const KernelRequest&)> useful_macs;
+  std::function<units::Flops(const KernelRequest&)> useful_macs;
 
   /// Closed-form cycle estimate (the analytical backend's clock).
-  std::function<double(const KernelRequest&)> model_cycles;
+  std::function<units::Cycles(const KernelRequest&)> model_cycles;
 
   /// Closed-form sustained utilization at `cycles` (defaults to
   /// useful_macs / (cycles * nr^2); ChipGemm scales by the core count).
-  std::function<double(const KernelRequest&, double cycles)> model_utilization;
+  std::function<double(const KernelRequest&, units::Cycles cycles)>
+      model_utilization;
 
   /// Host-reference numerics for the analytical backend: fill the result's
   /// output fields (out / pivots / taus / scalar / spectrum) and return an
@@ -59,13 +60,13 @@ struct KernelTraits {
   std::function<std::string(const KernelRequest&, KernelResult&)> sim_run;
 
   /// Closed-form energy at the request's TechContext (model backend).
-  std::function<power::EnergyReport(const KernelRequest&, double cycles,
+  std::function<power::EnergyReport(const KernelRequest&, units::Cycles cycles,
                                     double utilization)>
       model_energy;
 
   /// Activity-priced energy from simulator counters (sim backend).
   std::function<power::EnergyReport(const KernelRequest&, const sim::Stats&,
-                                    double cycles)>
+                                    units::Cycles cycles)>
       sim_energy;
 
   /// Kind-specific CostCache signature fields, written with the explicit-

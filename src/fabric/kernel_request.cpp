@@ -246,16 +246,20 @@ void attach_cost(KernelResult& res, const KernelRequest& req,
   res.avg_power_w = energy.avg_power_w;
   res.area_mm2 = energy.area_mm2;
   const double f = effective_core(req).pe.clock_ghz;
-  const double t_ns = f > 0.0 && res.cycles > 0.0 ? res.cycles / f : 0.0;
-  // 2 flops per useful MAC; flops/ns = GFLOPS.
-  res.metrics.gflops = t_ns > 0.0 ? 2.0 * useful_macs(req) / t_ns : 0.0;
+  // Makespan from the typed clock division (cycles / (cycles/s) = s); the
+  // sustained rate follows as flops over that time, 2 flops per MAC slot.
+  const units::Seconds t = f > 0.0 ? res.cycles / units::Gigahertz(f)
+                                   : units::Seconds{};
+  res.metrics.flops_per_s = t.value() > 0.0
+                                ? 2.0 * useful_macs(req) / t
+                                : units::FlopsPerSecond{};
   res.metrics.watts = energy.avg_power_w;
   res.metrics.area_mm2 = energy.area_mm2;
 }
 
-double useful_macs(const KernelRequest& req) {
+units::Flops useful_macs(const KernelRequest& req) {
   const KernelTraits* traits = try_kernel_traits(req.kind);
-  return traits ? traits->useful_macs(req) : 0.0;
+  return traits ? traits->useful_macs(req) : units::Flops{};
 }
 
 KernelResult make_failed(std::string tag, std::string backend,

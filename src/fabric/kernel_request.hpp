@@ -19,6 +19,7 @@
 
 #include "arch/configs.hpp"
 #include "common/matrix.hpp"
+#include "common/units.hpp"
 #include "model/core_model.hpp"
 #include "power/energy_model.hpp"
 #include "power/metrics.hpp"
@@ -139,14 +140,16 @@ struct KernelResult {
   double scalar = 0.0;                ///< Vnorm
   /// Fft: natural-order spectra, frame f at [f*fft_n, (f+1)*fft_n).
   std::vector<std::complex<double>> spectrum;
-  double cycles = 0.0;
+  units::Cycles cycles;
   double utilization = 0.0;
   /// Energy/power/area at the request's TechContext. The sim backend prices
   /// its activity counters; the model backend uses the closed-form busy +
   /// leakage estimate -- the energy analogue of the cycle calibration.
-  double energy_nj = 0.0;
-  double avg_power_w = 0.0;
-  double area_mm2 = 0.0;
+  /// Dimension-checked quantities (common/units.hpp): `.value()` only at
+  /// JSON/stdout boundaries.
+  units::Nanojoules energy_nj;
+  units::Watts avg_power_w;
+  units::SquareMillimeters area_mm2;
   power::Metrics metrics;             ///< GFLOPS / W / mm^2 summary
   sim::Stats stats;                   ///< zero for the analytical backend
 };
@@ -201,8 +204,9 @@ KernelRequest make_fft(const arch::CoreConfig& core, double bw,
 /// Useful MAC count of the request (the numerator of every utilization
 /// figure in the paper; lower-order terms follow each kernel's convention;
 /// Fft counts FMA slots of the Fig B.1 butterfly schedule). Dispatches
-/// through the kernel registry.
-double useful_macs(const KernelRequest& req);
+/// through the kernel registry. One MAC is one flop slot here; the 2x
+/// multiply-add convention is applied where GFLOPS figures are derived.
+units::Flops useful_macs(const KernelRequest& req);
 
 /// The core/chip the request effectively runs on: the configured one with
 /// the TechContext clock override (if any) applied. All cycle, energy and

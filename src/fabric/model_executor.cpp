@@ -5,7 +5,7 @@
 
 namespace lac::fabric {
 
-double model_cycles(const KernelRequest& req) {
+units::Cycles model_cycles(const KernelRequest& req) {
   return kernel_traits(req.kind).model_cycles(req);
 }
 

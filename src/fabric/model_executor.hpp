@@ -28,14 +28,14 @@ class ModelExecutor final : public Executor {
 };
 
 /// Closed-form cycle estimate for a request (exposed for tests/benches).
-double model_cycles(const KernelRequest& req);
+units::Cycles model_cycles(const KernelRequest& req);
 
 /// Full closed-form cost of a request: cycles, utilization, and the busy +
 /// leakage energy/power/area at the request's TechContext. Depends only on
 /// the request's signature (shapes + configuration), never operand values
 /// -- the contract the CostCache memoization relies on.
 struct ModelCost {
-  double cycles = 0.0;
+  units::Cycles cycles;
   double utilization = 0.0;
   power::EnergyReport energy;
 };

@@ -41,11 +41,11 @@ namespace lac::fabric {
 class CostCache {
  public:
   struct Estimate {
-    double cycles = 0.0;
+    units::Cycles cycles;
     double utilization = 0.0;
-    double energy_nj = 0.0;
-    double avg_power_w = 0.0;
-    double area_mm2 = 0.0;
+    units::Nanojoules energy_nj;
+    units::Watts avg_power_w;
+    units::SquareMillimeters area_mm2;
   };
 
   /// Cached estimate for the request, computing (and remembering) it on a

@@ -10,11 +10,11 @@ namespace {
 /// detecting the failure (both backends agree on this, and BatchSummary
 /// relies on failures contributing zero to every total).
 void void_accounting(KernelResult& res) {
-  res.cycles = 0.0;
+  res.cycles = units::Cycles{};
   res.utilization = 0.0;
-  res.energy_nj = 0.0;
-  res.avg_power_w = 0.0;
-  res.area_mm2 = 0.0;
+  res.energy_nj = units::Nanojoules{};
+  res.avg_power_w = units::Watts{};
+  res.area_mm2 = units::SquareMillimeters{};
   res.metrics = power::Metrics{};
   res.stats = sim::Stats{};
 }

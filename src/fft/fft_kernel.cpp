@@ -122,10 +122,10 @@ FftResult fft64_core(const arch::CoreConfig& cfg, const std::vector<cplx>& x) {
   for (index_t g = 0; g < 64; ++g)
     res.out[static_cast<std::size_t>(perm[static_cast<std::size_t>(g)])] =
         vals[static_cast<std::size_t>(g)].value();
-  res.cycles = std::max(out_done, core.finish_time());
+  res.cycles = units::Cycles(std::max(out_done, core.finish_time()));
   res.stats = core.stats();
   res.utilization =
-      static_cast<double>(res.stats.mac_ops + res.stats.mul_ops) / (res.cycles * 16.0);
+      static_cast<double>(res.stats.mac_ops + res.stats.mul_ops) / (res.cycles.value() * 16.0);
   return res;
 }
 
@@ -165,10 +165,10 @@ FftResult fft64_stream(const arch::CoreConfig& cfg, double bw_words_per_cycle,
   }
   dma_cursor = core.dma(128.0, std::max(dma_cursor, prev_done));
   finish = std::max(finish, dma_cursor);
-  res.cycles = std::max(finish, core.finish_time());
+  res.cycles = units::Cycles(std::max(finish, core.finish_time()));
   res.stats = core.stats();
   res.utilization =
-      static_cast<double>(res.stats.mac_ops + res.stats.mul_ops) / (res.cycles * 16.0);
+      static_cast<double>(res.stats.mac_ops + res.stats.mul_ops) / (res.cycles.value() * 16.0);
   return res;
 }
 

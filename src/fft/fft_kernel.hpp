@@ -14,7 +14,7 @@ namespace lac::fft {
 
 struct FftResult {
   std::vector<cplx> out;     ///< natural-order spectrum
-  double cycles = 0.0;
+  units::Cycles cycles;
   double utilization = 0.0;  ///< FMA slots / (cycles * nr^2)
   sim::Stats stats;
 };

@@ -42,7 +42,7 @@ FftResult fft4096_four_step(const arch::CoreConfig& cfg, double bw_words_per_cyc
         grid[static_cast<std::size_t>(k1 * n2 + j2)] = spec[static_cast<std::size_t>(k1)];
     }
     FftResult timed = fft64_batched(cfg, bw_words_per_cycle, cols);
-    total_cycles += timed.cycles;
+    total_cycles += timed.cycles.value();
     stats += timed.stats;
   }
 
@@ -86,7 +86,7 @@ FftResult fft4096_four_step(const arch::CoreConfig& cfg, double bw_words_per_cyc
         grid[static_cast<std::size_t>(k1 * n2 + k2)] = spec[static_cast<std::size_t>(k2)];
     }
     FftResult timed_run = fft64_batched(cfg, bw_words_per_cycle, rows);
-    total_cycles += timed_run.cycles;
+    total_cycles += timed_run.cycles.value();
     stats += timed_run.stats;
   }
 
@@ -96,7 +96,7 @@ FftResult fft4096_four_step(const arch::CoreConfig& cfg, double bw_words_per_cyc
     for (index_t k2 = 0; k2 < n2; ++k2)
       res.out[static_cast<std::size_t>(k2 * n1 + k1)] =
           grid[static_cast<std::size_t>(k1 * n2 + k2)];
-  res.cycles = total_cycles;
+  res.cycles = units::Cycles(total_cycles);
   res.stats = stats;
   res.utilization = static_cast<double>(stats.mac_ops + stats.mul_ops) /
                     (total_cycles * 16.0);

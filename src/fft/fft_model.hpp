@@ -1,4 +1,6 @@
 #pragma once
+// lint-allow-file: raw-unit (Appendix B.3 analytical balance model; the
+// fabric boundary types cycles/energy in kernel_registry)
 // Analytical FFT models (Appendix B.3): compute/communication balance of
 // the core for cache-contained transforms, and the memory-hierarchy
 // requirements of large 2D (N x N) and four-step 1D (N^2) transforms

@@ -1,4 +1,6 @@
 #pragma once
+// lint-allow-file: raw-unit (Table B.3 design-variant calibration in
+// published display units; typed consumers wrap at the seam)
 // PE design variants for the FFT generalization (Appendix B.3-B.4 and
 // §6.2.2): the original linear-algebra PE, an FFT-optimized PE (two
 // single-ported SRAMs, larger register file), and the hybrid PE that runs

@@ -102,10 +102,10 @@ ChipGemmResult chip_gemm(const arch::ChipConfig& cfg, index_t mc, index_t kc,
     }
   }
 
-  res.cycles = chip.finish_time();
+  res.cycles = units::Cycles(chip.finish_time());
   res.stats = chip.stats();
   res.utilization = static_cast<double>(res.stats.mac_ops) /
-                    (res.cycles * s * nr * nr);
+                    (res.cycles.value() * s * nr * nr);
   res.offchip_words = static_cast<double>(res.stats.dma_words);
   return res;
 }

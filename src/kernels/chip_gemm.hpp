@@ -5,6 +5,7 @@
 // staged from external memory over the off-chip interface.
 #include "arch/configs.hpp"
 #include "common/matrix.hpp"
+#include "common/units.hpp"
 #include "kernels/gemm_kernel.hpp"
 #include "sim/chip.hpp"
 
@@ -12,7 +13,7 @@ namespace lac::kernels {
 
 struct ChipGemmResult {
   MatrixD out;              ///< C + A*B
-  double cycles = 0.0;      ///< chip makespan
+  units::Cycles cycles;     ///< chip makespan
   double utilization = 0.0; ///< MAC slots / (cycles * S * nr^2)
   sim::Stats stats;
   double offchip_words = 0.0;

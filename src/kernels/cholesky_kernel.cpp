@@ -68,10 +68,10 @@ KernelResult cholesky_inner(const arch::CoreConfig& cfg, ConstViewD a) {
       res.out(r, c) = v.v;
       finish = std::max(finish, v.ready);
     }
-  res.cycles = std::max(finish, core.finish_time());
+  res.cycles = units::Cycles(std::max(finish, core.finish_time()));
   res.stats = core.stats();
   const double useful = nr * nr * nr / 3.0;
-  res.utilization = useful / (res.cycles * nr * nr);
+  res.utilization = useful / (res.cycles.value() * nr * nr);
   return res;
 }
 
@@ -164,10 +164,10 @@ KernelResult cholesky_core(const arch::CoreConfig& cfg, double bw_words_per_cycl
       finish = std::max(finish, at2(r, c).ready);
     }
   const sim::time_t_ store_done = core.dma(static_cast<double>(n) * (n + 1) / 2, finish);
-  res.cycles = std::max(store_done, core.finish_time());
+  res.cycles = units::Cycles(std::max(store_done, core.finish_time()));
   res.stats = core.stats();
   const double useful = static_cast<double>(n) * n * n / 3.0 / 2.0;  // MACs
-  res.utilization = useful / (res.cycles * nr * nr);
+  res.utilization = useful / (res.cycles.value() * nr * nr);
   return res;
 }
 

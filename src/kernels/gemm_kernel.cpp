@@ -35,9 +35,9 @@ KernelResult gemm_rank1_inner(const arch::CoreConfig& cfg, ConstViewD a, ConstVi
   res.out = MatrixD(nr, nr);
   const double finish =
       sched.drain_accumulators(0, [&](int r, int c, double v) { res.out(r, c) = v; });
-  res.cycles = std::max(finish, core.finish_time());
+  res.cycles = units::Cycles(std::max(finish, core.finish_time()));
   res.stats = core.stats();
-  res.utilization = static_cast<double>(res.stats.mac_ops) / (res.cycles * nr * nr);
+  res.utilization = static_cast<double>(res.stats.mac_ops) / (res.cycles.value() * nr * nr);
   return res;
 }
 
@@ -139,10 +139,10 @@ KernelResult gemm_on_core(sim::Core& core, ConstViewD a, ConstViewD b, ConstView
         finish, sched.dma_after(static_cast<double>(nr) * nr, pending_out_ready));
   }
 
-  res.cycles = std::max(finish, core.finish_time()) - start;
+  res.cycles = units::Cycles(std::max(finish, core.finish_time()) - start);
   res.stats = core.stats();
   res.utilization =
-      static_cast<double>(res.stats.mac_ops) / (res.cycles * nr * nr);
+      static_cast<double>(res.stats.mac_ops) / (res.cycles.value() * nr * nr);
   return res;
 }
 

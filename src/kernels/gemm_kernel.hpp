@@ -8,6 +8,7 @@
 // behind the current block's compute.
 #include "arch/configs.hpp"
 #include "common/matrix.hpp"
+#include "common/units.hpp"
 #include "model/core_model.hpp"
 #include "sim/core.hpp"
 
@@ -15,7 +16,7 @@ namespace lac::kernels {
 
 struct KernelResult {
   MatrixD out;             ///< computed values (layout depends on kernel)
-  double cycles = 0.0;     ///< makespan of the schedule
+  units::Cycles cycles;   ///< makespan of the schedule
   double utilization = 0.0;///< useful MAC slots / (cycles * nr^2)
   sim::Stats stats;
 };

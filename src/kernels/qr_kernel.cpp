@@ -114,10 +114,10 @@ QrResult qr_panel(const arch::CoreConfig& cfg, ConstViewD a) {
       res.out(i, j) = at2(i, j).v;
       finish = std::max(finish, at2(i, j).ready);
     }
-  res.cycles = std::max(finish, core.finish_time());
+  res.cycles = units::Cycles(std::max(finish, core.finish_time()));
   res.stats = core.stats();
   const double useful = 2.0 * static_cast<double>(k) * nr * nr / 2.0;
-  res.utilization = useful / (res.cycles * nr * nr);
+  res.utilization = useful / (res.cycles.value() * nr * nr);
   return out;
 }
 

@@ -75,10 +75,10 @@ KernelResult syr2k_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
     }
   }
 
-  res.cycles = std::max(finish, core.finish_time());
+  res.cycles = units::Cycles(std::max(finish, core.finish_time()));
   res.stats = core.stats();
   const double useful = 2.0 * static_cast<double>(mc) * (mc + 1) / 2.0 * kc;
-  res.utilization = useful / (res.cycles * nr * nr);
+  res.utilization = useful / (res.cycles.value() * nr * nr);
   return res;
 }
 

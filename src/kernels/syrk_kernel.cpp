@@ -61,9 +61,9 @@ KernelResult syrk_inner(const arch::CoreConfig& cfg, ConstViewD a, ConstViewD c_
   res.out = MatrixD(nr, nr);
   const double finish =
       sched.drain_accumulators(0, [&](int r, int c, double v) { res.out(r, c) = v; });
-  res.cycles = std::max(finish, core.finish_time());
+  res.cycles = units::Cycles(std::max(finish, core.finish_time()));
   res.stats = core.stats();
-  res.utilization = static_cast<double>(res.stats.mac_ops) / (res.cycles * nr * nr);
+  res.utilization = static_cast<double>(res.stats.mac_ops) / (res.cycles.value() * nr * nr);
   return res;
 }
 
@@ -117,11 +117,11 @@ KernelResult syrk_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
     finish = std::max(finish, sched.cursor());
   }
 
-  res.cycles = std::max(finish, core.finish_time());
+  res.cycles = units::Cycles(std::max(finish, core.finish_time()));
   res.stats = core.stats();
   // Useful work: only the lower triangle of C counts.
   const double useful = static_cast<double>(mc) * (mc + 1) / 2.0 * kc;
-  res.utilization = useful / (res.cycles * nr * nr);
+  res.utilization = useful / (res.cycles.value() * nr * nr);
   return res;
 }
 

@@ -104,11 +104,11 @@ KernelResult trsm_inner(const arch::CoreConfig& cfg, TrsmVariant variant,
       res.out(i, j) = st.at(i, j, nr).v;
       finish = std::max(finish, st.at(i, j, nr).ready);
     }
-  res.cycles = std::max(finish, core.finish_time());
+  res.cycles = units::Cycles(std::max(finish, core.finish_time()));
   res.stats = core.stats();
   // Useful flops: nr^2 * cols MAC-equivalents for the full solve.
   res.utilization = static_cast<double>(nr) * nr * cols / 2.0 /
-                    (res.cycles * nr * nr);
+                    (res.cycles.value() * nr * nr);
   return res;
 }
 
@@ -177,10 +177,10 @@ KernelResult trsm_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
     }
   }
 
-  res.cycles = std::max(finish, core.finish_time());
+  res.cycles = units::Cycles(std::max(finish, core.finish_time()));
   res.stats = core.stats();
   const double useful = static_cast<double>(n) * n / 2.0 * m / nr / nr;
-  res.utilization = useful / res.cycles;
+  res.utilization = useful / res.cycles.value();
   return res;
 }
 

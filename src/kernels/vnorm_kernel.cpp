@@ -95,7 +95,7 @@ VnormResult vnorm(const arch::CoreConfig& cfg, const std::vector<double>& x,
 
   VnormResult res;
   res.norm = root.v;
-  res.cycles = std::max(root.ready, core.finish_time());
+  res.cycles = units::Cycles(std::max(root.ready, core.finish_time()));
   res.stats = core.stats();
   return res;
 }

@@ -14,7 +14,7 @@ namespace lac::kernels {
 
 struct VnormResult {
   double norm = 0.0;
-  double cycles = 0.0;
+  units::Cycles cycles;
   sim::Stats stats;
 };
 

@@ -1,4 +1,6 @@
 #pragma once
+// lint-allow-file: raw-unit (analytical cycle-count model; the fabric
+// boundary types these as units::Cycles in kernel_registry)
 // Chip-level (multi-core LAP) analytical model: §4.1-§4.2 and Table 4.1.
 //
 // S cores share an on-chip memory holding the resident n x n block of C

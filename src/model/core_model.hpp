@@ -1,4 +1,6 @@
 #pragma once
+// lint-allow-file: raw-unit (analytical cycle-count model; the fabric
+// boundary types these as units::Cycles in kernel_registry)
 // Analytical core-level GEMM performance model (§3.4).
 //
 // One LAC holds an mc x kc block of A resident in the PE local stores,

@@ -1,4 +1,6 @@
 #pragma once
+// lint-allow-file: raw-unit (wire-class mW/mm calibration constants from
+// CACTI; typed consumers wrap at the seam)
 // Row/column broadcast-bus model (§3.2.1, §3.6).
 //
 // The LAC uses data-only broadcast buses with no arbitration or address

@@ -1,4 +1,6 @@
 #pragma once
+// lint-allow-file: raw-unit (Figs 4.9-4.12 chip aggregation in the paper's
+// display units; power::Metrics is the typed boundary)
 // Chip-level (LAP) power & area aggregation: S cores + on-chip memory
 // (banked SRAM or NUCA), the model behind Figs 4.9-4.12.
 #include "arch/configs.hpp"

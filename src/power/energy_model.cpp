@@ -10,6 +10,16 @@
 #include "power/sram_model.hpp"
 
 namespace lac::power {
+
+using units::Cycles;
+using units::Gigahertz;
+using units::Milliwatts;
+using units::Nanojoules;
+using units::Picojoules;
+using units::Seconds;
+using units::SquareMillimeters;
+using units::Watts;
+
 namespace {
 
 // A magnitude compare only exercises the exponent/mantissa compare slice of
@@ -19,16 +29,23 @@ constexpr double kCmpMacFraction = 0.15;
 // core_power_mw convention).
 constexpr double kSfuIdleShare = 0.1;
 
-/// Convert mW sustained over `cycles` at `clock_ghz` into nJ
-/// (mW x ns = pJ).
-double mw_to_nj(double mw, double cycles, double clock_ghz) {
-  if (clock_ghz <= 0.0) return 0.0;
-  return mw * (cycles / clock_ghz) / 1000.0;
+/// Time a kernel occupies the silicon: cycles over the clock. The typed
+/// division is the whole conversion -- cycles / (cycles/s) = s.
+Seconds makespan(Cycles cycles, double clock_ghz) {
+  if (clock_ghz <= 0.0) return Seconds{};
+  return cycles / Gigahertz(clock_ghz);
 }
 
-void finalize(EnergyReport& rep, double cycles, double clock_ghz) {
-  const double t_ns = clock_ghz > 0.0 ? cycles / clock_ghz : 0.0;
-  rep.avg_power_w = t_ns > 0.0 ? rep.energy_nj() / t_ns : 0.0;
+/// Energy of a power level sustained over `cycles` at `clock_ghz`:
+/// W x s = J, scale-cast to the report's nanojoule field.
+Nanojoules sustained_nj(Milliwatts mw, Cycles cycles, double clock_ghz) {
+  return units::to_nanojoules(units::to_watts(mw) * makespan(cycles, clock_ghz));
+}
+
+void finalize(EnergyReport& rep, Cycles cycles, double clock_ghz) {
+  const Seconds t = makespan(cycles, clock_ghz);
+  rep.avg_power_w = t.value() > 0.0 ? units::to_joules(rep.energy_nj()) / t
+                                    : Watts{};
 }
 
 /// Dynamic power (mW, at 45nm) of the shared on-chip memory streaming
@@ -48,9 +65,9 @@ double onchip_leakage_mw(const arch::ChipConfig& chip) {
                          chip.onchip_bw_words_per_cycle);
 }
 
-/// Switching energy (pJ) of a stats record priced at per-event energies.
-double stats_dynamic_pj(const sim::Stats& s, const EventEnergies& e) {
-  double pj = 0.0;
+/// Switching energy of a stats record priced at per-event energies.
+Picojoules stats_dynamic_pj(const sim::Stats& s, const EventEnergies& e) {
+  Picojoules pj;
   pj += static_cast<double>(s.mac_ops) * e.mac_pj;
   pj += static_cast<double>(s.mul_ops) * e.mul_pj;
   pj += static_cast<double>(s.cmp_ops) * e.cmp_pj;
@@ -68,59 +85,65 @@ double stats_dynamic_pj(const sim::Stats& s, const EventEnergies& e) {
 EventEnergies core_event_energies(const arch::CoreConfig& core,
                                   arch::TechNode node, double onchip_mbytes) {
   const arch::PeConfig& pe = core.pe;
-  const double scale = arch::power_scale_from_45(node);
+  // The component models are 45nm pJ calibrations; the typed scaler applies
+  // the energy law (~L) once, here at the seam.
+  const auto at = [node](double pj45) {
+    return arch::scale_from_45(Picojoules(pj45), node);
+  };
   EventEnergies e;
-  e.mac_pj = fmac_energy_pj(pe.precision, pe.clock_ghz) * scale;
+  e.mac_pj = at(fmac_energy_pj(pe.precision, pe.clock_ghz));
   // A plain multiply/add issues through the same FMAC datapath.
   e.mul_pj = e.mac_pj;
   e.cmp_pj = kCmpMacFraction * e.mac_pj;
-  e.mem_a_pj = pe_sram_access_pj(pe.mem_a_kbytes, pe.mem_a_ports) * scale;
-  e.mem_b_pj = pe_sram_access_pj(pe.mem_b_kbytes, pe.mem_b_ports) * scale;
-  e.rf_pj = rf_access_pj() * scale;
-  e.bus_pj = bus_transfer_pj(core.nr, pe.precision) * scale;
-  e.sfu_pj = sfu_op_energy_pj(core) * scale;
+  e.mem_a_pj = at(pe_sram_access_pj(pe.mem_a_kbytes, pe.mem_a_ports));
+  e.mem_b_pj = at(pe_sram_access_pj(pe.mem_b_kbytes, pe.mem_b_ports));
+  e.rf_pj = at(rf_access_pj());
+  e.bus_pj = at(bus_transfer_pj(core.nr, pe.precision));
+  e.sfu_pj = at(sfu_op_energy_pj(core));
   // One word over the core <-> on-chip memory interface: one access on the
   // shared SRAM side (per-word energy = dynamic mW at 1 word/cycle / GHz).
-  e.dma_word_pj =
-      onchip_sram_dynamic_mw(std::max(onchip_mbytes, 0.125), 1.0, 1.0) * scale;
+  e.dma_word_pj = at(onchip_sram_dynamic_mw(std::max(onchip_mbytes, 0.125), 1.0, 1.0));
   return e;
 }
 
-double core_busy_mw(const arch::CoreConfig& core, arch::TechNode node) {
-  const double dyn45 =
-      pe_power(core, gemm_activity(core.nr)).dynamic_mw() * core.pes();
-  return dyn45 * arch::power_scale_from_45(node);
+Milliwatts core_busy_mw(const arch::CoreConfig& core, arch::TechNode node) {
+  const Milliwatts dyn45(
+      pe_power(core, gemm_activity(core.nr)).dynamic_mw() * core.pes());
+  return arch::scale_from_45(dyn45, node);
 }
 
-double core_leakage_mw(const arch::CoreConfig& core, arch::TechNode node) {
-  double leak45 = arch::idle_fraction(node) *
-                  pe_power(core, gemm_activity(core.nr)).dynamic_mw() *
-                  core.pes();
+Milliwatts core_leakage_mw(const arch::CoreConfig& core, arch::TechNode node) {
+  Milliwatts leak45(arch::idle_fraction(node) *
+                    pe_power(core, gemm_activity(core.nr)).dynamic_mw() *
+                    core.pes());
   if (core.sfu != arch::SfuOption::Software)
-    leak45 += arch::idle_fraction(node) * kSfuIdleShare * sfu_active_mw(core);
-  return leak45 * arch::power_scale_from_45(node);
+    leak45 += Milliwatts(arch::idle_fraction(node) * kSfuIdleShare *
+                         sfu_active_mw(core));
+  return arch::scale_from_45(leak45, node);
 }
 
-double core_area_mm2_at(const arch::CoreConfig& core, arch::TechNode node) {
-  return core_area_mm2(core) * arch::area_scale_from_45(node);
+SquareMillimeters core_area_mm2_at(const arch::CoreConfig& core,
+                                   arch::TechNode node) {
+  return arch::scale_from_45(SquareMillimeters(core_area_mm2(core)), node);
 }
 
-double chip_area_mm2_at(const arch::ChipConfig& chip, arch::TechNode node) {
+SquareMillimeters chip_area_mm2_at(const arch::ChipConfig& chip,
+                                   arch::TechNode node) {
   const double mem45 =
       chip.mem_kind == arch::OnChipMemKind::BankedSram
           ? onchip_sram_area_mm2(chip.onchip_mem_mbytes)
           : nuca_area_mm2(chip.onchip_mem_mbytes,
                           chip.onchip_bw_words_per_cycle);
-  return (core_area_mm2(chip.core) * chip.cores + mem45) *
-         arch::area_scale_from_45(node);
+  return arch::scale_from_45(
+      SquareMillimeters(core_area_mm2(chip.core) * chip.cores + mem45), node);
 }
 
 EnergyReport core_energy_model(const arch::CoreConfig& core, arch::TechNode node,
-                               double cycles, double utilization) {
+                               Cycles cycles, double utilization) {
   const double f = core.pe.clock_ghz;
   EnergyReport rep;
-  rep.dynamic_nj = mw_to_nj(core_busy_mw(core, node) * utilization, cycles, f);
-  rep.static_nj = mw_to_nj(core_leakage_mw(core, node), cycles, f);
+  rep.dynamic_nj = sustained_nj(core_busy_mw(core, node) * utilization, cycles, f);
+  rep.static_nj = sustained_nj(core_leakage_mw(core, node), cycles, f);
   rep.area_mm2 = core_area_mm2_at(core, node);
   finalize(rep, cycles, f);
   return rep;
@@ -128,33 +151,35 @@ EnergyReport core_energy_model(const arch::CoreConfig& core, arch::TechNode node
 
 EnergyReport core_energy_from_stats(const arch::CoreConfig& core,
                                     arch::TechNode node, const sim::Stats& s,
-                                    double cycles, double onchip_mbytes) {
+                                    Cycles cycles, double onchip_mbytes) {
   const EventEnergies e = core_event_energies(core, node, onchip_mbytes);
   const double f = core.pe.clock_ghz;
   EnergyReport rep;
-  rep.dynamic_nj = stats_dynamic_pj(s, e) / 1000.0;
-  rep.static_nj = mw_to_nj(core_leakage_mw(core, node), cycles, f);
+  rep.dynamic_nj = units::to_nanojoules(stats_dynamic_pj(s, e));
+  rep.static_nj = sustained_nj(core_leakage_mw(core, node), cycles, f);
   rep.area_mm2 = core_area_mm2_at(core, node);
   finalize(rep, cycles, f);
   return rep;
 }
 
 EnergyReport chip_energy_model(const arch::ChipConfig& chip, arch::TechNode node,
-                               double cycles, double utilization) {
+                               Cycles cycles, double utilization) {
   const double f = chip.core.pe.clock_ghz;
-  const double scale = arch::power_scale_from_45(node);
   EnergyReport rep;
-  const double cores_mw = core_busy_mw(chip.core, node) * chip.cores * utilization;
+  const Milliwatts cores_mw =
+      core_busy_mw(chip.core, node) * chip.cores * utilization;
   // The shared memory streams at its interface bandwidth for the busy
   // fraction of the run (the Ch. 4 model keeps the interface saturated
   // while cores compute).
-  const double mem_mw =
-      onchip_dynamic_mw(chip, chip.onchip_bw_words_per_cycle, f) * utilization *
-      scale;
-  rep.dynamic_nj = mw_to_nj(cores_mw + mem_mw, cycles, f);
-  const double leak_mw = core_leakage_mw(chip.core, node) * chip.cores +
-                         onchip_leakage_mw(chip) * scale;
-  rep.static_nj = mw_to_nj(leak_mw, cycles, f);
+  const Milliwatts mem_mw = arch::scale_from_45(
+      Milliwatts(onchip_dynamic_mw(chip, chip.onchip_bw_words_per_cycle, f) *
+                 utilization),
+      node);
+  rep.dynamic_nj = sustained_nj(cores_mw + mem_mw, cycles, f);
+  const Milliwatts leak_mw =
+      core_leakage_mw(chip.core, node) * chip.cores +
+      arch::scale_from_45(Milliwatts(onchip_leakage_mw(chip)), node);
+  rep.static_nj = sustained_nj(leak_mw, cycles, f);
   rep.area_mm2 = chip_area_mm2_at(chip, node);
   finalize(rep, cycles, f);
   return rep;
@@ -162,21 +187,22 @@ EnergyReport chip_energy_model(const arch::ChipConfig& chip, arch::TechNode node
 
 EnergyReport chip_energy_from_stats(const arch::ChipConfig& chip,
                                     arch::TechNode node, const sim::Stats& s,
-                                    double cycles) {
+                                    Cycles cycles) {
   const double f = chip.core.pe.clock_ghz;
-  const double scale = arch::power_scale_from_45(node);
   // Per-event energies for the aggregated core counters, with the shared
   // memory's per-word energy priced by its actual organisation (a NUCA
   // word costs several times a banked-SRAM word) -- the same branch the
   // closed-form chip model takes.
   EventEnergies e =
       core_event_energies(chip.core, node, chip.onchip_mem_mbytes);
-  e.dma_word_pj = onchip_dynamic_mw(chip, 1.0, 1.0) * scale;
+  e.dma_word_pj =
+      arch::scale_from_45(Picojoules(onchip_dynamic_mw(chip, 1.0, 1.0)), node);
   EnergyReport rep;
-  rep.dynamic_nj = stats_dynamic_pj(s, e) / 1000.0;
-  rep.static_nj = mw_to_nj(core_leakage_mw(chip.core, node) * chip.cores +
-                               onchip_leakage_mw(chip) * scale,
-                           cycles, f);
+  rep.dynamic_nj = units::to_nanojoules(stats_dynamic_pj(s, e));
+  rep.static_nj = sustained_nj(
+      core_leakage_mw(chip.core, node) * chip.cores +
+          arch::scale_from_45(Milliwatts(onchip_leakage_mw(chip)), node),
+      cycles, f);
   rep.area_mm2 = chip_area_mm2_at(chip, node);
   finalize(rep, cycles, f);
   return rep;

@@ -23,21 +23,25 @@
 // statically-scheduled kernel (e.g. the FFT) may price exact predicted
 // counts through core_energy_from_stats as its closed form.
 #include "arch/configs.hpp"
+#include "common/units.hpp"
 #include "sim/engine.hpp"
 
 namespace lac::power {
 
-/// Per-event energies (pJ) of one core's components at a technology node.
+/// Per-event energies of one core's components at a technology node,
+/// typed in picojoules (the unit every component model is calibrated in;
+/// node scaling goes through arch::scale_from_45, so a 32nm event energy
+/// cannot silently mix with a 45nm one).
 struct EventEnergies {
-  double mac_pj = 0.0;       ///< one FMAC issue
-  double mul_pj = 0.0;       ///< plain multiply/add on the MAC datapath
-  double cmp_pj = 0.0;       ///< magnitude compare (pivot search)
-  double mem_a_pj = 0.0;     ///< MEM-A port access
-  double mem_b_pj = 0.0;     ///< MEM-B port access
-  double rf_pj = 0.0;        ///< register-file access
-  double bus_pj = 0.0;       ///< one row/column broadcast (spans nr PEs)
-  double sfu_pj = 0.0;       ///< one special-function op
-  double dma_word_pj = 0.0;  ///< one word over the core's memory interface
+  units::Picojoules mac_pj;       ///< one FMAC issue
+  units::Picojoules mul_pj;       ///< plain multiply/add on the MAC datapath
+  units::Picojoules cmp_pj;       ///< magnitude compare (pivot search)
+  units::Picojoules mem_a_pj;     ///< MEM-A port access
+  units::Picojoules mem_b_pj;     ///< MEM-B port access
+  units::Picojoules rf_pj;        ///< register-file access
+  units::Picojoules bus_pj;       ///< one row/column broadcast (spans nr PEs)
+  units::Picojoules sfu_pj;       ///< one special-function op
+  units::Picojoules dma_word_pj;  ///< one word over the core's memory interface
 };
 
 /// Per-event energies for a core at `node`; `onchip_mbytes` sizes the
@@ -47,43 +51,45 @@ EventEnergies core_event_energies(const arch::CoreConfig& core,
 
 /// One kernel execution's energy bill.
 struct EnergyReport {
-  double dynamic_nj = 0.0;   ///< switching energy
-  double static_nj = 0.0;    ///< leakage over the kernel's makespan
-  double avg_power_w = 0.0;  ///< total energy / makespan
-  double area_mm2 = 0.0;     ///< silicon evaluated (core or chip) at node
-  double energy_nj() const { return dynamic_nj + static_nj; }
+  units::Nanojoules dynamic_nj;        ///< switching energy
+  units::Nanojoules static_nj;         ///< leakage over the kernel's makespan
+  units::Watts avg_power_w;            ///< total energy / makespan
+  units::SquareMillimeters area_mm2;   ///< silicon evaluated (core or chip) at node
+  units::Nanojoules energy_nj() const { return dynamic_nj + static_nj; }
 };
 
 /// Full-activity (GEMM steady-state) dynamic power of one core in mW at
 /// `node`, and the matching always-on leakage power.
-double core_busy_mw(const arch::CoreConfig& core, arch::TechNode node);
-double core_leakage_mw(const arch::CoreConfig& core, arch::TechNode node);
+units::Milliwatts core_busy_mw(const arch::CoreConfig& core, arch::TechNode node);
+units::Milliwatts core_leakage_mw(const arch::CoreConfig& core, arch::TechNode node);
 
 /// Core area at `node` (the 45nm model scaled classically).
-double core_area_mm2_at(const arch::CoreConfig& core, arch::TechNode node);
+units::SquareMillimeters core_area_mm2_at(const arch::CoreConfig& core,
+                                          arch::TechNode node);
 /// Chip area at `node`: S cores + on-chip memory.
-double chip_area_mm2_at(const arch::ChipConfig& chip, arch::TechNode node);
+units::SquareMillimeters chip_area_mm2_at(const arch::ChipConfig& chip,
+                                          arch::TechNode node);
 
 /// Closed-form core energy: busy power x utilization + leakage over
 /// `cycles` at the core clock.
 EnergyReport core_energy_model(const arch::CoreConfig& core, arch::TechNode node,
-                               double cycles, double utilization);
+                               units::Cycles cycles, double utilization);
 
 /// Activity-based core energy: per-event energies x sim counters + the same
 /// leakage term over `cycles`.
 EnergyReport core_energy_from_stats(const arch::CoreConfig& core,
                                     arch::TechNode node, const sim::Stats& stats,
-                                    double cycles, double onchip_mbytes);
+                                    units::Cycles cycles, double onchip_mbytes);
 
 /// Closed-form chip (LAP) energy: S cores as above plus the shared on-chip
 /// memory streaming at its interface bandwidth for the busy fraction.
 EnergyReport chip_energy_model(const arch::ChipConfig& chip, arch::TechNode node,
-                               double cycles, double utilization);
+                               units::Cycles cycles, double utilization);
 
 /// Activity-based chip energy: aggregated core counters plus dma_words
 /// through the shared memory, plus chip leakage.
 EnergyReport chip_energy_from_stats(const arch::ChipConfig& chip,
                                     arch::TechNode node, const sim::Stats& stats,
-                                    double cycles);
+                                    units::Cycles cycles);
 
 }  // namespace lac::power

@@ -1,4 +1,6 @@
 #pragma once
+// lint-allow-file: raw-unit (Table 3.1-calibrated mW/mm^2 curve fits; the
+// typed layer consumes these via power::EventEnergies and power::Metrics)
 // Fused multiply-accumulate (FMAC) unit power/area model.
 //
 // Calibrated against the dissertation's Table 3.1 operating points, which in

@@ -1,28 +1,76 @@
 #pragma once
-// Efficiency metrics used across the dissertation's comparisons:
-// GFLOPS/W, GFLOPS/mm^2, W/mm^2, energy-delay (mW/GFLOPS^2, the Fig 3.6
-// convention) and its inverse (GFLOPS^2/W, the Table 4.2 convention --
-// bigger is better). The two published conventions use different power
-// units, so energy_delay() * inverse_energy_delay() == 1000 (mW per W),
-// not 1; tests/test_power_models.cpp pins both definitions.
+// Efficiency metrics used across the dissertation's comparisons, derived by
+// the dimensional-analysis layer (common/units.hpp): GFLOPS/W, GFLOPS/mm^2,
+// W/mm^2, and energy-delay. The stored state is typed and canonical
+// (flop/s, W, mm^2); every published convention -- mW/GFLOPS^2 for Fig 3.6,
+// GFLOPS^2/W for Table 4.2 -- is a *formatting boundary* accessor over the
+// one typed derivation, so the two conventions can no longer drift apart
+// the way the PR 3 banner did (it narrated W/GFLOPS^2 while the code
+// computed mW/GFLOPS^2).
+#include "common/units.hpp"
+
 namespace lac::power {
 
 struct Metrics {
-  double gflops = 0.0;
-  double watts = 0.0;
-  double area_mm2 = 0.0;
+  units::FlopsPerSecond flops_per_s;  ///< sustained compute rate
+  units::Watts watts;                 ///< average power
+  units::SquareMillimeters area_mm2;  ///< silicon evaluated
 
-  double gflops_per_w() const { return watts > 0 ? gflops / watts : 0.0; }
-  double gflops_per_mm2() const { return area_mm2 > 0 ? gflops / area_mm2 : 0.0; }
-  double w_per_mm2() const { return area_mm2 > 0 ? watts / area_mm2 : 0.0; }
-  double mw_per_gflop() const { return gflops > 0 ? watts * 1000.0 / gflops : 0.0; }
-  double mm2_per_gflop() const { return gflops > 0 ? area_mm2 / gflops : 0.0; }
-  /// Energy-delay product in mW/GFLOPS^2 (lower is better, Fig 3.6).
-  /// Note the milliwatt convention: this is mw_per_gflop() / gflops, and
-  /// 1000x the reciprocal of inverse_energy_delay() (which is in watts).
-  double energy_delay() const { return gflops > 0 ? watts * 1000.0 / (gflops * gflops) : 0.0; }
-  /// Inverse energy-delay in GFLOPS^2/W (higher is better, Table 4.2).
-  double inverse_energy_delay() const { return watts > 0 ? gflops * gflops / watts : 0.0; }
+  // ---- typed derivations (canonical units, dimension-checked) ------------
+  /// Compute efficiency, flop/J (== (flop/s)/W -- the algebra behind every
+  /// GFLOPS/W figure).
+  units::FlopsPerJoule efficiency() const {
+    return watts.value() > 0.0 ? flops_per_s / watts
+                               : units::FlopsPerJoule{};
+  }
+  /// Areal compute density, (flop/s)/mm^2.
+  units::FlopRatePerArea density() const {
+    return area_mm2.value() > 0.0 ? flops_per_s / area_mm2
+                                  : units::FlopRatePerArea{};
+  }
+  units::WattsPerSquareMillimeter power_density() const {
+    return area_mm2.value() > 0.0 ? watts / area_mm2
+                                  : units::WattsPerSquareMillimeter{};
+  }
+  /// Energy-delay product, canonical W.s^2/flop^2 (power over rate
+  /// squared, lower is better). The display conventions below scale this
+  /// one derivation.
+  units::EnergyDelay energy_delay() const {
+    return flops_per_s.value() > 0.0 ? watts / (flops_per_s * flops_per_s)
+                                     : units::EnergyDelay{};
+  }
+  units::InverseEnergyDelay inverse_energy_delay() const {
+    return watts.value() > 0.0 ? (flops_per_s * flops_per_s) / watts
+                               : units::InverseEnergyDelay{};
+  }
+
+  // ---- formatting boundaries (raw doubles in published display units) ----
+  double gflops() const { return units::as_gflops(flops_per_s); }
+  double gflops_per_w() const {  // lint-allow: raw-unit (display boundary)
+    return units::as_gflops_per_watt(efficiency());
+  }
+  double gflops_per_mm2() const {  // lint-allow: raw-unit (display boundary)
+    return density().value() * 1e-9;
+  }
+  double w_per_mm2() const {  // lint-allow: raw-unit (display boundary)
+    return power_density().value();
+  }
+  double mw_per_gflop() const {  // lint-allow: raw-unit (display boundary)
+    // mW per GFLOPS = 1e3 (W->mW) * 1e9 (per flop/s -> per Gflop/s).
+    return gflops() > 0.0 ? (watts / flops_per_s).value() * 1e12 : 0.0;
+  }
+  double mm2_per_gflop() const {  // lint-allow: raw-unit (display boundary)
+    return gflops() > 0.0 ? (area_mm2 / flops_per_s).value() * 1e9 : 0.0;
+  }
+  /// Fig 3.6 convention: mW/GFLOPS^2 (lower is better). 1e3 for W->mW,
+  /// (1e9)^2 for (flop/s)^-2 -> GFLOPS^-2.
+  double energy_delay_mw_per_gflops2() const {  // lint-allow: raw-unit (display boundary)
+    return energy_delay().value() * 1e21;
+  }
+  /// Table 4.2 convention: GFLOPS^2/W (higher is better).
+  double inverse_energy_delay_gflops2_per_w() const {  // lint-allow: raw-unit (display boundary)
+    return inverse_energy_delay().value() * 1e-18;
+  }
 };
 
 }  // namespace lac::power

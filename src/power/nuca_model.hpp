@@ -1,4 +1,6 @@
 #pragma once
+// lint-allow-file: raw-unit (CACTI NUCA calibration rows in published
+// display units; typed consumers wrap at the seam)
 // NUCA cache model for the §4.4 sensitivity study (Figs 4.11/4.12): what
 // happens when the domain-specific banked SRAM is replaced by a general
 // NUCA cache. Small-capacity/high-bandwidth NUCA points require

@@ -1,4 +1,6 @@
 #pragma once
+// lint-allow-file: raw-unit (Table 3.1 mW/mm^2 aggregation in the paper's
+// display units; power::Metrics is the typed boundary)
 // Aggregate PE / core power & area (the Table 3.1 model and the
 // local-store sensitivity studies of Figs 4.7/4.8).
 #include "arch/configs.hpp"

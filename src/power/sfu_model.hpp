@@ -1,4 +1,6 @@
 #pragma once
+// lint-allow-file: raw-unit (Appendix A.3 area/power calibration rows in
+// published display units; typed consumers wrap at the seam)
 // Special-function (divide / reciprocal / sqrt / inverse-sqrt) hardware
 // options and their area/power cost (§6.1.4, Appendix A.3).
 #include <string>

@@ -1,4 +1,6 @@
 #pragma once
+// lint-allow-file: raw-unit (CACTI-anchored mW/mm^2 calibration curves in
+// their published display units; typed consumers wrap at the seam)
 // CACTI-style model for the PE local stores and banked on-chip SRAM
 // (low-power ITRS device model, aggressive interconnect projection).
 //

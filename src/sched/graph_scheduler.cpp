@@ -46,13 +46,13 @@ struct GraphScheduler::Tenant {
   TenantConfig cfg;
   std::deque<std::unique_ptr<Unit>> ready;
   unsigned inflight = 0;  // units taken by a worker, not yet completed
-  double vtime = 0.0;
+  units::Cycles vtime;
   std::uint64_t jobs_submitted = 0;
   std::uint64_t jobs_completed = 0;
   std::uint64_t units_completed = 0;
   std::uint64_t units_failed = 0;
-  double cycles = 0.0;
-  double energy_nj = 0.0;
+  units::Cycles cycles;
+  units::Nanojoules energy_nj;
 };
 
 namespace {
@@ -264,7 +264,7 @@ void GraphScheduler::enqueue(std::vector<std::unique_ptr<Unit>> units) {
       // tenant would monopolize the fabric to "catch up". Active means
       // ready *or* in flight: a busy tenant whose queue momentarily
       // drained into the workers still anchors the pack.
-      double vmin = std::numeric_limits<double>::infinity();
+      units::Cycles vmin(std::numeric_limits<double>::infinity());
       bool any = false;
       for (const std::unique_ptr<Tenant>& t : tenants_)
         if (!t->ready.empty() || t->inflight > 0) {
@@ -489,11 +489,18 @@ void GraphScheduler::finalize_job(const std::shared_ptr<Job>& job) {
   out.workers = slots_;
   out.total_cycles = serial_cycles(out.nodes);
   out.makespan_cycles = list_makespan(job->graph, out.nodes, slots_);
-  out.speedup =
-      out.makespan_cycles > 0.0 ? out.total_cycles / out.makespan_cycles : 1.0;
-  const double t_ns =
-      job->clock_ghz > 0.0 ? out.makespan_cycles / job->clock_ghz : 0.0;
-  out.avg_power_w = t_ns > 0.0 ? out.energy_nj / t_ns : 0.0;
+  // Cycles / Cycles is dimensionless, so the speedup falls out as a plain
+  // ratio; the makespan-time power figure goes through the typed clock
+  // division exactly like attach_cost does.
+  out.speedup = out.makespan_cycles.value() > 0.0
+                    ? out.total_cycles / out.makespan_cycles
+                    : 1.0;
+  const units::Seconds t =
+      job->clock_ghz > 0.0
+          ? out.makespan_cycles / units::Gigahertz(job->clock_ghz)
+          : units::Seconds{};
+  out.avg_power_w = t.value() > 0.0 ? units::to_joules(out.energy_nj) / t
+                                    : units::Watts{};
   out.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() -
                                                           job->admitted)
                     .count();

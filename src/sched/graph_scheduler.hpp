@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/mutex.hpp"
+#include "common/units.hpp"
 #include "common/thread_pool.hpp"
 #include "fabric/executor.hpp"
 #include "sched/kernel_graph.hpp"
@@ -72,12 +73,12 @@ struct GraphResult {
   std::string error;                        ///< first failure ("node: why")
   std::vector<fabric::KernelResult> nodes;  ///< indexed by NodeId
   int failed = 0;                           ///< failed + cancelled nodes
-  double total_cycles = 0.0;                ///< serial node-by-node sum
-  double makespan_cycles = 0.0;             ///< W-worker list-schedule length
+  units::Cycles total_cycles;               ///< serial node-by-node sum
+  units::Cycles makespan_cycles;            ///< W-worker list-schedule length
   double speedup = 1.0;                     ///< total / makespan
-  double energy_nj = 0.0;                   ///< summed node energy
-  double avg_power_w = 0.0;                 ///< energy over makespan time
-  double area_mm2 = 0.0;                    ///< max over nodes
+  units::Nanojoules energy_nj;              ///< summed node energy
+  units::Watts avg_power_w;                 ///< energy over makespan time
+  units::SquareMillimeters area_mm2;        ///< max over nodes
   double wall_ms = 0.0;                     ///< admission -> last completion
   unsigned workers = 1;                     ///< W used for the makespan
 };
@@ -90,9 +91,9 @@ struct TenantStats {
   std::uint64_t jobs_completed = 0;
   std::uint64_t units_completed = 0;  ///< kernel executions, incl. failures
   std::uint64_t units_failed = 0;     ///< failed + cancelled
-  double cycles = 0.0;                ///< fabric cycles served
-  double energy_nj = 0.0;
-  double virtual_time = 0.0;          ///< WFQ service counter (cycles/weight)
+  units::Cycles cycles;               ///< fabric cycles served
+  units::Nanojoules energy_nj;
+  units::Cycles virtual_time;         ///< WFQ service counter (cycles/weight)
 };
 
 class GraphScheduler {

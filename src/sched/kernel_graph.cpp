@@ -87,11 +87,13 @@ std::vector<NodeId> KernelGraph::topo_order() const {
   return order;  // shorter than size() iff cyclic
 }
 
-double list_makespan(const KernelGraph& graph,
-                     const std::vector<fabric::KernelResult>& results,
-                     unsigned workers) {
+units::Cycles list_makespan(const KernelGraph& graph,
+                            const std::vector<fabric::KernelResult>& results,
+                            unsigned workers) {
+  // The list-schedule simulation below runs on raw doubles (virtual worker
+  // free times); only the boundary is typed.
   const std::size_t n = graph.size();
-  if (n == 0 || results.size() < n) return 0.0;
+  if (n == 0 || results.size() < n) return units::Cycles{};
   const unsigned w = std::max(1u, workers);
 
   std::vector<std::size_t> missing(n, 0);
@@ -114,7 +116,7 @@ double list_makespan(const KernelGraph& graph,
     const double worker_free = avail.top();
     avail.pop();
     const double start = std::max(rel, worker_free);
-    const double end = start + std::max(0.0, results[id].cycles);
+    const double end = start + std::max(0.0, results[id].cycles.value());
     avail.push(end);
     makespan = std::max(makespan, end);
     ++scheduled;
@@ -126,13 +128,14 @@ double list_makespan(const KernelGraph& graph,
   // A cyclic graph never gets here via the scheduler (validate() rejects
   // it); fall back to the serial sum so the figure stays meaningful.
   if (scheduled != n) return serial_cycles(results);
-  return makespan;
+  return units::Cycles(makespan);
 }
 
-double serial_cycles(const std::vector<fabric::KernelResult>& results) {
+units::Cycles serial_cycles(const std::vector<fabric::KernelResult>& results) {
   double total = 0.0;
-  for (const fabric::KernelResult& r : results) total += std::max(0.0, r.cycles);
-  return total;
+  for (const fabric::KernelResult& r : results)
+    total += std::max(0.0, r.cycles.value());
+  return units::Cycles(total);
 }
 
 }  // namespace lac::sched

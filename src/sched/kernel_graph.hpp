@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/units.hpp"
 #include "fabric/kernel_request.hpp"
 
 namespace lac::sched {
@@ -81,11 +82,11 @@ class KernelGraph {
 /// makespan -- what a W-core LAP would take to run the graph -- against
 /// which serial_cycles() (the node-by-node sum) defines the graph speedup.
 /// Failed/cancelled nodes cost zero, matching the failure accounting.
-double list_makespan(const KernelGraph& graph,
-                     const std::vector<fabric::KernelResult>& results,
-                     unsigned workers);
+units::Cycles list_makespan(const KernelGraph& graph,
+                            const std::vector<fabric::KernelResult>& results,
+                            unsigned workers);
 
 /// Sum of the executed node cycle counts (the serial node-by-node cost).
-double serial_cycles(const std::vector<fabric::KernelResult>& results);
+units::Cycles serial_cycles(const std::vector<fabric::KernelResult>& results);
 
 }  // namespace lac::sched

@@ -143,7 +143,8 @@ ReplayReport replay(GraphScheduler& scheduler, const std::vector<TraceEvent>& tr
     if (snapped || ++completions < snapshot_at) return;
     snapped = true;
     for (std::size_t t = 0; t < tenant_ids.size(); ++t)
-      service_snapshot[t] = scheduler.tenant_stats(tenant_ids[t]).cycles;
+      service_snapshot[t] =
+          scheduler.tenant_stats(tenant_ids[t]).cycles.value();
   };
 
   std::vector<std::future<fabric::KernelResult>> kernel_futs;
@@ -175,7 +176,7 @@ ReplayReport replay(GraphScheduler& scheduler, const std::vector<TraceEvent>& tr
             std::lock_guard<std::mutex> lock(rec_mu);
             latency[t].push_back(ms);
             if (!r.ok) ++failures[t];
-            if (r.ok && r.makespan_cycles > 0.0) {
+            if (r.ok && r.makespan_cycles.value() > 0.0) {
               speedup_sum += r.speedup;
               ++speedup_count;
             }

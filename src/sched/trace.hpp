@@ -79,8 +79,8 @@ struct TenantReplayStats {
   double p50_ms = 0.0;          ///< sojourn latency percentiles
   double p99_ms = 0.0;
   double mean_ms = 0.0;
-  double cycles = 0.0;          ///< fabric cycles served
-  double energy_nj = 0.0;
+  units::Cycles cycles;         ///< fabric cycles served
+  units::Nanojoules energy_nj;
 };
 
 struct ReplayReport {

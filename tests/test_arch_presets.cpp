@@ -55,6 +55,38 @@ TEST(Technology, ScalingMonotonic) {
   EXPECT_EQ(to_string(TechNode::nm45), "45nm");
 }
 
+TEST(Technology, TypedScaleFrom45PinsNodeFactors) {
+  // The typed overloads pick the scaling law from the quantity's dimension:
+  // energy and power scale ~L, area ~L^2. Pin the 45nm -> 32nm factors the
+  // bench_codesign tech sweep relies on, in each typed representation.
+  const double p = power_scale_from_45(TechNode::nm32);
+  const double a = area_scale_from_45(TechNode::nm32);
+  EXPECT_NEAR(p, 32.0 / 45.0, 1e-12);
+  EXPECT_NEAR(a, (32.0 / 45.0) * (32.0 / 45.0), 1e-12);
+  EXPECT_DOUBLE_EQ(
+      scale_from_45(units::Picojoules(12.0), TechNode::nm32).value(), 12.0 * p);
+  EXPECT_DOUBLE_EQ(
+      scale_from_45(units::Nanojoules(3.0), TechNode::nm32).value(), 3.0 * p);
+  EXPECT_DOUBLE_EQ(
+      scale_from_45(units::Milliwatts(40.0), TechNode::nm32).value(), 40.0 * p);
+  EXPECT_DOUBLE_EQ(scale_from_45(units::Watts(2.0), TechNode::nm32).value(),
+                   2.0 * p);
+  EXPECT_DOUBLE_EQ(
+      scale_from_45(units::SquareMillimeters(1.5), TechNode::nm32).value(),
+      1.5 * a);
+  // 45nm is the identity node in every representation.
+  EXPECT_DOUBLE_EQ(
+      scale_from_45(units::Picojoules(12.0), TechNode::nm45).value(), 12.0);
+  EXPECT_DOUBLE_EQ(
+      scale_from_45(units::SquareMillimeters(1.5), TechNode::nm45).value(), 1.5);
+  // The pJ and nJ overloads agree across the scale boundary: scaling then
+  // converting equals converting then scaling.
+  const units::Picojoules pj45(750.0);
+  EXPECT_DOUBLE_EQ(
+      units::to_nanojoules(scale_from_45(pj45, TechNode::nm32)).value(),
+      scale_from_45(units::to_nanojoules(pj45), TechNode::nm32).value());
+}
+
 TEST(Configs, EnumNames) {
   EXPECT_EQ(to_string(SfuOption::Software), "SW");
   EXPECT_EQ(to_string(SfuOption::IsolatedUnit), "Isolate");

@@ -39,8 +39,8 @@ TEST(ChipGemm, MoreCoresReduceMakespan) {
   MatrixD c(m, n, 0.0);
   ChipGemmResult one = chip_gemm(small_chip(1, 8.0, 8.0), 16, 16, a.view(), b.view(), c.view());
   ChipGemmResult two = chip_gemm(small_chip(2, 8.0, 8.0), 16, 16, a.view(), b.view(), c.view());
-  EXPECT_LT(two.cycles, one.cycles);
-  EXPECT_GT(one.cycles / two.cycles, 1.4);  // near-linear at ample bandwidth
+  EXPECT_LT(two.cycles.value(), one.cycles.value());
+  EXPECT_GT(one.cycles.value() / two.cycles.value(), 1.4);  // near-linear at ample bandwidth
   EXPECT_LT(rel_error(one.out.view(), two.out.view()), 1e-15);
 }
 
@@ -53,7 +53,7 @@ TEST(ChipGemm, SharedBandwidthLimitsScaling) {
   MatrixD c(m, n, 0.0);
   ChipGemmResult one = chip_gemm(small_chip(1, 1.0, 8.0), 16, 16, a.view(), b.view(), c.view());
   ChipGemmResult two = chip_gemm(small_chip(2, 1.0, 8.0), 16, 16, a.view(), b.view(), c.view());
-  EXPECT_LT(one.cycles / two.cycles, 1.3);  // far from the 2x ideal
+  EXPECT_LT(one.cycles.value() / two.cycles.value(), 1.3);  // far from the 2x ideal
 }
 
 TEST(ChipGemm, OffchipInterfaceChargesPanels) {

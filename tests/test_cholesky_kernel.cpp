@@ -29,8 +29,8 @@ TEST(CholeskyKernel, InnerCycleCountTracksClosedForm) {
   // Published closed form: 2p(nr-1) + q*nr with q the rsqrt latency.
   const double closed =
       model::cholesky_unblocked_cycles(4, 5, cfg.sfu_latency_rsqrt);
-  EXPECT_GE(r.cycles, 0.7 * closed);
-  EXPECT_LE(r.cycles, 1.9 * closed);  // simulator adds bus/routing latency
+  EXPECT_GE(r.cycles.value(), 0.7 * closed);
+  EXPECT_LE(r.cycles.value(), 1.9 * closed);  // simulator adds bus/routing latency
 }
 
 TEST(CholeskyKernel, SfuOptionChangesLatencyNotValues) {
@@ -42,7 +42,7 @@ TEST(CholeskyKernel, SfuOptionChangesLatencyNotValues) {
   KernelResult r_sw = cholesky_inner(sw, a.view());
   KernelResult r_iso = cholesky_inner(iso, a.view());
   EXPECT_LT(rel_error(r_sw.out.view(), r_iso.out.view()), 1e-15);
-  EXPECT_GT(r_sw.cycles, r_iso.cycles);  // Goldschmidt on the MAC is slower
+  EXPECT_GT(r_sw.cycles.value(), r_iso.cycles.value());  // Goldschmidt on the MAC is slower
 }
 
 TEST(CholeskyKernel, BlockedMatchesReference) {

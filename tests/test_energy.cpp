@@ -58,21 +58,21 @@ void expect_energy_parity(const KernelRequest& req) {
   ASSERT_TRUE(sim.ok) << to_string(req.kind) << ": " << sim.error;
   ASSERT_TRUE(model.ok) << to_string(req.kind) << ": " << model.error;
   const double tol = energy_tolerance(req.kind);
-  EXPECT_GT(sim.energy_nj, 0.0) << to_string(req.kind);
-  EXPECT_GT(model.energy_nj, 0.0) << to_string(req.kind);
-  EXPECT_NEAR(sim.energy_nj, model.energy_nj, tol * model.energy_nj)
-      << to_string(req.kind) << " energy: sim=" << sim.energy_nj
-      << " model=" << model.energy_nj;
-  EXPECT_GT(sim.avg_power_w, 0.0);
-  EXPECT_GT(model.avg_power_w, 0.0);
+  EXPECT_GT(sim.energy_nj.value(), 0.0) << to_string(req.kind);
+  EXPECT_GT(model.energy_nj.value(), 0.0) << to_string(req.kind);
+  EXPECT_NEAR(sim.energy_nj.value(), model.energy_nj.value(), tol * model.energy_nj.value())
+      << to_string(req.kind) << " energy: sim=" << sim.energy_nj.value()
+      << " model=" << model.energy_nj.value();
+  EXPECT_GT(sim.avg_power_w.value(), 0.0);
+  EXPECT_GT(model.avg_power_w.value(), 0.0);
   // Both backends evaluate the same silicon: area is the closed-form model
   // on both sides.
-  EXPECT_NEAR(sim.area_mm2, model.area_mm2, 1e-12);
-  EXPECT_GT(sim.area_mm2, 0.0);
+  EXPECT_NEAR(sim.area_mm2.value(), model.area_mm2.value(), 1e-12);
+  EXPECT_GT(sim.area_mm2.value(), 0.0);
   // The Metrics summary is filled consistently with the scalar fields.
-  EXPECT_DOUBLE_EQ(sim.metrics.watts, sim.avg_power_w);
-  EXPECT_DOUBLE_EQ(model.metrics.area_mm2, model.area_mm2);
-  EXPECT_GT(model.metrics.gflops, 0.0);
+  EXPECT_DOUBLE_EQ(sim.metrics.watts.value(), sim.avg_power_w.value());
+  EXPECT_DOUBLE_EQ(model.metrics.area_mm2.value(), model.area_mm2.value());
+  EXPECT_GT(model.metrics.gflops(), 0.0);
 }
 
 TEST(EnergyParity, AllCoreKernels) {
@@ -136,11 +136,11 @@ TEST(EnergyAccounting, FailedRequestsReportZeroEnergyOnBothBackends) {
     for (const KernelRequest& req : failing) {
       KernelResult res = ex->execute(req);
       EXPECT_FALSE(res.ok) << res.backend << " " << to_string(req.kind);
-      EXPECT_EQ(res.energy_nj, 0.0) << res.backend << " " << to_string(req.kind);
-      EXPECT_EQ(res.avg_power_w, 0.0) << res.backend;
-      EXPECT_EQ(res.area_mm2, 0.0) << res.backend;
-      EXPECT_EQ(res.metrics.gflops, 0.0) << res.backend;
-      EXPECT_EQ(res.metrics.watts, 0.0) << res.backend;
+      EXPECT_EQ(res.energy_nj.value(), 0.0) << res.backend << " " << to_string(req.kind);
+      EXPECT_EQ(res.avg_power_w.value(), 0.0) << res.backend;
+      EXPECT_EQ(res.area_mm2.value(), 0.0) << res.backend;
+      EXPECT_EQ(res.metrics.gflops(), 0.0) << res.backend;
+      EXPECT_EQ(res.metrics.watts.value(), 0.0) << res.backend;
     }
   }
 }
@@ -161,9 +161,9 @@ TEST(EnergyAccounting, GoldenGflopsPerWattBandAt45nm) {
     ASSERT_TRUE(res.ok);
     EXPECT_GT(res.metrics.gflops_per_w(), 20.0) << res.backend;
     EXPECT_LT(res.metrics.gflops_per_w(), 60.0) << res.backend;
-    EXPECT_GT(res.metrics.gflops, 10.0) << res.backend;   // ~peak 32 GFLOPS
-    EXPECT_LT(res.metrics.gflops, 32.1) << res.backend;
-    EXPECT_GT(res.metrics.energy_delay(), 0.0) << res.backend;
+    EXPECT_GT(res.metrics.gflops(), 10.0) << res.backend;   // ~peak 32 GFLOPS
+    EXPECT_LT(res.metrics.gflops(), 32.1) << res.backend;
+    EXPECT_GT(res.metrics.energy_delay().value(), 0.0) << res.backend;
   }
 }
 
@@ -182,14 +182,14 @@ TEST(EnergyAccounting, TechnologyNodeScalesEnergyAndArea) {
   KernelResult n32 = at_node(arch::TechNode::nm32);
   ASSERT_TRUE(n65.ok && n45.ok && n32.ok);
   // Cycles are node-invariant; energy and area shrink with the node.
-  EXPECT_EQ(n65.cycles, n45.cycles);
-  EXPECT_GT(n65.energy_nj, n45.energy_nj);
-  EXPECT_GT(n45.energy_nj, n32.energy_nj);
-  EXPECT_GT(n65.area_mm2, n45.area_mm2);
-  EXPECT_GT(n45.area_mm2, n32.area_mm2);
+  EXPECT_EQ(n65.cycles.value(), n45.cycles.value());
+  EXPECT_GT(n65.energy_nj.value(), n45.energy_nj.value());
+  EXPECT_GT(n45.energy_nj.value(), n32.energy_nj.value());
+  EXPECT_GT(n65.area_mm2.value(), n45.area_mm2.value());
+  EXPECT_GT(n45.area_mm2.value(), n32.area_mm2.value());
   // Classical scaling: 65nm dynamic power ~ (65/45)x the 45nm figure.
-  EXPECT_NEAR(n65.energy_nj / n45.energy_nj, 65.0 / 45.0, 0.10);
-  EXPECT_NEAR(n65.area_mm2 / n45.area_mm2, (65.0 / 45.0) * (65.0 / 45.0), 1e-9);
+  EXPECT_NEAR(n65.energy_nj.value() / n45.energy_nj.value(), 65.0 / 45.0, 0.10);
+  EXPECT_NEAR(n65.area_mm2.value() / n45.area_mm2.value(), (65.0 / 45.0) * (65.0 / 45.0), 1e-9);
   // The sim backend scales identically.
   KernelRequest req = make_gemm(cfg, 2.0, a.view(), b.view(), c.view());
   req.tech.node = arch::TechNode::nm65;
@@ -197,7 +197,7 @@ TEST(EnergyAccounting, TechnologyNodeScalesEnergyAndArea) {
   req.tech.node = arch::TechNode::nm45;
   KernelResult sim45 = kSim.execute(req);
   ASSERT_TRUE(sim65.ok && sim45.ok);
-  EXPECT_GT(sim65.energy_nj, sim45.energy_nj);
+  EXPECT_GT(sim65.energy_nj.value(), sim45.energy_nj.value());
 }
 
 TEST(EnergyAccounting, ClockOverrideRescalesTimeAndPower) {
@@ -213,9 +213,9 @@ TEST(EnergyAccounting, ClockOverrideRescalesTimeAndPower) {
   ASSERT_TRUE(r1.ok && r2.ok);
   // Same schedule (cycles are clock-invariant), shorter wall time =>
   // higher throughput, at superlinearly higher power (V-f scaling).
-  EXPECT_EQ(r1.cycles, r2.cycles);
-  EXPECT_NEAR(r2.metrics.gflops / r1.metrics.gflops, 1.8, 1e-6);
-  EXPECT_GT(r2.avg_power_w, 1.8 * r1.avg_power_w);
+  EXPECT_EQ(r1.cycles.value(), r2.cycles.value());
+  EXPECT_NEAR(r2.metrics.gflops() / r1.metrics.gflops(), 1.8, 1e-6);
+  EXPECT_GT(r2.avg_power_w.value(), 1.8 * r1.avg_power_w.value());
   // Energy efficiency degrades past the ~1 GHz sweet spot (Fig 3.6).
   EXPECT_LT(r2.metrics.gflops_per_w(), r1.metrics.gflops_per_w());
 }
@@ -234,10 +234,10 @@ TEST(EnergyAccounting, BatchSummaryAggregatesEnergy) {
   std::vector<KernelResult> results = BatchDispatcher(kModel, {1}).run(reqs);
   BatchSummary s = BatchDispatcher::summarize(results);
   EXPECT_EQ(s.failures, 1);
-  EXPECT_DOUBLE_EQ(s.total_energy_nj, results[0].energy_nj + results[2].energy_nj);
-  EXPECT_DOUBLE_EQ(s.mean_power_w,
-                   (results[0].avg_power_w + results[2].avg_power_w) / 2.0);
-  EXPECT_GT(s.total_energy_nj, 0.0);
+  EXPECT_DOUBLE_EQ(s.total_energy_nj.value(), results[0].energy_nj.value() + results[2].energy_nj.value());
+  EXPECT_DOUBLE_EQ(s.mean_power_w.value(),
+                   (results[0].avg_power_w.value() + results[2].avg_power_w.value()) / 2.0);
+  EXPECT_GT(s.total_energy_nj.value(), 0.0);
 }
 
 TEST(EnergyAccounting, DriverReportAccumulatesEnergy) {
@@ -248,15 +248,15 @@ TEST(EnergyAccounting, DriverReportAccumulatesEnergy) {
                              static_cast<const Executor*>(&kModel)}) {
     MatrixD work = a;
     blas::DriverReport rep = blas::lap_cholesky(*ex, cfg, 2.0, 8, work.view());
-    EXPECT_GT(rep.energy_nj, 0.0) << ex->name();
-    EXPECT_GT(rep.avg_power_w, 0.0) << ex->name();
-    EXPECT_GT(rep.area_mm2, 0.0) << ex->name();
+    EXPECT_GT(rep.energy_nj.value(), 0.0) << ex->name();
+    EXPECT_GT(rep.avg_power_w.value(), 0.0) << ex->name();
+    EXPECT_GT(rep.area_mm2.value(), 0.0) << ex->name();
     // Average power of a kernel stream sits inside the busy+leakage
     // envelope of the core.
-    EXPECT_LT(rep.avg_power_w,
-              (power::core_busy_mw(cfg, arch::TechNode::nm45) +
-               power::core_leakage_mw(cfg, arch::TechNode::nm45)) /
-                  1000.0)
+    EXPECT_LT(rep.avg_power_w.value(),
+              units::to_watts(power::core_busy_mw(cfg, arch::TechNode::nm45) +
+                              power::core_leakage_mw(cfg, arch::TechNode::nm45))
+                  .value())
         << ex->name();
   }
 }
@@ -265,18 +265,18 @@ TEST(EnergyModel, EventEnergiesArePositiveAndOrdered) {
   arch::CoreConfig cfg = arch::lac_4x4_dp();
   power::EventEnergies e =
       power::core_event_energies(cfg, arch::TechNode::nm45, 5.0);
-  EXPECT_GT(e.mac_pj, 0.0);
-  EXPECT_GT(e.mem_a_pj, 0.0);
-  EXPECT_GT(e.mem_b_pj, 0.0);
-  EXPECT_GT(e.rf_pj, 0.0);
-  EXPECT_GT(e.bus_pj, 0.0);
-  EXPECT_GT(e.sfu_pj, 0.0);
-  EXPECT_GT(e.dma_word_pj, 0.0);
+  EXPECT_GT(e.mac_pj.value(), 0.0);
+  EXPECT_GT(e.mem_a_pj.value(), 0.0);
+  EXPECT_GT(e.mem_b_pj.value(), 0.0);
+  EXPECT_GT(e.rf_pj.value(), 0.0);
+  EXPECT_GT(e.bus_pj.value(), 0.0);
+  EXPECT_GT(e.sfu_pj.value(), 0.0);
+  EXPECT_GT(e.dma_word_pj.value(), 0.0);
   // The DP MAC dominates a local-store access; a compare is a fraction of
   // a MAC; an SFU op (many cycles in flight) costs more than one MAC.
-  EXPECT_GT(e.mac_pj, e.mem_b_pj);
-  EXPECT_LT(e.cmp_pj, e.mac_pj);
-  EXPECT_GT(e.sfu_pj, e.mac_pj);
+  EXPECT_GT(e.mac_pj.value(), e.mem_b_pj.value());
+  EXPECT_LT(e.cmp_pj.value(), e.mac_pj.value());
+  EXPECT_GT(e.sfu_pj.value(), e.mac_pj.value());
 }
 
 }  // namespace

@@ -47,11 +47,11 @@ void expect_backend_parity(const KernelRequest& req, const MatrixD& reference,
       << to_string(req.kind) << " model numerics";
   // Cycles: the analytical backend must track the cycle-exact one.
   const double tol = cycle_tolerance(req.kind);
-  EXPECT_NEAR(sim.cycles, model.cycles, tol * model.cycles + 50.0)
-      << to_string(req.kind) << " cycles: sim=" << sim.cycles
-      << " model=" << model.cycles;
-  EXPECT_GT(sim.cycles, 0.0);
-  EXPECT_GT(model.cycles, 0.0);
+  EXPECT_NEAR(sim.cycles.value(), model.cycles.value(), tol * model.cycles.value() + 50.0)
+      << to_string(req.kind) << " cycles: sim=" << sim.cycles.value()
+      << " model=" << model.cycles.value();
+  EXPECT_GT(sim.cycles.value(), 0.0);
+  EXPECT_GT(model.cycles.value(), 0.0);
   // Utilization: both backends define it as useful_macs over MAC slots, so
   // the figures must agree within the cycle band (plus a little absolute
   // slack for the short-kernel constant terms).
@@ -158,7 +158,7 @@ TEST(FabricParity, Vnorm) {
   ASSERT_TRUE(sim.ok && model.ok);
   EXPECT_NEAR(sim.scalar, ref, 1e-9 * ref);
   EXPECT_NEAR(model.scalar, ref, 1e-12 * ref);
-  EXPECT_NEAR(sim.cycles, model.cycles, 0.35 * model.cycles + 50.0);
+  EXPECT_NEAR(sim.cycles.value(), model.cycles.value(), 0.35 * model.cycles.value() + 50.0);
   // Both backends count one useful MAC per element (guard-pass and
   // reduction slots are overhead), so utilization tracks the cycle band.
   EXPECT_GT(sim.utilization, 0.0);
@@ -194,8 +194,8 @@ TEST(FabricParity, Fft) {
           EXPECT_LT(std::abs(model.spectrum[64 * f + i] - ref[i]), 1e-9) << f << "," << i;
         }
       }
-      EXPECT_GT(sim.cycles, 0.0);
-      EXPECT_NEAR(sim.cycles, model.cycles, 0.35 * model.cycles + 50.0)
+      EXPECT_GT(sim.cycles.value(), 0.0);
+      EXPECT_NEAR(sim.cycles.value(), model.cycles.value(), 0.35 * model.cycles.value() + 50.0)
           << "bw=" << bw << " frames=" << frames;
       EXPECT_GT(sim.utilization, 0.0);
       EXPECT_GT(model.utilization, 0.0);
@@ -222,7 +222,7 @@ TEST(FabricParity, FftFourStep) {
   EXPECT_LT(err, 1e-8);
   for (std::size_t i = 0; i < ref.size(); ++i)
     EXPECT_LT(std::abs(model.spectrum[i] - ref[i]), 1e-12) << i;
-  EXPECT_NEAR(sim.cycles, model.cycles, 0.35 * model.cycles + 50.0);
+  EXPECT_NEAR(sim.cycles.value(), model.cycles.value(), 0.35 * model.cycles.value() + 50.0);
 }
 
 TEST(FabricExecutor, FftRejectsInvalidShapesInBand) {
@@ -239,7 +239,7 @@ TEST(FabricExecutor, FftRejectsInvalidShapesInBand) {
       KernelResult res = ex->execute(req);
       EXPECT_FALSE(res.ok) << res.backend;
       EXPECT_FALSE(res.error.empty()) << res.backend;
-      EXPECT_EQ(res.cycles, 0.0) << res.backend;
+      EXPECT_EQ(res.cycles.value(), 0.0) << res.backend;
     }
   }
 }
@@ -317,7 +317,7 @@ TEST(BatchDispatcher, DeterministicAcrossThreadCounts) {
       for (std::size_t i = 0; i < base.size(); ++i) {
         EXPECT_TRUE(got[i].ok);
         EXPECT_EQ(got[i].tag, base[i].tag);
-        EXPECT_EQ(got[i].cycles, base[i].cycles) << "request " << i;
+        EXPECT_EQ(got[i].cycles.value(), base[i].cycles.value()) << "request " << i;
         EXPECT_EQ(got[i].stats.mac_ops, base[i].stats.mac_ops);
         EXPECT_TRUE(got[i].out == base[i].out) << "request " << i;
       }
@@ -335,11 +335,11 @@ TEST(BatchDispatcher, SummaryAggregates) {
   EXPECT_EQ(s.failures, 0);
   double total = 0.0, mx = 0.0;
   for (const auto& r : results) {
-    total += r.cycles;
-    mx = std::max(mx, r.cycles);
+    total += r.cycles.value();
+    mx = std::max(mx, r.cycles.value());
   }
-  EXPECT_DOUBLE_EQ(s.total_cycles, total);
-  EXPECT_DOUBLE_EQ(s.max_cycles, mx);
+  EXPECT_DOUBLE_EQ(s.total_cycles.value(), total);
+  EXPECT_DOUBLE_EQ(s.max_cycles.value(), mx);
   EXPECT_GT(s.mean_utilization, 0.0);
   EXPECT_LE(s.mean_utilization, 1.0);
 }
@@ -364,14 +364,14 @@ TEST(BatchDispatcher, FailedRequestsContributeNothingToSummary) {
     EXPECT_TRUE(results[2].ok);
     // A failed request reports zero cycles/stats/utilization on both
     // backends -- the simulator's partially-absorbed activity is voided.
-    EXPECT_EQ(results[1].cycles, 0.0) << results[1].backend;
+    EXPECT_EQ(results[1].cycles.value(), 0.0) << results[1].backend;
     EXPECT_EQ(results[1].utilization, 0.0) << results[1].backend;
     EXPECT_EQ(results[1].stats.mac_ops, 0) << results[1].backend;
     BatchSummary s = BatchDispatcher::summarize(results);
     EXPECT_EQ(s.failures, 1);
-    EXPECT_DOUBLE_EQ(s.total_cycles, results[0].cycles + results[2].cycles);
-    EXPECT_DOUBLE_EQ(s.max_cycles,
-                     std::max(results[0].cycles, results[2].cycles));
+    EXPECT_DOUBLE_EQ(s.total_cycles.value(), results[0].cycles.value() + results[2].cycles.value());
+    EXPECT_DOUBLE_EQ(s.max_cycles.value(),
+                     std::max(results[0].cycles.value(), results[2].cycles.value()));
     EXPECT_DOUBLE_EQ(
         s.mean_utilization,
         (results[0].utilization + results[2].utilization) / 2.0);
@@ -402,20 +402,20 @@ TEST(LapDriverOnFabric, GemmFirstPanelOverlapAccounting) {
     KernelRequest tile =
         make_gemm(cfg, bw, a.block(ii, 0, mc, k), b.view(), c0.block(ii, 0, mc, n),
                   ii == 0 ? model::Overlap::Partial : model::Overlap::Full);
-    expected += model_cycles(tile);
+    expected += model_cycles(tile).value();
     tile.overlap = model::Overlap::Partial;
-    all_partial += model_cycles(tile);
+    all_partial += model_cycles(tile).value();
   }
-  EXPECT_DOUBLE_EQ(rm.total_cycles, expected);
+  EXPECT_DOUBLE_EQ(rm.total_cycles.value(), expected);
   // At this shape the regime choice changes the total, so the old
   // every-tile-Partial accounting is distinguishable.
-  EXPECT_LT(rm.total_cycles, all_partial);
+  EXPECT_LT(rm.total_cycles.value(), all_partial);
 
   // And the fixed accounting still tracks the cycle-exact backend.
   MatrixD c_sim = c0;
   blas::DriverReport rs =
       blas::lap_gemm(kSim, cfg, bw, mc, kc, a.view(), b.view(), c_sim.view());
-  EXPECT_NEAR(rs.total_cycles, rm.total_cycles, 0.10 * rm.total_cycles + 100.0);
+  EXPECT_NEAR(rs.total_cycles.value(), rm.total_cycles.value(), 0.10 * rm.total_cycles.value() + 100.0);
   MatrixD expect = c0;
   blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, a.view(), b.view(), 1.0,
              expect.view());
@@ -433,7 +433,7 @@ TEST(LapDriverOnFabric, QrTrailingUpdateChargedOnFabric) {
   std::vector<double> taus;
   blas::DriverReport rep = blas::lap_qr(kModel, cfg, 2.0, a.view(), taus);
   EXPECT_EQ(rep.kernel_calls, 2 + 2 * cfg.nr);
-  EXPECT_GT(rep.total_cycles, 0.0);
+  EXPECT_GT(rep.total_cycles.value(), 0.0);
   MatrixD q = blas::qr_form_q(a.view(), taus);
   MatrixD qtq(8, 8, 0.0);
   blas::gemm(blas::Trans::Yes, blas::Trans::No, 1.0, q.view(), q.view(), 0.0,
@@ -462,7 +462,7 @@ TEST(LapDriverOnFabric, GemmSameNumericsOnBothBackends) {
   EXPECT_LT(rel_error(c_model.view(), expect.view()), 1e-12);
   EXPECT_EQ(rs.kernel_calls, rm.kernel_calls);
   // The analytical driver must track the simulated one's total cycles.
-  EXPECT_NEAR(rs.total_cycles, rm.total_cycles, 0.15 * rm.total_cycles + 100.0);
+  EXPECT_NEAR(rs.total_cycles.value(), rm.total_cycles.value(), 0.15 * rm.total_cycles.value() + 100.0);
   // The model backend reports no simulator activity counters.
   EXPECT_EQ(rm.stats.mac_ops, 0);
   EXPECT_GT(rs.stats.mac_ops, 0);
@@ -476,7 +476,7 @@ TEST(LapDriverOnFabric, CholeskyFactorsOnModelBackend) {
   ASSERT_TRUE(blas::cholesky(expect.view()));
   blas::DriverReport rep = blas::lap_cholesky(kModel, cfg, 2.0, 8, a.view());
   EXPECT_LT(rel_error(a.view(), expect.view()), 1e-9);
-  EXPECT_GT(rep.total_cycles, 0.0);
+  EXPECT_GT(rep.total_cycles.value(), 0.0);
   EXPECT_GT(rep.kernel_calls, 3);
 }
 
@@ -491,7 +491,7 @@ TEST(LapDriverOnFabric, LuAndQrRunOnModelBackend) {
   ASSERT_TRUE(blas::lu_partial_pivot(expect.view(), ref_piv));
   EXPECT_LT(rel_error(a_lu.view(), expect.view()), 1e-9);
   EXPECT_EQ(piv, ref_piv);
-  EXPECT_GT(rl.total_cycles, 0.0);
+  EXPECT_GT(rl.total_cycles.value(), 0.0);
 
   MatrixD a_qr = a;
   std::vector<double> taus;
@@ -502,7 +502,7 @@ TEST(LapDriverOnFabric, LuAndQrRunOnModelBackend) {
   blas::gemm(blas::Trans::Yes, blas::Trans::No, 1.0, q.view(), q.view(), 0.0,
              qtq.view());
   EXPECT_LT(rel_error(qtq.view(), identity(a.cols()).view()), 1e-9);
-  EXPECT_GT(rq.total_cycles, 0.0);
+  EXPECT_GT(rq.total_cycles.value(), 0.0);
 }
 
 }  // namespace

@@ -83,7 +83,7 @@ TEST(Fft64Kernel, CommunicationHiddenBehindCompute) {
   // 3 stages x 28 slots = 84 compute cycles per PE; bus traffic (24
   // transfers per bus per exchange stage) must largely hide behind it.
   EXPECT_EQ(r.stats.mac_ops + r.stats.mul_ops, 16 * 3 * 28);
-  EXPECT_LT(r.cycles, 3.5 * 84.0);
+  EXPECT_LT(r.cycles.value(), 3.5 * 84.0);
   EXPECT_GT(r.utilization, 0.30);
 }
 
@@ -93,8 +93,8 @@ TEST(Fft64Kernel, BatchingAmortizesIo) {
   for (int i = 0; i < 8; ++i) frames.push_back(random_signal(64, 10 + static_cast<std::uint64_t>(i)));
   FftResult batched = fft64_batched(cfg, 4.0, frames);
   FftResult single = fft64_core(cfg, frames[0]);
-  const double per_frame = batched.cycles / 8.0;
-  EXPECT_LT(per_frame, single.cycles);
+  const double per_frame = batched.cycles.value() / 8.0;
+  EXPECT_LT(per_frame, single.cycles.value());
   // Last frame's spectrum is returned and must be correct.
   EXPECT_LT(max_err(batched.out, fft_radix4(frames.back())), 1e-11);
 }
@@ -105,7 +105,7 @@ TEST(Fft64Kernel, BandwidthStarvationDegradesOverlap) {
   for (int i = 0; i < 4; ++i) frames.push_back(random_signal(64, 20 + static_cast<std::uint64_t>(i)));
   FftResult fast = fft64_batched(cfg, 4.0, frames);
   FftResult slow = fft64_batched(cfg, 0.5, frames);
-  EXPECT_GT(slow.cycles, fast.cycles);
+  EXPECT_GT(slow.cycles.value(), fast.cycles.value());
   EXPECT_LT(slow.utilization, fast.utilization);
 }
 

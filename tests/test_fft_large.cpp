@@ -37,8 +37,8 @@ TEST(FftLarge, CycleBudgetNearAnalyticalModel) {
   // Compute floor: 128 line FFTs of 64 pts (84 cycles each) + the twiddle
   // pass (4096 cmuls / 16 PEs at 4 slots each = 1024 issue cycles).
   const double compute_floor = 128.0 * core_fft_compute_cycles(64) + 1024.0;
-  EXPECT_GE(r.cycles, compute_floor);
-  EXPECT_LE(r.cycles, 3.0 * compute_floor);  // I/O + pipeline overheads
+  EXPECT_GE(r.cycles.value(), compute_floor);
+  EXPECT_LE(r.cycles.value(), 3.0 * compute_floor);  // I/O + pipeline overheads
 }
 
 TEST(FftLarge, BandwidthSensitivity) {
@@ -46,7 +46,7 @@ TEST(FftLarge, BandwidthSensitivity) {
   auto x = random_signal(4096, 3);
   FftResult fast = fft4096_four_step(cfg, 4.0, x);
   FftResult slow = fft4096_four_step(cfg, 1.0, x);
-  EXPECT_GT(slow.cycles, fast.cycles);
+  EXPECT_GT(slow.cycles.value(), fast.cycles.value());
   // Results identical regardless of bandwidth.
   double err = 0.0;
   for (std::size_t i = 0; i < fast.out.size(); ++i)

@@ -35,8 +35,8 @@ TEST(GemmKernel, InnerRank1CycleCountNearKc) {
   MatrixD c(4, 4, 0.0);
   KernelResult r = gemm_rank1_inner(cfg, a.view(), b.view(), c.view());
   // kc rank-1 updates at one per cycle plus pipeline drain and bus fill.
-  EXPECT_GE(r.cycles, static_cast<double>(kc));
-  EXPECT_LE(r.cycles, kc + 2.0 * cfg.pe.pipeline_stages + 8.0);
+  EXPECT_GE(r.cycles.value(), static_cast<double>(kc));
+  EXPECT_LE(r.cycles.value(), kc + 2.0 * cfg.pe.pipeline_stages + 8.0);
   EXPECT_EQ(r.stats.mac_ops, 16 * kc);
 }
 
@@ -90,7 +90,7 @@ TEST(GemmKernel, FullOverlapBeatsPartialWhenComputeCoversStreams) {
       gemm_core(cfg, 4.0, a.view(), b.view(), c.view(), model::Overlap::Partial);
   KernelResult full =
       gemm_core(cfg, 4.0, a.view(), b.view(), c.view(), model::Overlap::Full);
-  EXPECT_LT(full.cycles, partial.cycles);
+  EXPECT_LT(full.cycles.value(), partial.cycles.value());
   EXPECT_LT(rel_error(full.out.view(), partial.out.view()), 1e-15);
   // When the interface is the bottleneck both regimes move the same words
   // and tie.
@@ -98,7 +98,7 @@ TEST(GemmKernel, FullOverlapBeatsPartialWhenComputeCoversStreams) {
       gemm_core(cfg, 0.25, a.view(), b.view(), c.view(), model::Overlap::Partial);
   KernelResult f2 =
       gemm_core(cfg, 0.25, a.view(), b.view(), c.view(), model::Overlap::Full);
-  EXPECT_NEAR(f2.cycles, p2.cycles, 0.02 * p2.cycles);
+  EXPECT_NEAR(f2.cycles.value(), p2.cycles.value(), 0.02 * p2.cycles.value());
 }
 
 TEST(GemmKernel, StatsAccountAllTraffic) {

@@ -41,7 +41,7 @@ TEST(LuKernel, ComparatorExtensionSpeedsPivotSearch) {
   ext.pe.extensions.comparator = true;
   LuResult slow = lu_panel(base, a.view());
   LuResult fast = lu_panel(ext, a.view());
-  EXPECT_LT(fast.kernel.cycles, slow.kernel.cycles);
+  EXPECT_LT(fast.kernel.cycles.value(), slow.kernel.cycles.value());
   EXPECT_LT(rel_error(fast.kernel.out.view(), slow.kernel.out.view()), 1e-15);
 }
 
@@ -53,7 +53,7 @@ TEST(LuKernel, SfuOptionsOrderedAsInTableA2) {
     arch::CoreConfig c = arch::lac_4x4_dp();
     c.sfu = opt;
     c.pe.extensions.comparator = true;
-    return lu_panel(c, a.view()).kernel.cycles;
+    return lu_panel(c, a.view()).kernel.cycles.value();
   };
   const double sw = cycles_for(arch::SfuOption::Software);
   const double iso = cycles_for(arch::SfuOption::IsolatedUnit);
@@ -72,8 +72,8 @@ TEST_P(LuSizeSweep, CycleCountTracksAnalyticalModel) {
   LuResult r = lu_panel(cfg, a.view());
   const double model = static_cast<double>(
       model::lu_inner_cycles(k, 4, cfg.pe.pipeline_stages, cfg));
-  EXPECT_GT(r.kernel.cycles, 0.5 * model);
-  EXPECT_LT(r.kernel.cycles, 2.0 * model);
+  EXPECT_GT(r.kernel.cycles.value(), 0.5 * model);
+  EXPECT_LT(r.kernel.cycles.value(), 2.0 * model);
 }
 
 INSTANTIATE_TEST_SUITE_P(TableA2Sizes, LuSizeSweep,

@@ -110,17 +110,19 @@ TEST(PePower, EfficiencySweetSpotNearOneGhz) {
     arch::CoreConfig c = arch::lac_4x4_dp(f);
     PePower p = pe_power(c, gemm_activity(4));
     Metrics m;
-    m.gflops = pe_peak_gflops(c.pe);
-    m.watts = p.total_mw / 1000.0;
-    m.area_mm2 = pe_area_mm2(c);
+    m.flops_per_s = units::FlopsPerSecond(pe_peak_gflops(c.pe) * 1e9);
+    m.watts = units::Watts(p.total_mw / 1000.0);
+    m.area_mm2 = units::SquareMillimeters(pe_area_mm2(c));
     return m;
   };
   EXPECT_GT(eff(0.5).gflops_per_w(), eff(1.0).gflops_per_w());
   EXPECT_GT(eff(1.0).gflops_per_w(), eff(1.8).gflops_per_w());
   // Energy-delay: 1.0 GHz much better than 0.33, little gain after 1.4.
-  EXPECT_LT(eff(1.0).energy_delay(), eff(0.33).energy_delay());
-  EXPECT_LT(std::abs(eff(1.8).energy_delay() - eff(1.4).energy_delay()),
-            eff(0.33).energy_delay());
+  EXPECT_LT(eff(1.0).energy_delay_mw_per_gflops2(),
+            eff(0.33).energy_delay_mw_per_gflops2());
+  EXPECT_LT(std::abs(eff(1.8).energy_delay_mw_per_gflops2() -
+                     eff(1.4).energy_delay_mw_per_gflops2()),
+            eff(0.33).energy_delay_mw_per_gflops2());
 }
 
 TEST(SfuModel, AreaBreakdownByOption) {
@@ -167,34 +169,54 @@ TEST(ChipPower, NucaDominatesAtSmallCapacityHighBandwidth) {
 
 TEST(Metrics, Definitions) {
   Metrics m;
-  m.gflops = 100.0;
-  m.watts = 2.0;
-  m.area_mm2 = 10.0;
+  m.flops_per_s = units::FlopsPerSecond(100.0 * 1e9);
+  m.watts = units::Watts(2.0);
+  m.area_mm2 = units::SquareMillimeters(10.0);
+  EXPECT_DOUBLE_EQ(m.gflops(), 100.0);
   EXPECT_DOUBLE_EQ(m.gflops_per_w(), 50.0);
   EXPECT_DOUBLE_EQ(m.gflops_per_mm2(), 10.0);
   EXPECT_DOUBLE_EQ(m.w_per_mm2(), 0.2);
   EXPECT_DOUBLE_EQ(m.mw_per_gflop(), 20.0);
-  EXPECT_DOUBLE_EQ(m.energy_delay(), 0.2);
-  EXPECT_DOUBLE_EQ(m.inverse_energy_delay(), 5000.0);
+  EXPECT_DOUBLE_EQ(m.energy_delay_mw_per_gflops2(), 0.2);
+  EXPECT_DOUBLE_EQ(m.inverse_energy_delay_gflops2_per_w(), 5000.0);
+  // The typed derivations behind those display numbers.
+  EXPECT_DOUBLE_EQ(units::as_gflops_per_watt(m.efficiency()), 50.0);
+  EXPECT_DOUBLE_EQ(m.energy_delay().value(), 2.0 / (1e11 * 1e11));
 }
 
 TEST(Metrics, EnergyDelayUnitConventionsPinned) {
   // The two published energy-delay conventions use different power units:
-  // energy_delay() is mW/GFLOPS^2 (Fig 3.6, what bench_fig_3_6_3_7 prints)
-  // and inverse_energy_delay() is GFLOPS^2/W (Table 4.2). Pin both, and the
-  // exact mW-per-W factor between them, so neither silently changes scale.
+  // energy_delay_mw_per_gflops2() is mW/GFLOPS^2 (Fig 3.6, what
+  // bench_fig_3_6_3_7 prints) and inverse_energy_delay_gflops2_per_w() is
+  // GFLOPS^2/W (Table 4.2). Both are display scalings of the ONE typed
+  // derivation energy_delay() = W / (flop/s)^2, so the mW-per-W factor
+  // between them is now a consequence of the unit algebra, not a pair of
+  // independently-maintained constants (the asymmetry PR 3 had to pin).
   Metrics m;
-  m.gflops = 100.0;
-  m.watts = 2.0;
+  m.flops_per_s = units::FlopsPerSecond(100.0 * 1e9);
+  m.watts = units::Watts(2.0);
   // mW/GFLOPS^2 == mW_per_gflop spread over the delay of one more GFLOP.
-  EXPECT_DOUBLE_EQ(m.energy_delay(), m.mw_per_gflop() / m.gflops);
-  EXPECT_DOUBLE_EQ(m.energy_delay() * m.inverse_energy_delay(), 1000.0);
+  EXPECT_DOUBLE_EQ(m.energy_delay_mw_per_gflops2(),
+                   m.mw_per_gflop() / m.gflops());
+  // The display conventions derive from one canonical quantity:
+  //   mW/GFLOPS^2 = ED * 1e3 * (1e9)^2;  GFLOPS^2/W = (1/ED) * (1e-9)^2.
+  EXPECT_DOUBLE_EQ(m.energy_delay_mw_per_gflops2(),
+                   m.energy_delay().value() * 1e21);
+  EXPECT_DOUBLE_EQ(m.inverse_energy_delay_gflops2_per_w(),
+                   m.inverse_energy_delay().value() * 1e-18);
+  // Hence their product is exactly the mW-per-W factor -- derived, not
+  // hand-pinned on both sides as before.
+  EXPECT_DOUBLE_EQ(m.energy_delay_mw_per_gflops2() *
+                       m.inverse_energy_delay_gflops2_per_w(),
+                   1000.0);
+  // The canonical product is dimensionless 1 by construction.
+  EXPECT_DOUBLE_EQ(m.energy_delay() * m.inverse_energy_delay(), 1.0);
   // Fig 3.6 magnitudes: a ~38 mW DP PE at 1 GHz / 2 GFLOPS peak sits at
   // ~10 mW/GFLOPS^2 -- the convention that produces O(10) values there.
   Metrics pe;
-  pe.gflops = 2.0;
-  pe.watts = 0.038;
-  EXPECT_NEAR(pe.energy_delay(), 9.5, 1e-9);
+  pe.flops_per_s = units::FlopsPerSecond(2.0 * 1e9);
+  pe.watts = units::Watts(0.038);
+  EXPECT_NEAR(pe.energy_delay_mw_per_gflops2(), 9.5, 1e-9);
 }
 
 }  // namespace

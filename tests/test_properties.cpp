@@ -42,8 +42,8 @@ TEST_P(GemmGrid, InvariantsHoldEverywhere) {
   // 3. Cycles bounded below by both compute and transfer floors.
   const double compute_floor = static_cast<double>(mk) * mk * n / 16.0;
   const double transfer_floor = r.stats.dma_words / bw;
-  EXPECT_GE(r.cycles + 1e-9, compute_floor);
-  EXPECT_GE(r.cycles + 1e-9, transfer_floor);
+  EXPECT_GE(r.cycles.value() + 1e-9, compute_floor);
+  EXPECT_GE(r.cycles.value() + 1e-9, transfer_floor);
 
   // 4. Utilization in (0, 1].
   EXPECT_GT(r.utilization, 0.0);

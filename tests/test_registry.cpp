@@ -69,11 +69,11 @@ TEST(KernelRegistry, SampleRequestsExecuteOnBothBackends) {
       KernelResult res;
       ASSERT_NO_THROW(res = ex->execute(req)) << t.name << " " << ex->name();
       EXPECT_TRUE(res.ok) << t.name << " " << ex->name() << ": " << res.error;
-      EXPECT_GT(res.cycles, 0.0) << t.name << " " << ex->name();
+      EXPECT_GT(res.cycles.value(), 0.0) << t.name << " " << ex->name();
       EXPECT_GT(res.utilization, 0.0) << t.name << " " << ex->name();
       EXPECT_LE(res.utilization, 1.0 + 1e-9) << t.name << " " << ex->name();
-      EXPECT_GT(res.energy_nj, 0.0) << t.name << " " << ex->name();
-      EXPECT_GT(useful_macs(req), 0.0) << t.name;
+      EXPECT_GT(res.energy_nj.value(), 0.0) << t.name << " " << ex->name();
+      EXPECT_GT(useful_macs(req).value(), 0.0) << t.name;
     }
   }
 }
@@ -83,11 +83,13 @@ TEST(KernelRegistry, ModelCostMatchesTraitHooks) {
     const KernelTraits& t = kernel_traits(kind);
     const KernelRequest req = t.sample_request(99);
     const ModelCost cost = model_cost(req);
-    EXPECT_DOUBLE_EQ(cost.cycles, t.model_cycles(req)) << t.name;
+    EXPECT_DOUBLE_EQ(cost.cycles.value(), t.model_cycles(req).value()) << t.name;
     EXPECT_DOUBLE_EQ(cost.utilization, t.model_utilization(req, cost.cycles))
         << t.name;
-    EXPECT_DOUBLE_EQ(cost.energy.energy_nj(),
-                     t.model_energy(req, cost.cycles, cost.utilization).energy_nj())
+    EXPECT_DOUBLE_EQ(cost.energy.energy_nj().value(),
+                     t.model_energy(req, cost.cycles, cost.utilization)
+                         .energy_nj()
+                         .value())
         << t.name;
   }
 }
@@ -96,7 +98,7 @@ TEST(KernelRegistry, UnregisteredKindFailsInBand) {
   const KernelKind bogus = static_cast<KernelKind>(250);
   EXPECT_EQ(try_kernel_traits(bogus), nullptr);
   EXPECT_STREQ(to_string(bogus), "?");
-  EXPECT_EQ(useful_macs(KernelRequest{.kind = bogus}), 0.0);
+  EXPECT_EQ(useful_macs(KernelRequest{.kind = bogus}).value(), 0.0);
   KernelRequest req = kernel_traits(KernelKind::Gemm).sample_request(7);
   req.kind = bogus;
   for (const Executor* ex : {static_cast<const Executor*>(&kSim),

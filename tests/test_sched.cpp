@@ -123,11 +123,11 @@ TEST(KernelGraph, ListMakespanMatchesHandComputedSchedules) {
   chain.add_edge(c0, c1);
   chain.add_edge(c1, c2);
   std::vector<fabric::KernelResult> costs(3);
-  costs[0].cycles = 10.0;
-  costs[1].cycles = 20.0;
-  costs[2].cycles = 30.0;
-  EXPECT_DOUBLE_EQ(list_makespan(chain, costs, 4), 60.0);
-  EXPECT_DOUBLE_EQ(serial_cycles(costs), 60.0);
+  costs[0].cycles = units::Cycles(10.0);
+  costs[1].cycles = units::Cycles(20.0);
+  costs[2].cycles = units::Cycles(30.0);
+  EXPECT_DOUBLE_EQ(list_makespan(chain, costs, 4).value(), 60.0);
+  EXPECT_DOUBLE_EQ(serial_cycles(costs).value(), 60.0);
 
   // Fork: two independent successors overlap on 2 workers.
   KernelGraph fork;
@@ -136,8 +136,8 @@ TEST(KernelGraph, ListMakespanMatchesHandComputedSchedules) {
   NodeId f2 = fork.add_node(small_gemm(cfg, "2"));
   fork.add_edge(f0, f1);
   fork.add_edge(f0, f2);
-  EXPECT_DOUBLE_EQ(list_makespan(fork, costs, 2), 40.0);  // 10 + max(20, 30)
-  EXPECT_DOUBLE_EQ(list_makespan(fork, costs, 1), 60.0);  // serialized
+  EXPECT_DOUBLE_EQ(list_makespan(fork, costs, 2).value(), 40.0);  // 10 + max(20, 30)
+  EXPECT_DOUBLE_EQ(list_makespan(fork, costs, 1).value(), 60.0);  // serialized
 }
 
 TEST(GraphScheduler, TopologicalSafetyOn300NodeRandomDags) {
@@ -207,7 +207,7 @@ TEST(GraphBuilders, TiledCholeskyMatchesReferenceAndIsDeterministicAcrossWidths)
     extract_lower(fg, lower.view());
     EXPECT_LT(rel_error(lower.view(), expect.view()), 1e-9) << "width " << width;
     std::vector<double> cycles;
-    for (const fabric::KernelResult& r : res.nodes) cycles.push_back(r.cycles);
+    for (const fabric::KernelResult& r : res.nodes) cycles.push_back(r.cycles.value());
     if (width == 1) {
       base = std::move(lower);
       base_cycles = std::move(cycles);
@@ -236,8 +236,8 @@ TEST(GraphBuilders, TiledCholeskyOnSimBackendMatchesModelNumerics) {
   MatrixD lower(n, n, 0.0);
   extract_lower(fg, lower.view());
   EXPECT_LT(rel_error(lower.view(), expect.view()), 1e-9);
-  EXPECT_GT(res.total_cycles, 0.0);
-  EXPECT_GT(res.energy_nj, 0.0);
+  EXPECT_GT(res.total_cycles.value(), 0.0);
+  EXPECT_GT(res.energy_nj.value(), 0.0);
 }
 
 TEST(GraphBuilders, TiledLuMatchesReference) {
@@ -292,11 +292,11 @@ TEST(GraphScheduler, TiledCholeskySpeedupAtLeast1p5xAtFourWorkers) {
   GraphResult res = scheduler.submit(0, std::move(fg.graph)).get();
   ASSERT_TRUE(res.ok) << res.error;
   EXPECT_EQ(res.workers, 4u);
-  EXPECT_GT(res.total_cycles, 0.0);
-  EXPECT_GT(res.makespan_cycles, 0.0);
-  EXPECT_LE(res.makespan_cycles, res.total_cycles);
-  EXPECT_GE(res.speedup, 1.5) << "total " << res.total_cycles << " makespan "
-                              << res.makespan_cycles;
+  EXPECT_GT(res.total_cycles.value(), 0.0);
+  EXPECT_GT(res.makespan_cycles.value(), 0.0);
+  EXPECT_LE(res.makespan_cycles.value(), res.total_cycles.value());
+  EXPECT_GE(res.speedup, 1.5) << "total " << res.total_cycles.value() << " makespan "
+                              << res.makespan_cycles.value();
 }
 
 TEST(GraphScheduler, WeightedFairShareBetweenTenants) {
@@ -341,7 +341,7 @@ TEST(GraphScheduler, WeightedFairShareBetweenTenants) {
   EXPECT_EQ(hs.units_completed, 40u);
   EXPECT_EQ(ls.units_completed, 40u);
   // Equal total service -> virtual times differ by the weight ratio.
-  EXPECT_NEAR(ls.virtual_time / hs.virtual_time, 3.0, 0.01);
+  EXPECT_NEAR(ls.virtual_time.value() / hs.virtual_time.value(), 3.0, 0.01);
 }
 
 TEST(GraphScheduler, PriorityClassPreemptsFairShare) {
@@ -421,14 +421,14 @@ TEST(GraphScheduler, FailedCholeskyNodeCancelsDownstreamWithZeroCost) {
   EXPECT_FALSE(res.ok);
   EXPECT_EQ(res.failed, static_cast<int>(nodes));
   EXPECT_NE(res.error.find("positive definite"), std::string::npos);
-  EXPECT_DOUBLE_EQ(res.total_cycles, 0.0);
-  EXPECT_DOUBLE_EQ(res.energy_nj, 0.0);
+  EXPECT_DOUBLE_EQ(res.total_cycles.value(), 0.0);
+  EXPECT_DOUBLE_EQ(res.energy_nj.value(), 0.0);
   bool saw_cancelled = false;
   for (const fabric::KernelResult& r : res.nodes) {
     EXPECT_FALSE(r.ok);
     // PR 2 failure accounting: failed and cancelled nodes charge nothing.
-    EXPECT_DOUBLE_EQ(r.cycles, 0.0);
-    EXPECT_DOUBLE_EQ(r.energy_nj, 0.0);
+    EXPECT_DOUBLE_EQ(r.cycles.value(), 0.0);
+    EXPECT_DOUBLE_EQ(r.energy_nj.value(), 0.0);
     EXPECT_DOUBLE_EQ(r.utilization, 0.0);
     if (r.error.rfind("cancelled:", 0) == 0) saw_cancelled = true;
   }
@@ -455,7 +455,7 @@ TEST(GraphScheduler, IndependentBranchSurvivesAFailure) {
   EXPECT_FALSE(res.nodes[down].ok);
   EXPECT_EQ(res.nodes[down].error.rfind("cancelled:", 0), 0u);
   EXPECT_TRUE(res.nodes[indep].ok);  // not downstream: runs normally
-  EXPECT_GT(res.nodes[indep].cycles, 0.0);
+  EXPECT_GT(res.nodes[indep].cycles.value(), 0.0);
 }
 
 TEST(GraphScheduler, ThrowingMakeClosureFailsInBandInsteadOfHanging) {
@@ -475,7 +475,7 @@ TEST(GraphScheduler, ThrowingMakeClosureFailsInBandInsteadOfHanging) {
   EXPECT_NE(res.error.find("make boom"), std::string::npos);
   EXPECT_TRUE(res.nodes[ok_node].ok);
   EXPECT_FALSE(res.nodes[boom].ok);
-  EXPECT_DOUBLE_EQ(res.nodes[boom].cycles, 0.0);
+  EXPECT_DOUBLE_EQ(res.nodes[boom].cycles.value(), 0.0);
   EXPECT_EQ(res.nodes[down].error.rfind("cancelled:", 0), 0u);
   scheduler.drain();  // and the scheduler still quiesces cleanly
   EXPECT_EQ(scheduler.pending(), 0u);
@@ -578,8 +578,8 @@ TEST(GraphScheduler, AffinityBatchingKeepsCostCacheResultsExact) {
   for (auto& f : futs) {
     fabric::KernelResult got = f.get();
     ASSERT_TRUE(got.ok);
-    EXPECT_EQ(got.cycles, expect.cycles);
-    EXPECT_EQ(got.energy_nj, expect.energy_nj);
+    EXPECT_EQ(got.cycles.value(), expect.cycles.value());
+    EXPECT_EQ(got.energy_nj.value(), expect.energy_nj.value());
     EXPECT_TRUE(got.out == expect.out);
   }
   // One distinct signature -> exactly one miss; the batched repeats hit.

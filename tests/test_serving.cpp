@@ -155,7 +155,7 @@ TEST(AsyncExecutor, StressMixedKernelsBothBackends) {
     for (std::size_t i = 0; i < futs.size(); ++i) {
       KernelResult got = futs[i].get();
       ASSERT_TRUE(got.ok) << ex->name() << " request " << i << ": " << got.error;
-      EXPECT_EQ(got.cycles, expect[i].cycles) << ex->name() << " request " << i;
+      EXPECT_EQ(got.cycles.value(), expect[i].cycles.value()) << ex->name() << " request " << i;
       EXPECT_TRUE(got.out == expect[i].out) << ex->name() << " request " << i;
     }
   }
@@ -174,7 +174,7 @@ TEST(AsyncExecutor, DeterministicAcrossPoolWidths) {
     std::vector<std::future<KernelResult>> futs = async.submit_all(reqs);
     for (std::size_t i = 0; i < futs.size(); ++i) {
       KernelResult got = futs[i].get();
-      EXPECT_EQ(got.cycles, expect[i].cycles) << "width " << width;
+      EXPECT_EQ(got.cycles.value(), expect[i].cycles.value()) << "width " << width;
       EXPECT_TRUE(got.out == expect[i].out) << "width " << width;  // byte-identical
     }
   }
@@ -223,12 +223,12 @@ TEST(CostCache, RepeatedShapesHitAndMatchUncached) {
   std::vector<KernelResult> expect = BatchDispatcher(kModel, {1}).run(reqs);
   for (std::size_t i = 0; i < got.size(); ++i) {
     ASSERT_TRUE(got[i].ok);
-    EXPECT_EQ(got[i].cycles, expect[i].cycles) << "request " << i;
+    EXPECT_EQ(got[i].cycles.value(), expect[i].cycles.value()) << "request " << i;
     EXPECT_EQ(got[i].utilization, expect[i].utilization) << "request " << i;
     // The memoized energy path must be bit-identical to re-estimation.
-    EXPECT_EQ(got[i].energy_nj, expect[i].energy_nj) << "request " << i;
-    EXPECT_EQ(got[i].avg_power_w, expect[i].avg_power_w) << "request " << i;
-    EXPECT_EQ(got[i].area_mm2, expect[i].area_mm2) << "request " << i;
+    EXPECT_EQ(got[i].energy_nj.value(), expect[i].energy_nj.value()) << "request " << i;
+    EXPECT_EQ(got[i].avg_power_w.value(), expect[i].avg_power_w.value()) << "request " << i;
+    EXPECT_EQ(got[i].area_mm2.value(), expect[i].area_mm2.value()) << "request " << i;
   }
   // Exactly one miss per distinct shape -- threads racing on a cold key
   // resolve to one inserted entry (the miss) and hits for the losers.
@@ -263,8 +263,8 @@ TEST(CostCache, ColdKeyRaceCountsOneMissPerEntry) {
     CostCache::Estimate first = futs[0].get();
     for (std::size_t t = 1; t < futs.size(); ++t) {
       CostCache::Estimate e = futs[t].get();
-      EXPECT_EQ(e.cycles, first.cycles);
-      EXPECT_EQ(e.energy_nj, first.energy_nj);
+      EXPECT_EQ(e.cycles.value(), first.cycles.value());
+      EXPECT_EQ(e.energy_nj.value(), first.energy_nj.value());
     }
     EXPECT_EQ(cache.size(), 1u);
     EXPECT_EQ(cache.misses(), 1u) << "round " << round;
@@ -307,8 +307,8 @@ TEST(CostCache, SignatureKeysEveryEnergyRelevantField) {
   KernelResult at45 = cached.execute(base);
   KernelResult at32 = cached.execute(other_node);
   ASSERT_TRUE(at45.ok && at32.ok);
-  EXPECT_EQ(at45.cycles, at32.cycles);
-  EXPECT_GT(at45.energy_nj, at32.energy_nj);
+  EXPECT_EQ(at45.cycles.value(), at32.cycles.value());
+  EXPECT_GT(at45.energy_nj.value(), at32.energy_nj.value());
   EXPECT_EQ(cache.size(), 2u);
 }
 
@@ -440,8 +440,8 @@ TEST(AsyncExecutor, FftByteIdenticalAcrossPoolWidths) {
       for (std::size_t i = 0; i < expect.size(); ++i) {
         KernelResult got = futs[i].get();
         ASSERT_TRUE(got.ok) << ex->name();
-        EXPECT_EQ(got.cycles, expect[i].cycles) << ex->name() << " req " << i;
-        EXPECT_EQ(got.energy_nj, expect[i].energy_nj) << ex->name();
+        EXPECT_EQ(got.cycles.value(), expect[i].cycles.value()) << ex->name() << " req " << i;
+        EXPECT_EQ(got.energy_nj.value(), expect[i].energy_nj.value()) << ex->name();
         ASSERT_EQ(got.spectrum.size(), expect[i].spectrum.size());
         // Byte-identical: exact complex equality, no tolerance.
         for (std::size_t g = 0; g < got.spectrum.size(); ++g)

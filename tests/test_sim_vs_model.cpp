@@ -37,7 +37,7 @@ TEST_P(GemmSimVsModel, CyclesWithinTenPercent) {
   p.n = gc.n;
   p.bw_words_per_cycle = gc.bw;
   const double predicted = model::core_cycles(p);
-  EXPECT_NEAR(r.cycles, predicted, 0.10 * predicted + 50.0)
+  EXPECT_NEAR(r.cycles.value(), predicted, 0.10 * predicted + 50.0)
       << "mc=" << gc.mc << " kc=" << gc.kc << " n=" << gc.n << " bw=" << gc.bw;
 }
 
@@ -79,8 +79,8 @@ TEST(SimVsModel, TrsmVariantRatiosFollowClosedForms) {
   const double model_increment =
       static_cast<double>(model::trsm_stacked_cycles(nr, p) -
                           model::trsm_basic_cycles(nr, p));
-  EXPECT_LE(stacked.cycles - basic.cycles, 8.0 * model_increment);
-  EXPECT_GE(stacked.cycles, basic.cycles);
+  EXPECT_LE(stacked.cycles.value() - basic.cycles.value(), 8.0 * model_increment);
+  EXPECT_GE(stacked.cycles.value(), basic.cycles.value());
 }
 
 TEST(SimVsModel, SyrkUtilizationMatchesTriangularFactor) {

@@ -34,7 +34,7 @@ TEST(SyrkKernel, InnerOverlapsTransposeWithCompute) {
   KernelResult r = syrk_inner(cfg, a.view(), c.view());
   // One rank-1 update per cycle: the column-bus transpose pipelines behind
   // the row broadcast, costing only a constant extra latency.
-  EXPECT_LE(r.cycles, kc + 2.0 * cfg.pe.pipeline_stages + 10.0);
+  EXPECT_LE(r.cycles.value(), kc + 2.0 * cfg.pe.pipeline_stages + 10.0);
   // The whole a_p column is transposed each step: nr column broadcasts.
   EXPECT_EQ(r.stats.col_bus_xfers, 4 * kc);
 }

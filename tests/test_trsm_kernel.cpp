@@ -36,8 +36,8 @@ TEST(TrsmKernel, BasicCycleCountNearClosedForm) {
   const double closed = model::trsm_basic_cycles(4, 8);  // 2*p*nr = 64
   // The closed form excludes the reciprocal chain; the simulator includes
   // it, so expect [closed, closed + nr*(recip + const)].
-  EXPECT_GE(r.cycles, closed * 0.8);
-  EXPECT_LE(r.cycles, closed + 4.0 * (cfg.sfu_latency_recip + 8));
+  EXPECT_GE(r.cycles.value(), closed * 0.8);
+  EXPECT_LE(r.cycles.value(), closed + 4.0 * (cfg.sfu_latency_recip + 8));
 }
 
 TEST(TrsmKernel, StackedFillsPipelineSlots) {
@@ -52,7 +52,7 @@ TEST(TrsmKernel, StackedFillsPipelineSlots) {
   // p independent blocks in scarcely more time than one basic solve:
   MatrixD narrow = random_matrix(4, 4, 7);
   KernelResult basic = trsm_inner(cfg, TrsmVariant::Basic, l.view(), narrow.view());
-  EXPECT_LT(stacked.cycles, 2.2 * basic.cycles);
+  EXPECT_LT(stacked.cycles.value(), 2.2 * basic.cycles.value());
   EXPECT_GT(stacked.utilization, 2.0 * basic.utilization);
 }
 

@@ -1,0 +1,102 @@
+// Runtime checks for the dimensional-analysis layer (src/common/units.hpp).
+// The type-level guarantees (ill-dimensioned expressions do not compile)
+// live in tests/units_negative.cpp, driven as negative-compilation ctest
+// cases; this file pins the runtime semantics: scale conversions round-trip
+// exactly, derived quantities come out in canonical scale, and the display
+// helpers used at JSON/stdout boundaries apply the documented factors.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "common/units.hpp"
+
+namespace lac::units {
+namespace {
+
+using namespace lac::units::literals;
+
+TEST(Units, ScaleConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_joules(Nanojoules(5.0)).value(), 5e-9);
+  EXPECT_DOUBLE_EQ(to_nanojoules(Joules(5e-9)).value(), 5.0);
+  EXPECT_DOUBLE_EQ(to_nanojoules(Picojoules(1500.0)).value(), 1.5);
+  EXPECT_DOUBLE_EQ(to_picojoules(Nanojoules(1.5)).value(), 1500.0);
+  EXPECT_DOUBLE_EQ(to_watts(Milliwatts(38.0)).value(), 0.038);
+  EXPECT_DOUBLE_EQ(to_milliwatts(Watts(0.038)).value(), 38.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(to_seconds(Milliseconds(2.5))).value(), 2.5);
+  EXPECT_DOUBLE_EQ(to_gigaflops(Flops(3e9)).value(), 3.0);
+  // quantity_cast is the generic path the to_*() helpers wrap.
+  EXPECT_DOUBLE_EQ(quantity_cast<Nanojoules>(Picojoules(750.0)).value(), 0.75);
+}
+
+TEST(Units, DerivedQuantitiesAreCanonicalScale) {
+  // Division folds the operand scales away: nJ / s is *Watts*, not nW.
+  const Watts w = Nanojoules(4.0) / Seconds(2e-9);
+  EXPECT_DOUBLE_EQ(w.value(), 2.0);
+  // Cycles at a GHz clock give seconds directly.
+  const Seconds t = Cycles(3000.0) / Gigahertz(1.5);
+  EXPECT_DOUBLE_EQ(t.value(), 2e-6);
+  // W * s = J, back in canonical joules regardless of how W was formed.
+  const Joules e = w * Seconds(3.0);
+  EXPECT_DOUBLE_EQ(e.value(), 6.0);
+  // Efficiency: flop/J == (flop/s)/W, one dimension either way.
+  const FlopsPerJoule eff1 = Flops(64e9) / Joules(2.0);
+  const FlopsPerJoule eff2 = FlopsPerSecond(64e9) / Watts(2.0);
+  EXPECT_DOUBLE_EQ(eff1.value(), eff2.value());
+  EXPECT_DOUBLE_EQ(as_gflops_per_watt(eff1), 32.0);
+  EXPECT_DOUBLE_EQ(as_gflops(FlopsPerSecond(12.5e9)), 12.5);
+}
+
+TEST(Units, DimensionlessRatiosCollapseToDouble) {
+  // Same-dimension ratios (speedup, utilization) are plain doubles -- and
+  // the collapse goes through canonical scale, so mixed-scale ratios are
+  // *correct*, not just allowed.
+  const double speedup = Cycles(300.0) / Cycles(100.0);
+  EXPECT_DOUBLE_EQ(speedup, 3.0);
+  const double fraction = Nanojoules(500.0) / Joules(1e-6);
+  EXPECT_DOUBLE_EQ(fraction, 0.5);
+  static_assert(
+      std::is_same_v<decltype(Cycles{} / Cycles{})::dim, Dimensionless>);
+}
+
+TEST(Units, AdditiveOpsKeepTheUnit) {
+  Nanojoules e(1.0);
+  e += 2.0_nj;
+  e = e + 0.5_nj - 1.5_nj;
+  e *= 2.0;
+  EXPECT_DOUBLE_EQ(e.value(), 4.0);
+  EXPECT_LT(3.9_nj, e);
+  EXPECT_EQ(e, 4.0_nj);
+  EXPECT_DOUBLE_EQ((-e).value(), -4.0);
+}
+
+TEST(Units, LiteralsAndValueOf) {
+  EXPECT_DOUBLE_EQ(value_of(120_cycles), 120.0);
+  EXPECT_DOUBLE_EQ(value_of(2.5_w), 2.5);
+  EXPECT_DOUBLE_EQ(value_of(0.13_mm2), 0.13);
+  EXPECT_DOUBLE_EQ(value_of(1.5_ms), 1.5);
+}
+
+TEST(Units, SymbolsAndFormatting) {
+  EXPECT_STREQ(symbol(Cycles{}), "cycles");
+  EXPECT_STREQ(symbol(Nanojoules{}), "nJ");
+  EXPECT_STREQ(symbol(Watts{}), "W");
+  EXPECT_STREQ(symbol(SquareMillimeters{}), "mm^2");
+  EXPECT_EQ(to_string(Watts(2.0)), "2 W");
+  EXPECT_EQ(to_string(Nanojoules(1.5)), "1.5 nJ");
+}
+
+TEST(Units, EnergyDelayConventionFactors) {
+  // The single canonical energy-delay quantity (W.s^2/flop^2) and the two
+  // display conventions benches print. 2 GFLOPS at 38 mW is the Fig 3.6
+  // magnitude check: ~9.5 mW/GFLOPS^2.
+  const FlopsPerSecond rate(2e9);
+  const Watts p(0.038);
+  const EnergyDelay ed = p / (rate * rate);
+  EXPECT_NEAR(ed.value() * 1e21, 9.5, 1e-9);          // mW/GFLOPS^2
+  const InverseEnergyDelay inv = (rate * rate) / p;
+  EXPECT_NEAR(inv.value() * 1e-18, 1000.0 / 9.5, 1e-9);  // GFLOPS^2/W
+  EXPECT_DOUBLE_EQ(ed * inv, 1.0);  // dimensionless product
+}
+
+}  // namespace
+}  // namespace lac::units

@@ -1,0 +1,58 @@
+// Negative-compilation cases for the dimensional-analysis layer: each
+// CASE_* macro enables one expression that MUST fail to compile. CMake
+// registers one ctest per case, invoking the compiler with -fsyntax-only
+// and WILL_FAIL TRUE, so a units.hpp change that silently legalizes an
+// ill-dimensioned expression turns a test red. CASE_POSITIVE is the
+// control: a well-dimensioned body that must keep compiling, proving the
+// harness fails for the right reason (the expression, not the includes).
+//
+// Named units_negative.cpp (not test_*.cpp) so the gtest glob skips it.
+#include "common/units.hpp"
+
+namespace lac::units {
+
+inline double probe() {
+  [[maybe_unused]] Watts w(2.0);
+  [[maybe_unused]] Nanojoules nj(5.0);
+  [[maybe_unused]] Joules j(1.0);
+  [[maybe_unused]] Cycles c(100.0);
+  [[maybe_unused]] Seconds s(1.0);
+
+#if defined(CASE_POSITIVE)
+  // Control: dimensioned algebra that must compile.
+  const Watts p = to_joules(nj) / s;
+  const Seconds t = c / Gigahertz(1.0);
+  return p.value() + t.value();
+#elif defined(CASE_ADD_MISMATCH)
+  // Power + energy: different dimensions never add.
+  return (w + nj).value();
+#elif defined(CASE_SCALE_MIX)
+  // Same dimension, different scale: the PR 3 bug class. Adding joules to
+  // nanojoules must demand an explicit quantity_cast / to_*().
+  return (j + nj).value();
+#elif defined(CASE_CYCLES_SQUARED)
+  // cycle^2 has no named unit here; assigning the product back to Cycles
+  // must not compile.
+  const Cycles sq = c * c;
+  return sq.value();
+#elif defined(CASE_IMPLICIT_DOUBLE)
+  // Dimensioned quantities do not collapse to double implicitly -- only
+  // dimensionless ratios do.
+  const double raw = w;
+  return raw;
+#elif defined(CASE_RAW_ASSIGN)
+  // No implicit construction from a raw double: the constructor is
+  // explicit, so a unit must be named at the point a number enters.
+  const Nanojoules e = 5.0;
+  return e.value();
+#elif defined(CASE_WRONG_QUOTIENT)
+  // nJ / s is Watts (canonical scale), not Milliwatts: binding the
+  // quotient to the wrong scale must not compile.
+  const Milliwatts mw = nj / s;
+  return mw.value();
+#else
+#error "units_negative.cpp requires exactly one CASE_* macro"
+#endif
+}
+
+}  // namespace lac::units

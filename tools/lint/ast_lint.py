@@ -1,0 +1,565 @@
+#!/usr/bin/env python3
+"""AST-level linter for the lac fabric stack (the checks regex cannot do).
+
+Complements tools/lint/lint.py (textual conventions) with three analyses
+that need declaration/scope structure:
+
+  raw-unit             Public headers under src/ must not declare a raw
+                       `double` parameter, return type, or data member
+                       whose spelling matches the fabric's physical
+                       quantities (*cycles*, *energy*, *power*, *area*,
+                       *_nj, *_w, *_mm2): those carry a dimension and
+                       belong to the src/common/units.hpp strong types.
+                       Waive a deliberate raw double with a
+                       `lint-allow: raw-unit (reason)` comment on (or
+                       directly above) the line, or a whole calibration
+                       header with `lint-allow-file: raw-unit (...)`.
+  blocking-under-lock  No blocking call (wait / submit / join / get)
+                       while a lac::MutexLock is in scope -- the static
+                       complement to the TSan lane, which only catches
+                       the deadlock when the schedule cooperates. The
+                       condition-variable idiom `cv.wait(lock)` (the
+                       blocking call *names* the lock) is allowed.
+                       Waive with `lint-allow: blocking-under-lock`.
+  ast-delimiter        The PR 3 cache-key rule on structure instead of
+                       text: every `os << ...` chain in
+                       CostCache::signature and in registered
+                       signature_extra hooks must put a literal
+                       delimiter between adjacent value operands, and
+                       each extra must open with a '|' literal.
+
+Engines: the primary engine is libclang (python `clang.cindex`, pinned in
+the CI ast-lint lane); when the bindings or the shared library are absent
+(the local toolchain ships no libclang C API) the same checks run on a
+structural text engine -- comment-stripped, brace-scope tracked -- so
+`ctest -R ast_lint` is green everywhere while CI gets the real AST.
+Select explicitly with --engine {auto,clang,text}.
+
+Exit status 0 = clean, 1 = findings, 2 = could not run.
+--self-test seeds one violation per check and asserts it is caught.
+"""
+
+import argparse
+import os
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from lint import (  # noqa: E402  (shared textual helpers)
+    Tree,
+    check_fields,
+    line_of,
+    matched_body,
+    signature_chains,
+    strip_comments,
+)
+
+SERVING_CPP = "src/fabric/serving.cpp"
+REGISTRY = "src/fabric/kernel_registry.cpp"
+UNITS_HPP = "src/common/units.hpp"
+
+UNIT_NAME = re.compile(r"(cycles|energy|power|area)", re.I)
+UNIT_SUFFIX = re.compile(r"(_nj|_w|_mm2)$")
+BLOCKING = ("wait", "submit", "join", "get")
+
+
+def unit_name(name):
+    return bool(UNIT_NAME.search(name) or UNIT_SUFFIX.search(name))
+
+
+def waived(raw_lines, line, tag):
+    """True if `lint-allow: <tag>` sits on the line or the one above."""
+    for idx in (line - 1, line - 2):
+        if 0 <= idx < len(raw_lines) and f"lint-allow: {tag}" in raw_lines[idx]:
+            return True
+    return False
+
+
+def public_headers(tree):
+    for rel, text in tree.files.items():
+        if not rel.startswith("src/") or not rel.endswith((".hpp", ".h")):
+            continue
+        if rel == UNITS_HPP:
+            continue
+        if "lint-allow-file: raw-unit" in text:
+            continue
+        yield rel, text
+
+
+# ---------------------------------------------------------------------------
+# Text engine: comment-stripped, brace-scope tracked. Same findings shape as
+# the clang engine so the self-test and CI wiring are engine-agnostic.
+# ---------------------------------------------------------------------------
+
+
+class TextEngine:
+    name = "text"
+
+    def raw_unit(self, tree):
+        findings = []
+        # Return types, parameters, members: three declaration shapes of a
+        # raw `double` carrying a dimensioned name.
+        patterns = (
+            (re.compile(r"\bdouble\s+([A-Za-z_]\w*)\s*\("), "return of"),
+            (re.compile(r"\bdouble\s*&?\s+([A-Za-z_]\w*)\s*(?=[,)])"), "parameter"),
+            (re.compile(r"\bdouble\s+([A-Za-z_]\w*)\s*(?:=[^;(){}]*)?;"), "member"),
+        )
+        for rel, text in public_headers(tree):
+            clean = strip_comments(text)
+            raw_lines = text.splitlines()
+            for pat, what in patterns:
+                for m in pat.finditer(clean):
+                    name = m.group(1)
+                    if not unit_name(name):
+                        continue
+                    line = line_of(clean, m.start())
+                    if waived(raw_lines, line, "raw-unit"):
+                        continue
+                    findings.append(
+                        (rel, line,
+                         f"raw double {what} `{name}` carries a physical "
+                         "dimension -- use the units.hpp strong type (or "
+                         "waive with `lint-allow: raw-unit (reason)`)")
+                    )
+        return findings
+
+    def blocking_under_lock(self, tree):
+        findings = []
+        decl_pat = re.compile(
+            r"\b(?:lac::)?MutexLock\s+(\w+)\s*[({]\s*([^;(){}]*?)\s*[)}]")
+        for rel, text in tree.files.items():
+            if not rel.startswith("src/") or rel.startswith("src/common/"):
+                continue
+            clean = strip_comments(text)
+            raw_lines = text.splitlines()
+            for m in decl_pat.finditer(clean):
+                lock_var, mutex_expr = m.group(1), m.group(2)
+                scope = self._scope_after(clean, m.end())
+                for f in self._blocking_calls(clean, m.end(), scope,
+                                              (lock_var, mutex_expr)):
+                    call_line, callee = f
+                    if waived(raw_lines, call_line, "blocking-under-lock"):
+                        continue
+                    findings.append(
+                        (rel, call_line,
+                         f"`{callee}()` blocks while MutexLock `{lock_var}` "
+                         f"(declared line {line_of(clean, m.start())}) is "
+                         "held -- release the lock first, or waive with "
+                         "`lint-allow: blocking-under-lock`")
+                    )
+        return findings
+
+    @staticmethod
+    def _scope_after(clean, pos):
+        """End position of the brace scope enclosing `pos`."""
+        depth = 0
+        i = pos
+        while i < len(clean):
+            c = clean[i]
+            if c in "\"'":
+                quote = c
+                i += 1
+                while i < len(clean):
+                    if clean[i] == "\\":
+                        i += 2
+                        continue
+                    if clean[i] == quote:
+                        break
+                    i += 1
+            elif c == "{":
+                depth += 1
+            elif c == "}":
+                if depth == 0:
+                    return i
+                depth -= 1
+            i += 1
+        return len(clean)
+
+    @staticmethod
+    def _blocking_calls(clean, start, end, lock_names):
+        call_pat = re.compile(
+            r"(?:\b(\w+)\s*(?:\.|->)\s*)?\b(" + "|".join(BLOCKING) + r")\s*\(")
+        region = clean[start:end]
+        for cm in call_pat.finditer(region):
+            callee = cm.group(2)
+            # Extract the argument list to honour the cv.wait(lock) idiom.
+            args, depth, i = [], 1, start + cm.end()
+            while i < len(clean) and depth > 0 and i < end + 512:
+                if clean[i] == "(":
+                    depth += 1
+                elif clean[i] == ")":
+                    depth -= 1
+                if depth > 0:
+                    args.append(clean[i])
+                i += 1
+            arg_text = "".join(args)
+            # cv.wait(lock) / cv.wait(mu_): the blocking call that *names*
+            # the lock (or the mutex it guards) is the CondVar idiom.
+            if callee == "wait" and any(
+                    n and re.search(rf"\b{re.escape(n)}\b", arg_text)
+                    for n in lock_names):
+                continue
+            yield line_of(clean, start + cm.start()), callee
+
+    def ast_delimiter(self, tree):
+        findings = []
+        serving = strip_comments(tree.files.get(SERVING_CPP, ""))
+        m = re.search(r"CostCache::signature\s*\([^)]*\)\s*\{", serving)
+        if not m:
+            findings.append((SERVING_CPP, 1,
+                             "could not find CostCache::signature"))
+        else:
+            body, _ = matched_body(serving, m.end() - 1)
+            check_fields(SERVING_CPP, line_of(serving, m.start()),
+                         signature_chains(body), False, findings)
+        reg = strip_comments(tree.files.get(REGISTRY, ""))
+        for em in re.finditer(
+                r"signature_extra\s*=\s*\[[^\]]*\]\s*\([^)]*\)\s*\{", reg):
+            body, _ = matched_body(reg, em.end() - 1)
+            check_fields(REGISTRY, line_of(reg, em.start()),
+                         signature_chains(body), True, findings)
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# Clang engine: the real AST via libclang. Files are handed to the parser as
+# unsaved buffers so the self-test's seeded trees need no temp directory.
+# ---------------------------------------------------------------------------
+
+
+class ClangEngine:
+    name = "clang"
+
+    def __init__(self, cindex, repo):
+        self.ci = cindex
+        self.repo = repo
+        self.index = cindex.Index.create()
+
+    def _parse(self, tree, rel):
+        path = str(self.repo / rel)
+        unsaved = [(str(self.repo / r), t) for r, t in tree.files.items()]
+        args = ["-x", "c++", "-std=c++20", "-I", str(self.repo / "src")]
+        return self.index.parse(path, args=args, unsaved_files=unsaved)
+
+    def _in_file(self, cursor, rel):
+        loc = cursor.location
+        return loc.file is not None and \
+            Path(loc.file.name).resolve() == (self.repo / rel).resolve()
+
+    def raw_unit(self, tree):
+        K = self.ci.CursorKind
+        findings = []
+        for rel, text in public_headers(tree):
+            raw_lines = text.splitlines()
+            tu = self._parse(tree, rel)
+            for cur in tu.cursor.walk_preorder():
+                if not self._in_file(cur, rel):
+                    continue
+                name, what = cur.spelling, None
+
+                def bare(t):
+                    return t.spelling.replace("const", "").replace("&", "").strip()
+
+                if cur.kind == K.FIELD_DECL and \
+                        bare(cur.type.get_canonical()) == "double":
+                    what = "member"
+                elif cur.kind == K.PARM_DECL and \
+                        bare(cur.type.get_canonical()) == "double":
+                    what = "parameter"
+                elif cur.kind in (K.FUNCTION_DECL, K.CXX_METHOD) and \
+                        bare(cur.result_type.get_canonical()) == "double":
+                    what = "return of"
+                if what is None or not name or not unit_name(name):
+                    continue
+                line = cur.location.line
+                if waived(raw_lines, line, "raw-unit"):
+                    continue
+                findings.append(
+                    (rel, line,
+                     f"raw double {what} `{name}` carries a physical "
+                     "dimension -- use the units.hpp strong type (or waive "
+                     "with `lint-allow: raw-unit (reason)`)")
+                )
+        return findings
+
+    def blocking_under_lock(self, tree):
+        K = self.ci.CursorKind
+        findings = []
+        for rel, text in tree.files.items():
+            if not rel.startswith("src/") or rel.startswith("src/common/"):
+                continue
+            if not rel.endswith(".cpp"):
+                continue
+            raw_lines = text.splitlines()
+            tu = self._parse(tree, rel)
+            for cur in tu.cursor.walk_preorder():
+                if cur.kind != K.COMPOUND_STMT or not self._in_file(cur, rel):
+                    continue
+                self._scan_compound(cur, rel, raw_lines, findings)
+        return findings
+
+    def _scan_compound(self, compound, rel, raw_lines, findings):
+        K = self.ci.CursorKind
+        live_locks = []
+        for child in compound.get_children():
+            if child.kind == K.DECL_STMT:
+                for d in child.get_children():
+                    if d.kind == K.VAR_DECL and \
+                            "MutexLock" in d.type.spelling:
+                        live_locks.append(d.spelling)
+                continue
+            if not live_locks:
+                continue
+            for call in child.walk_preorder():
+                if call.kind != K.CALL_EXPR or call.spelling not in BLOCKING:
+                    continue
+                if call.spelling == "wait" and any(
+                        ref.kind == K.DECL_REF_EXPR and
+                        ref.spelling in live_locks
+                        for ref in call.walk_preorder()):
+                    continue
+                line = call.location.line
+                if waived(raw_lines, line, "blocking-under-lock"):
+                    continue
+                findings.append(
+                    (rel, line,
+                     f"`{call.spelling}()` blocks while MutexLock "
+                     f"`{live_locks[-1]}` is held -- release the lock "
+                     "first, or waive with `lint-allow: "
+                     "blocking-under-lock`")
+                )
+
+    def ast_delimiter(self, tree):
+        K = self.ci.CursorKind
+        findings = []
+        serving_tu = self._parse(tree, SERVING_CPP)
+        sig = None
+        for cur in serving_tu.cursor.walk_preorder():
+            if cur.kind == K.CXX_METHOD and cur.spelling == "signature" and \
+                    cur.semantic_parent.spelling == "CostCache" and \
+                    cur.is_definition():
+                sig = cur
+        if sig is None:
+            findings.append((SERVING_CPP, 1,
+                             "could not find CostCache::signature"))
+        else:
+            fields = self._stream_operands(sig)
+            self._check(SERVING_CPP, sig.location.line, fields, False,
+                        findings)
+        reg_text = tree.files.get(REGISTRY, "")
+        reg_tu = self._parse(tree, REGISTRY)
+        reg_lines = strip_comments(reg_text).splitlines()
+        for cur in reg_tu.cursor.walk_preorder():
+            if cur.kind != K.LAMBDA_EXPR or not self._in_file(cur, REGISTRY):
+                continue
+            line = cur.location.line
+            context = " ".join(reg_lines[max(0, line - 3):line])
+            if "signature_extra" not in context:
+                continue
+            fields = self._stream_operands(cur)
+            self._check(REGISTRY, line, fields, True, findings)
+        return findings
+
+    def _stream_operands(self, body_cursor):
+        """Flatten every `os << a << b ...` chain into (is_literal, text)."""
+        K = self.ci.CursorKind
+        fields = []
+        taken = []  # extents of chains already flattened
+
+        for cur in body_cursor.walk_preorder():
+            if cur.kind not in (K.CALL_EXPR, K.BINARY_OPERATOR):
+                continue
+            toks = self._tokens(cur)
+            if "<<" not in toks:
+                continue
+            # Preorder: a shift nested inside a chain we already flattened
+            # has a contained extent -- skip it.
+            ext = (cur.extent.start.offset, cur.extent.end.offset)
+            if any(a <= ext[0] and ext[1] <= b for a, b in taken):
+                continue
+            taken.append(ext)
+            fields.extend(self._split_tokens(toks))
+        return fields
+
+    def _tokens(self, cursor):
+        return [t.spelling for t in cursor.get_tokens()]
+
+    @staticmethod
+    def _split_tokens(toks):
+        """Split a token stream at top-level << into operand strings."""
+        fields, depth, cur = [], 0, []
+        for t in toks:
+            if t in ("(", "["):
+                depth += 1
+            elif t in (")", "]"):
+                depth -= 1
+            if t == "<<" and depth == 0:
+                if cur:
+                    fields.append(" ".join(cur))
+                cur = []
+            else:
+                cur.append(t)
+        if cur:
+            fields.append(" ".join(cur))
+        return fields[1:]  # drop the stream object itself
+
+    @staticmethod
+    def _check(rel, line, fields, require_leading_pipe, findings):
+        def lit(f):
+            return f.startswith('"') or f.startswith("'")
+
+        if require_leading_pipe:
+            if not fields or not (lit(fields[0]) and
+                                  fields[0].lstrip('"').startswith("|")):
+                findings.append(
+                    (rel, line,
+                     "signature_extra must open with a '|...' literal so "
+                     "kind-specific fields cannot run into the shared "
+                     "prefix"))
+        for a, b in zip(fields, fields[1:]):
+            if not lit(a) and not lit(b):
+                findings.append(
+                    (rel, line,
+                     f"adjacent signature fields `{a}` and `{b}` have no "
+                     "delimiter literal between them -- distinct requests "
+                     "could concatenate onto one cache key"))
+
+
+# ---------------------------------------------------------------------------
+
+
+CHECKS = ("raw-unit", "blocking-under-lock", "ast-delimiter")
+
+
+def run_checks(engine, tree, names):
+    dispatch = {
+        "raw-unit": engine.raw_unit,
+        "blocking-under-lock": engine.blocking_under_lock,
+        "ast-delimiter": engine.ast_delimiter,
+    }
+    findings = []
+    for name in names:
+        for rel, line, msg in dispatch[name](tree):
+            findings.append(f"{rel}:{line}: [{name}] {msg}")
+    return findings
+
+
+def self_test(engine, tree):
+    """Seed one violation per check; every seed must be caught."""
+    failures = []
+
+    def seeded(mutate):
+        copy = Tree(dict(tree.files))
+        mutate(copy.files)
+        return copy
+
+    # raw-unit: a dimensioned double return + parameter in a public header.
+    def seed_raw_unit(files):
+        files["src/fabric/kernel_request.hpp"] += (
+            "\nnamespace lac::fabric {\n"
+            "double lint_seed_energy_nj(double busy_cycles);\n"
+            "}  // namespace lac::fabric\n"
+        )
+
+    # blocking-under-lock: a join() while a MutexLock is live. Spliced in
+    # before the file's closing namespace brace so both engines see it
+    # inside a well-formed scope.
+    def seed_blocking(files):
+        rel = "src/sched/graph_scheduler.cpp"
+        seed = (
+            "\nvoid lint_seed_blocking(Mutex& mu, ThreadPool& pool) {\n"
+            "  MutexLock lock(mu);\n"
+            "  pool.submit([] { return 0; }).get();\n"
+            "}\n"
+        )
+        text = files[rel]
+        cut = text.rfind("\n}")
+        files[rel] = text[:cut] + seed + text[cut:]
+
+    # ast-delimiter: two adjacent fields with no delimiter literal.
+    def seed_delimiter(files):
+        files[REGISTRY] += (
+            "\nnamespace { void lint_seed(lac::fabric::KernelTraits& t) {\n"
+            "  t.signature_extra = [](const lac::fabric::KernelRequest& req,\n"
+            "                         std::ostream& os) {\n"
+            "    os << \"|seed:\" << req.fft_n << req.fft_radix;\n"
+            "  };\n} }\n"
+        )
+
+    seeds = [
+        ("raw-unit", seed_raw_unit),
+        ("blocking-under-lock", seed_blocking),
+        ("ast-delimiter", seed_delimiter),
+    ]
+    for name, mutate in seeds:
+        hits = run_checks(engine, seeded(mutate), [name])
+        if not hits:
+            failures.append(
+                f"self-test: [{name}] seed `{mutate.__name__}` was NOT caught")
+        else:
+            print(f"self-test: [{name}] {mutate.__name__} caught: {hits[0]}")
+
+    pristine = run_checks(engine, tree, list(CHECKS))
+    for f in pristine:
+        failures.append(f"self-test: pristine tree not clean: {f}")
+    return failures
+
+
+def make_engine(prefer, repo):
+    if prefer in ("auto", "clang"):
+        try:
+            import clang.cindex as cindex
+            override = os.environ.get("LAC_LIBCLANG")
+            if override:
+                cindex.Config.set_library_file(override)
+            cindex.Index.create()
+            return ClangEngine(cindex, repo)
+        except Exception as exc:  # noqa: BLE001 -- any load failure falls back
+            if prefer == "clang":
+                print(f"ast-lint: libclang unavailable: {exc}", file=sys.stderr)
+                sys.exit(2)
+            print("ast-lint: libclang unavailable "
+                  f"({type(exc).__name__}) -- using the text engine")
+    return TextEngine()
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--repo", default=".", help="repository root")
+    ap.add_argument("--engine", default="auto",
+                    choices=("auto", "clang", "text"),
+                    help="libclang AST engine or the structural text "
+                         "fallback (default: clang if importable)")
+    ap.add_argument("--check", action="append", choices=CHECKS,
+                    help="run only this check (repeatable; default: all)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify every check catches a seeded violation")
+    args = ap.parse_args()
+
+    repo = Path(args.repo).resolve()
+    if not (repo / SERVING_CPP).is_file():
+        print(f"ast-lint: {repo} does not look like the lac repo "
+              f"(missing {SERVING_CPP})", file=sys.stderr)
+        return 2
+    tree = Tree.load(repo)
+    engine = make_engine(args.engine, repo)
+    print(f"ast-lint: engine={engine.name}")
+
+    if args.self_test:
+        failures = self_test(engine, tree)
+        for f in failures:
+            print(f, file=sys.stderr)
+        print(f"ast-lint self-test: {'FAIL' if failures else 'OK'}")
+        return 1 if failures else 0
+
+    findings = run_checks(engine, tree, args.check or list(CHECKS))
+    for f in findings:
+        print(f)
+    print(f"ast-lint: {len(findings)} finding(s) "
+          f"(engine={engine.name})" + (" -- FAIL" if findings else " -- OK"))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

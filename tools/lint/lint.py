@@ -20,6 +20,14 @@ compiles fine today and corrupts an invariant three PRs later:
                         literal between adjacent key fields, and each
                         extra opens with a '|' literal (PR 3: "640|4" vs
                         "64|04" style key collisions).
+  bench-schema          Every numeric field a bench emits into a
+                        BENCH_*.json must carry a unit suffix (_cycles,
+                        _nj, _w, _mm2, _ms, _per_s, ... -- or be a named
+                        display unit like `gflops`), unless the key is a
+                        recognizably dimensionless count/ratio (hits,
+                        requests, utilization, speedup, ...). Unit-less
+                        quantity keys are how the PR 3 mW-vs-W ambiguity
+                        leaks into downstream tooling.
   raw-thread            No raw std::thread construction outside
                         src/common/: concurrency goes through the shared
                         ThreadPool / parallel_for so the sanitizer lanes
@@ -324,8 +332,68 @@ def check_raw_thread(tree):
     return findings
 
 
+# JSON keys inside bench sources: `\"key\": ` inside a C++ string literal.
+# Group 2 captures what immediately follows the colon *inside the same
+# literal*: an opening quote means a string value, `[`/`{` a nested
+# container -- both exempt from the unit rule.
+BENCH_JSON_KEY = re.compile(r'\\"([A-Za-z0-9_]+)\\":\s?(\\"|\[|\{)?')
+
+# Unit-bearing final tokens: `energy_nj`, `p99_ms`, `requests_per_s`,
+# `avg_power_w`, `energy_delay_mw_per_gflops2` -- and bare display-unit
+# names (`cycles`, `watts`, `gflops`).
+UNIT_TOKENS = {
+    "cycles", "nj", "pj", "w", "mw", "watts", "mm2", "ms", "ns", "s",
+    "ghz", "gflops", "gflops2", "bytes", "kb", "mb",
+}
+
+# Dimensionless counts/ratios/config echoes: allowed without a suffix.
+DIMENSIONLESS_KEYS = {
+    "smoke", "n", "nr", "bw", "utilization", "weight", "block",
+    "deterministic_across_pool_widths", "fairness_jain",
+}
+DIMENSIONLESS_TOKENS = {
+    "points", "hits", "misses", "rate", "requests", "tenants", "failures",
+    "width", "widths", "workers", "iterations", "events", "nodes", "graphs",
+    "replays", "chunk", "speedup", "modes",
+}
+
+
+def check_bench_schema(tree):
+    findings = []
+    for rel, text in tree.files.items():
+        if not rel.startswith("bench/"):
+            continue
+        if "BENCH_" not in text:
+            continue  # bench prints tables only; no JSON schema to check
+        clean = strip_comments(text)
+        raw_lines = text.splitlines()
+        for m in BENCH_JSON_KEY.finditer(clean):
+            key, value_head = m.group(1), m.group(2)
+            if value_head is not None:
+                continue  # string-valued or nested object/array field
+            last = key.rsplit("_", 1)[-1]
+            if last in UNIT_TOKENS:
+                continue
+            if key in DIMENSIONLESS_KEYS or last in DIMENSIONLESS_TOKENS \
+                    or "speedup" in key:
+                continue
+            line = line_of(clean, m.start())
+            raw = raw_lines[line - 1] if line <= len(raw_lines) else ""
+            if "lint-allow(bench-unit)" in raw:
+                continue
+            findings.append(
+                (rel, line,
+                 f"numeric BENCH json field `{key}` has no unit suffix "
+                 "(_cycles, _nj, _w, _mm2, _ms, _per_s, ...) and is not a "
+                 "known dimensionless count/ratio -- name the unit (or "
+                 "waive with lint-allow(bench-unit))")
+            )
+    return findings
+
+
 CHECKS = {
     "stray-kernel-switch": check_stray_kernel_switch,
+    "bench-schema": check_bench_schema,
     "registry-complete": check_registry_complete,
     "signature-delimiters": check_signature_delimiters,
     "raw-thread": check_raw_thread,
@@ -388,6 +456,15 @@ def self_test(tree):
             "  };\n} }\n"
         )
 
+    # bench-schema: a numeric JSON field with no unit suffix.
+    def seed_bench_schema(files):
+        rel = "bench/bench_serving.cpp"
+        files[rel] = files.get(rel, "") + (
+            "\nstatic void lint_seed(std::ostream& os) {\n"
+            "  os << \"\\\"latency\\\": \" << 1.0;  // BENCH_seed.json\n"
+            "}\n"
+        )
+
     # raw-thread: a spawned std::thread outside src/common/.
     def seed_thread(files):
         files["src/sched/trace.cpp"] = files.get("src/sched/trace.cpp", "") + (
@@ -396,6 +473,7 @@ def self_test(tree):
 
     seeds = [
         ("stray-kernel-switch", seed_switch),
+        ("bench-schema", seed_bench_schema),
         ("registry-complete", seed_registry),
         ("registry-complete", seed_sized_request),
         ("signature-delimiters", seed_delimiter),
