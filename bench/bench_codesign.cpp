@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "bench_support.hpp"
+
 #include "arch/presets.hpp"
 #include "common/random.hpp"
 #include "fabric/model_executor.hpp"
@@ -179,7 +181,8 @@ int main() {
        << ",\n    \"energy_delay_mw_per_gflops2\":\n" << best_ed.record
        << "\n  },\n  \"cost_cache\": {\"hits\": " << cache.hits()
        << ", \"misses\": " << cache.misses()
-       << ", \"hit_rate\": " << cache.hit_rate() << "}\n}\n";
+       << ", \"hit_rate\": " << cache.hit_rate() << "}"
+       << ",\n  \"meta\": " << lac::bench::meta_json(1) << "\n}\n";
 
   std::printf("codesign sweep: %d model points, %d sim points\n%s", model_points,
               sim_points, json.str().c_str());

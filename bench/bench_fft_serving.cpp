@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "arch/presets.hpp"
+#include "bench_support.hpp"
 #include "common/random.hpp"
 #include "common/thread_pool.hpp"
 #include "fabric/model_executor.hpp"
@@ -269,7 +270,7 @@ int main() {
        << ",\n  \"total_failures\": "
        << (model_only.failures + sim_only.failures + model_mixed.failures +
            sim_mixed.failures)
-       << "\n}\n";
+       << ",\n  \"meta\": " << lac::bench::meta_json(width) << "\n}\n";
 
   std::printf("\n%s", json.str().c_str());
   std::ofstream out("BENCH_fft.json");

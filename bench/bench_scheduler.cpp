@@ -12,11 +12,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "arch/presets.hpp"
+#include "bench_support.hpp"
+#include "obs/trace.hpp"
 #include "common/random.hpp"
 #include "common/thread_pool.hpp"
 #include "fabric/model_executor.hpp"
@@ -82,8 +85,12 @@ std::string json_graph(const fabric::Executor& ex, const char* backend,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const bool smoke = std::getenv("LAC_BENCH_SMOKE") != nullptr;
+  const std::optional<std::string> trace_path =
+      lac::bench::trace_path_from_args(argc, argv);
+  std::optional<obs::TraceSession> trace_session;
+  if (trace_path) trace_session.emplace(obs::TraceSessionOptions{1u << 16});
   const arch::CoreConfig cfg = arch::lac_4x4_dp();
   const double bw = 2.0;
   const unsigned width = 8;
@@ -169,11 +176,22 @@ int main() {
   json << json_graph(sim, "sim", smoke ? 24 : 32, 8, 4, ok) << "\n  ],\n";
   json << "  \"cost_cache\": {\"hits\": " << cache.hits()
        << ", \"misses\": " << cache.misses()
-       << ", \"hit_rate\": " << cache.hit_rate() << "}\n}\n";
+       << ", \"hit_rate\": " << cache.hit_rate() << "}"
+       << ",\n  \"meta\": " << lac::bench::meta_json(width)
+       << ",\n  \"telemetry\": " << lac::bench::telemetry_json() << "\n}\n";
 
   std::printf("\n%s", json.str().c_str());
   std::ofstream out("BENCH_scheduler.json");
   out << json.str();
   std::printf("wrote BENCH_scheduler.json\n");
+
+  if (trace_session) {
+    trace_session->stop();
+    const bool wrote = trace_session->write_chrome_trace(*trace_path);
+    std::printf("%s %s (%llu events dropped)\n",
+                wrote ? "wrote" : "FAILED to write", trace_path->c_str(),
+                static_cast<unsigned long long>(trace_session->dropped()));
+    if (!wrote) return 1;
+  }
   return ok ? 0 : 1;
 }

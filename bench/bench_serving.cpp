@@ -20,12 +20,14 @@
 #include <vector>
 
 #include "arch/presets.hpp"
+#include "bench_support.hpp"
 #include "common/parallel.hpp"
 #include "common/random.hpp"
 #include "common/thread_pool.hpp"
 #include "fabric/model_executor.hpp"
 #include "fabric/serving.hpp"
 #include "fabric/sim_executor.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -175,16 +177,40 @@ bool deterministic_across_widths(const fabric::Executor& ex,
   return true;
 }
 
+/// Before/after view of the observability layer's cache counters
+/// (`lac.serving.cache.*`): the bench no longer derives the hit rate
+/// itself -- the instrumented CostCache is the single source, and
+/// tests/test_serving.cpp pins counter-vs-observed agreement.
+struct CacheCounterDelta {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  static CacheCounterDelta sample() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    CacheCounterDelta d;
+    d.hits = reg.counter("lac.serving.cache.hits").value();
+    d.misses = reg.counter("lac.serving.cache.misses").value();
+    return d;
+  }
+  CacheCounterDelta since(const CacheCounterDelta& before) const {
+    return CacheCounterDelta{hits - before.hits, misses - before.misses};
+  }
+  double hit_rate() const {
+    const double total = static_cast<double>(hits + misses);
+    return total > 0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
 std::string json_mode(const char* backend, const char* mode, std::size_t requests,
-                      const ModeStats& s, const fabric::CostCache* cache) {
+                      const ModeStats& s, const CacheCounterDelta* cache) {
   std::ostringstream os;
   os << "    {\"backend\": \"" << backend << "\", \"mode\": \"" << mode
      << "\", \"requests\": " << requests << ", \"wall_ms\": " << s.wall_ms
      << ", \"requests_per_s\": " << s.requests_per_s
      << ", \"p50_ms\": " << s.p50_ms << ", \"p99_ms\": " << s.p99_ms;
   if (cache)
-    os << ", \"cache_hits\": " << cache->hits()
-       << ", \"cache_misses\": " << cache->misses()
+    os << ", \"cache_hits\": " << cache->hits
+       << ", \"cache_misses\": " << cache->misses
        << ", \"cache_hit_rate\": " << cache->hit_rate();
   os << "}";
   return os.str();
@@ -192,8 +218,14 @@ std::string json_mode(const char* backend, const char* mode, std::size_t request
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const bool smoke = std::getenv("LAC_BENCH_SMOKE") != nullptr;
+  const std::optional<std::string> trace_path =
+      lac::bench::trace_path_from_args(argc, argv);
+  // One session over the whole run: ring capacity sized so a smoke capture
+  // is lossless (dropped() reports overwrites either way).
+  std::optional<obs::TraceSession> trace_session;
+  if (trace_path) trace_session.emplace(obs::TraceSessionOptions{1u << 16});
   const arch::CoreConfig cfg = arch::lac_4x4_dp();
   const int repeats = smoke ? 18 : 40;        // 2 sizes x 6 kernels x repeats
   const int iterations = smoke ? 2 : 5;
@@ -228,8 +260,12 @@ int main() {
   const ModeStats model_pool = run_pool(async_model, reqs, iterations);
   json << json_mode("model", "pool", reqs.size(), model_pool, nullptr) << ",\n";
   const fabric::AsyncExecutor async_cached(cached_model, &pool);
+  const CacheCounterDelta cache_before = CacheCounterDelta::sample();
   const ModeStats model_pool_cache = run_pool(async_cached, reqs, iterations);
-  json << json_mode("model", "pool+cache", reqs.size(), model_pool_cache, &cache)
+  const CacheCounterDelta cache_delta =
+      CacheCounterDelta::sample().since(cache_before);
+  json << json_mode("model", "pool+cache", reqs.size(), model_pool_cache,
+                    &cache_delta)
        << ",\n";
 
   // Sim backend: heavier per-request work; the pool still wins on dispatch.
@@ -254,11 +290,21 @@ int main() {
        << (sim_spawn.requests_per_s > 0
                ? sim_pool.requests_per_s / sim_spawn.requests_per_s
                : 0.0)
-       << "\n}\n";
+       << ",\n  \"meta\": " << lac::bench::meta_json(width)
+       << ",\n  \"telemetry\": " << lac::bench::telemetry_json() << "\n}\n";
 
   std::printf("\n%s", json.str().c_str());
   std::ofstream out("BENCH_serving.json");
   out << json.str();
   std::printf("wrote BENCH_serving.json\n");
+
+  if (trace_session) {
+    trace_session->stop();
+    const bool wrote = trace_session->write_chrome_trace(*trace_path);
+    std::printf("%s %s (%llu events dropped)\n",
+                wrote ? "wrote" : "FAILED to write", trace_path->c_str(),
+                static_cast<unsigned long long>(trace_session->dropped()));
+    if (!wrote) return 1;
+  }
   return det ? 0 : 1;
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "arch/presets.hpp"
+#include "bench_support.hpp"
 #include "common/random.hpp"
 #include "common/table.hpp"
 #include "fabric/batch.hpp"
@@ -148,7 +149,8 @@ int main() {
       json << "    " << json_record(r, n);
     }
   }
-  json << "\n  ],\n  \"sweep_wall_ms\": {" << wall.str() << "}\n}\n";
+  json << "\n  ],\n  \"sweep_wall_ms\": {" << wall.str() << "}"
+       << ",\n  \"meta\": " << lac::bench::meta_json(4) << "\n}\n";
 
   std::printf("\n%s", json.str().c_str());
   std::ofstream out("BENCH_validation.json");

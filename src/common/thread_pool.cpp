@@ -3,7 +3,35 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace lac {
+namespace {
+
+/// Metric handles resolved once per process (registry references are
+/// stable), so the worker hot path never touches the registry lock.
+/// Per-worker utilization is derivable as busy_ns / (wall * width); the
+/// per-worker breakdown itself comes from `pool.task` trace spans (one
+/// trace tid per worker).
+struct PoolMetrics {
+  obs::Gauge& queue_depth;
+  obs::Histogram& dequeue_wait_us;
+  obs::Counter& busy_ns;
+  obs::Counter& tasks;
+
+  static PoolMetrics& instance() {
+    static PoolMetrics* m = new PoolMetrics{
+        obs::MetricsRegistry::global().gauge("lac.pool.queue_depth"),
+        obs::MetricsRegistry::global().histogram(
+            "lac.pool.dequeue_wait_us", obs::default_latency_bounds_us()),
+        obs::MetricsRegistry::global().counter("lac.pool.busy_ns"),
+        obs::MetricsRegistry::global().counter("lac.pool.tasks")};
+    return *m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads)
     : target_(threads > 0 ? threads
@@ -34,28 +62,44 @@ void ThreadPool::start_locked() {
 }
 
 void ThreadPool::post(std::function<void()> job) {
+  const std::uint64_t enqueue_ns = obs::metrics_now_ns();
   {
     MutexLock lock(mu_);
     if (!started_) start_locked();
-    queue_.push_back(std::move(job));
+    queue_.push_back(QueuedJob{std::move(job), enqueue_ns});
+    PoolMetrics::instance().queue_depth.set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
+  PoolMetrics& metrics = PoolMetrics::instance();
   for (;;) {
     std::function<void()> job;
+    std::uint64_t enqueue_ns = 0;
     {
       MutexLock lock(mu_);
       while (!stop_ && queue_.empty()) cv_.wait(mu_);
       // On stop with work still queued, keep draining: shutdown() promises
       // completion, and the destructor clears the queue first anyway.
       if (queue_.empty()) return;
-      job = std::move(queue_.front());
+      job = std::move(queue_.front().fn);
+      enqueue_ns = queue_.front().enqueue_ns;
       queue_.pop_front();
       ++active_;
+      metrics.queue_depth.set(static_cast<double>(queue_.size()));
     }
-    job();
+    const std::uint64_t run_ns = obs::metrics_now_ns();
+    metrics.dequeue_wait_us.observe(static_cast<double>(run_ns - enqueue_ns) /
+                                    1e3);
+    {
+      // Parent scope for any spans the job opens (serving.execute,
+      // sched.run, ...); one relaxed load when no session is active.
+      obs::Span span("pool.task", "pool");
+      job();
+    }
+    metrics.busy_ns.add(obs::metrics_now_ns() - run_ns);
+    metrics.tasks.add();
     {
       MutexLock lock(mu_);
       --active_;

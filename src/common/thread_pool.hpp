@@ -16,6 +16,7 @@
 // dedicated CI lane compiles with -Wthread-safety -Werror, so touching
 // `queue_` or the lifecycle flags without `mu_` is a build error, not a
 // TSan report.
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -93,8 +94,15 @@ class ThreadPool {
   Mutex mu_;
   CondVar cv_;       ///< work available / stop requested
   CondVar idle_cv_;  ///< queue drained and no job in flight
+  /// One queued job plus its post() timestamp: the observability layer's
+  /// `lac.pool.dequeue_wait_us` histogram measures enqueue -> dequeue.
+  struct QueuedJob {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
+
   std::vector<std::thread> workers_ LAC_GUARDED_BY(mu_);
-  std::deque<std::function<void()>> queue_ LAC_GUARDED_BY(mu_);
+  std::deque<QueuedJob> queue_ LAC_GUARDED_BY(mu_);
   std::size_t active_ LAC_GUARDED_BY(mu_) = 0;
   bool started_ LAC_GUARDED_BY(mu_) = false;
   bool stop_ LAC_GUARDED_BY(mu_) = false;

@@ -1,0 +1,35 @@
+#include "fabric/fabric_metrics.hpp"
+
+#include <cctype>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace lac::fabric {
+namespace {
+
+std::string lower_copy(const char* s) {
+  std::string out(s);
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+obs::Histogram& ExecuteHistograms::for_kind(KernelKind kind) {
+  const std::size_t index = static_cast<std::size_t>(kind);
+  std::atomic<obs::Histogram*>& slot =
+      slots_[index < kMaxKinds ? index : kMaxKinds - 1];
+  obs::Histogram* hist = slot.load(std::memory_order_acquire);
+  if (!hist) {
+    const std::string name = std::string("lac.fabric.") + backend_ + "." +
+                             lower_copy(to_string(kind)) + ".execute_us";
+    hist = &obs::MetricsRegistry::global().histogram(
+        name, obs::default_latency_bounds_us());
+    slot.store(hist, std::memory_order_release);
+  }
+  return *hist;
+}
+
+}  // namespace lac::fabric

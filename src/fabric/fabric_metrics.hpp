@@ -1,0 +1,41 @@
+#pragma once
+// Per-kernel observability handles shared by the fabric backends.
+//
+// Both executors record how long each kernel kind takes to execute, keyed
+// by the kernel's *registry* name (lowercased), under
+// `lac.fabric.<backend>.<kernel>.execute_us`. The name is assembled once
+// per (backend, kind) and the histogram pointer cached in an atomic slot,
+// so the execute hot path pays one acquire load -- never a registry lock
+// or a string build.
+#include <array>
+#include <atomic>
+#include <cstddef>
+
+#include "fabric/kernel_request.hpp"
+
+namespace lac::obs {
+class Histogram;
+}  // namespace lac::obs
+
+namespace lac::fabric {
+
+/// One backend's table of per-kernel execute-latency histograms. Construct
+/// once per backend (a function-local static in the executor) with a
+/// static-storage lowercase backend id ("sim", "model").
+class ExecuteHistograms {
+ public:
+  explicit ExecuteHistograms(const char* backend) : backend_(backend) {}
+
+  /// The `lac.fabric.<backend>.<kernel>.execute_us` histogram for `kind`.
+  /// `kind` must be registered (call sites sit past request validation);
+  /// racing first calls both resolve to the same registry entry.
+  obs::Histogram& for_kind(KernelKind kind);
+
+ private:
+  static constexpr std::size_t kMaxKinds = 32;  ///< comfortably past the enum
+
+  const char* backend_;
+  std::array<std::atomic<obs::Histogram*>, kMaxKinds> slots_{};
+};
+
+}  // namespace lac::fabric

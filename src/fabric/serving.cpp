@@ -1,21 +1,55 @@
 #include "fabric/serving.hpp"
 
+#include <cctype>
 #include <limits>
 #include <sstream>
 #include <utility>
 
 #include "fabric/kernel_registry.hpp"
 #include "fabric/model_executor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lac::fabric {
+namespace {
+
+std::string lower_copy(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// Process-wide cache counters: CostCache instances come and go (benches
+/// build one per run), but the serving telemetry wants the totals, so the
+/// counters live in the registry rather than per instance. The per-instance
+/// hits()/misses() accessors remain the per-cache view.
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& inserts;
+
+  static CacheMetrics& instance() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    static CacheMetrics* m = new CacheMetrics{
+        reg.counter("lac.serving.cache.hits"),
+        reg.counter("lac.serving.cache.misses"),
+        reg.counter("lac.serving.cache.inserts")};
+    return *m;
+  }
+};
+
+}  // namespace
 
 CostCache::Estimate CostCache::estimate(const KernelRequest& req) {
+  CacheMetrics& metrics = CacheMetrics::instance();
   const std::string key = signature(req);
   {
     MutexLock lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      metrics.hits.add();
       return it->second;
     }
   }
@@ -33,10 +67,14 @@ CostCache::Estimate CostCache::estimate(const KernelRequest& req) {
   // Exactly one racing thread owns the insert (one miss per entry); the
   // losers found the value present and count as hits, keeping
   // hits + misses == lookups and misses == size().
-  if (inserted)
+  if (inserted) {
     misses_.fetch_add(1, std::memory_order_relaxed);
-  else
+    metrics.misses.add();
+    metrics.inserts.add();
+  } else {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    metrics.hits.add();
+  }
   return e;
 }
 
@@ -91,19 +129,46 @@ void CostCache::clear() {
   misses_.store(0);
 }
 
+AsyncExecutor::AsyncExecutor(const Executor& backend, ThreadPool* pool)
+    : backend_(backend), pool_(pool ? *pool : ThreadPool::shared()) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  requests_ = &reg.counter(std::string("lac.serving.") +
+                           lower_copy(backend.name()) + ".requests");
+  queue_wait_us_ = &reg.histogram("lac.serving.queue_wait_us",
+                                  obs::default_latency_bounds_us());
+}
+
 std::future<KernelResult> AsyncExecutor::submit(KernelRequest req) const {
-  const Executor& backend = backend_;
-  return pool_.submit(
-      [&backend, req = std::move(req)] { return backend.execute(req); });
+  return submit(std::move(req), nullptr);
 }
 
 std::future<KernelResult> AsyncExecutor::submit(
     KernelRequest req, std::function<void(const KernelResult&)> on_complete) const {
   const Executor& backend = backend_;
-  return pool_.submit([&backend, req = std::move(req),
-                       hook = std::move(on_complete)] {
-    KernelResult res = backend.execute(req);
-    if (hook) hook(res);
+  obs::Counter* requests = requests_;
+  obs::Histogram* queue_wait_us = queue_wait_us_;
+  // Captured on the submitting thread: the queue-wait interval starts here,
+  // and the submitter's span id parents the worker-side spans so a
+  // request's queue-wait/execute/hook phases chain across the thread hop.
+  const std::uint64_t submit_ns = obs::metrics_now_ns();
+  const std::uint64_t parent = obs::Span::current_id();
+  return pool_.submit([&backend, requests, queue_wait_us, submit_ns, parent,
+                       req = std::move(req), hook = std::move(on_complete)] {
+    const std::uint64_t start_ns = obs::metrics_now_ns();
+    queue_wait_us->observe(static_cast<double>(start_ns - submit_ns) / 1e3);
+    obs::record_interval("serving.queue_wait", "serving", submit_ns, start_ns,
+                         parent);
+    KernelResult res;
+    {
+      obs::Span span("serving.execute", "serving", parent);
+      res = backend.execute(req);
+      span.set_cycles(res.cycles);
+    }
+    if (hook) {
+      obs::Span span("serving.hook", "serving", parent);
+      hook(res);
+    }
+    requests->add();
     return res;
   });
 }

@@ -31,6 +31,11 @@
 #include "common/thread_pool.hpp"
 #include "fabric/executor.hpp"
 
+namespace lac::obs {
+class Counter;
+class Histogram;
+}  // namespace lac::obs
+
 namespace lac::fabric {
 
 /// Thread-safe memo of model-backend cost estimates (cycles, utilization,
@@ -87,9 +92,11 @@ using CycleCache = CostCache;
 /// future::get().
 class AsyncExecutor {
  public:
-  /// `pool` defaults to the process-wide shared pool.
-  explicit AsyncExecutor(const Executor& backend, ThreadPool* pool = nullptr)
-      : backend_(backend), pool_(pool ? *pool : ThreadPool::shared()) {}
+  /// `pool` defaults to the process-wide shared pool. Construction resolves
+  /// this wrapper's observability handles (`lac.serving.<backend>.requests`,
+  /// `lac.serving.queue_wait_us`), so the submit hot path never touches the
+  /// metrics registry lock.
+  explicit AsyncExecutor(const Executor& backend, ThreadPool* pool = nullptr);
 
   /// Queue one request; the future carries its result.
   std::future<KernelResult> submit(KernelRequest req) const;
@@ -111,6 +118,8 @@ class AsyncExecutor {
  private:
   const Executor& backend_;
   ThreadPool& pool_;
+  obs::Counter* requests_;       ///< lac.serving.<backend>.requests
+  obs::Histogram* queue_wait_us_;  ///< lac.serving.queue_wait_us
 };
 
 }  // namespace lac::fabric

@@ -1,0 +1,287 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/mutex.hpp"
+
+namespace lac::obs {
+namespace {
+
+/// Shared chrome-trace serialization (the LAC_OBS=OFF stub emits the same
+/// envelope with zero events, so downstream tooling never special-cases a
+/// tracerless build).
+void write_events_json(std::ostream& os, const std::vector<TraceEvent>& events,
+                       std::uint64_t base_ns) {
+  std::ostringstream body;
+  body.precision(std::numeric_limits<double>::max_digits10);
+  body << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i) body << ",";
+    body << "\n  {\"name\": \"" << e.name << "\", \"cat\": \"" << e.cat
+         << "\", \"ph\": \"X\", \"pid\": 0, \"tid\": " << e.tid
+         << ", \"ts\": " << static_cast<double>(e.start_ns - base_ns) / 1e3
+         << ", \"dur\": " << static_cast<double>(e.dur_ns) / 1e3
+         << ", \"args\": {\"id\": " << e.id << ", \"parent\": " << e.parent;
+    if (e.cycles.value() > 0.0) body << ", \"cycles\": " << e.cycles.value();
+    if (e.tenant >= 0) body << ", \"tenant\": " << e.tenant;
+    body << "}}";
+  }
+  body << (events.empty() ? "]}\n" : "\n]}\n");
+  os << body.str();
+}
+
+}  // namespace
+
+#if LAC_OBS_ENABLED
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// One thread's fixed-capacity event ring. The owning thread appends under
+/// the ring's own mutex (uncontended -- only the gatherer ever takes it
+/// from another thread), so stop() racing a mid-record thread is a clean
+/// handoff instead of a torn slot.
+struct ThreadRing {
+  explicit ThreadRing(std::size_t capacity, std::uint32_t tid_)
+      : slots(capacity), tid(tid_) {}
+
+  Mutex mu;
+  std::vector<TraceEvent> slots LAC_GUARDED_BY(mu);
+  std::size_t next LAC_GUARDED_BY(mu) = 0;      ///< write cursor
+  std::uint64_t recorded LAC_GUARDED_BY(mu) = 0;  ///< total appends
+  const std::uint32_t tid;
+
+  void push(const TraceEvent& e) LAC_EXCLUDES(mu) {
+    MutexLock lock(mu);
+    slots[next] = e;
+    next = (next + 1) % slots.size();
+    ++recorded;
+  }
+};
+
+/// The active session's shared recording state. Threads reach it through
+/// g_recorder (raw pointer + epoch); the TraceSession keeps it alive via
+/// shared_ptr until every thread's cached epoch has moved on -- threads
+/// cache a shared_ptr per epoch, so a ring is never written after its
+/// recorder (and the session that owns it) is gone.
+struct Recorder {
+  explicit Recorder(std::size_t ring_capacity_)
+      : ring_capacity(ring_capacity_), start_ns(now_ns()) {}
+
+  const std::size_t ring_capacity;
+  const std::uint64_t start_ns;
+  Mutex mu;
+  std::vector<std::unique_ptr<ThreadRing>> rings LAC_GUARDED_BY(mu);
+
+  ThreadRing& ring_for_thread() LAC_EXCLUDES(mu) {
+    MutexLock lock(mu);
+    rings.push_back(std::make_unique<ThreadRing>(
+        ring_capacity, static_cast<std::uint32_t>(rings.size())));
+    return *rings.back();
+  }
+};
+
+std::atomic<bool> g_active{false};
+std::atomic<std::uint64_t> g_epoch{1};
+Mutex g_recorder_mu;
+std::shared_ptr<Recorder> g_recorder LAC_GUARDED_BY(g_recorder_mu);
+
+std::atomic<std::uint64_t> g_next_span_id{1};
+thread_local std::uint64_t t_current_span = 0;
+
+/// Per-thread cache of (epoch, recorder, ring): the record fast path is a
+/// relaxed load of g_active plus an epoch compare; the slow path (first
+/// event after a session starts) registers a ring under the global mutex.
+struct ThreadSlot {
+  std::uint64_t epoch = 0;
+  std::shared_ptr<Recorder> recorder;
+  ThreadRing* ring = nullptr;
+};
+thread_local ThreadSlot t_slot;
+
+/// The thread's ring for the active session, or nullptr when none.
+ThreadRing* active_ring() {
+  if (!g_active.load(std::memory_order_acquire)) return nullptr;
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+  if (t_slot.epoch != epoch) {
+    std::shared_ptr<Recorder> rec;
+    {
+      MutexLock lock(g_recorder_mu);
+      rec = g_recorder;
+    }
+    t_slot.epoch = epoch;
+    t_slot.recorder = std::move(rec);
+    t_slot.ring = t_slot.recorder ? &t_slot.recorder->ring_for_thread() : nullptr;
+  }
+  return t_slot.ring;
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          SteadyClock::now().time_since_epoch())
+          .count());
+}
+
+bool tracing_active() { return g_active.load(std::memory_order_relaxed); }
+
+void record_interval(const char* name, const char* cat, std::uint64_t start_ns,
+                     std::uint64_t end_ns, std::uint64_t parent,
+                     units::Cycles cycles, std::int64_t tenant) {
+  ThreadRing* ring = active_ring();
+  if (!ring) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  e.parent = parent != 0 ? parent : t_current_span;
+  e.tid = ring->tid;
+  e.start_ns = start_ns;
+  e.dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+  e.cycles = cycles;
+  e.tenant = tenant;
+  ring->push(e);
+}
+
+Span::Span(const char* name, const char* cat) {
+  if (!tracing_active()) return;
+  open(name, cat, t_current_span);
+}
+
+Span::Span(const char* name, const char* cat, std::uint64_t parent_id) {
+  if (!tracing_active()) return;
+  open(name, cat, parent_id);
+}
+
+void Span::open(const char* name, const char* cat, std::uint64_t parent_id) {
+  name_ = name;
+  cat_ = cat;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = parent_id;
+  start_ns_ = now_ns();
+  prev_current_ = t_current_span;
+  t_current_span = id_;
+}
+
+Span::~Span() {
+  if (id_ == 0) return;
+  t_current_span = prev_current_;
+  ThreadRing* ring = active_ring();
+  if (!ring) return;  // session stopped mid-span: drop the event
+  TraceEvent e;
+  e.name = name_;
+  e.cat = cat_;
+  e.id = id_;
+  e.parent = parent_;
+  e.tid = ring->tid;
+  e.start_ns = start_ns_;
+  e.dur_ns = now_ns() - start_ns_;
+  e.cycles = cycles_;
+  e.tenant = tenant_;
+  ring->push(e);
+}
+
+std::uint64_t Span::current_id() { return t_current_span; }
+
+struct TraceSession::Impl {
+  std::shared_ptr<Recorder> recorder;
+};
+
+TraceSession::TraceSession(TraceSessionOptions opts)
+    : impl_(std::make_unique<Impl>()) {
+  {
+    MutexLock lock(g_recorder_mu);
+    if (g_recorder)
+      throw std::logic_error("obs::TraceSession: a session is already active");
+    impl_->recorder =
+        std::make_shared<Recorder>(std::max<std::size_t>(opts.ring_capacity, 64));
+    g_recorder = impl_->recorder;
+  }
+  g_epoch.fetch_add(1, std::memory_order_release);
+  g_active.store(true, std::memory_order_release);
+}
+
+TraceSession::~TraceSession() { stop(); }
+
+void TraceSession::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  g_active.store(false, std::memory_order_release);
+  {
+    MutexLock lock(g_recorder_mu);
+    g_recorder.reset();
+  }
+  // Bump the epoch so late threads re-resolve (to "no session") instead of
+  // writing into rings we are about to read. A thread that passed the
+  // g_active check before the store above may still push one event; the
+  // per-ring mutex makes that append atomic with respect to the gather.
+  g_epoch.fetch_add(1, std::memory_order_release);
+
+  Recorder& rec = *impl_->recorder;
+  MutexLock lock(rec.mu);
+  for (const std::unique_ptr<ThreadRing>& ring : rec.rings) {
+    MutexLock rlock(ring->mu);
+    const std::size_t cap = ring->slots.size();
+    const std::size_t n = std::min<std::uint64_t>(ring->recorded, cap);
+    dropped_ += ring->recorded - n;
+    // Oldest-first: the ring cursor points at the oldest slot once full.
+    const std::size_t first = ring->recorded > cap ? ring->next : 0;
+    for (std::size_t i = 0; i < n; ++i)
+      events_.push_back(ring->slots[(first + i) % cap]);
+  }
+  std::sort(events_.begin(), events_.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.id < b.id;
+            });
+}
+
+const std::vector<TraceEvent>& TraceSession::events() {
+  stop();
+  return events_;
+}
+
+void TraceSession::write_chrome_trace(std::ostream& os) {
+  stop();
+  write_events_json(os, events_, impl_->recorder->start_ns);
+}
+
+bool TraceSession::write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(static_cast<std::ostream&>(out));
+  return static_cast<bool>(out);
+}
+
+std::uint64_t TraceSession::dropped() {
+  stop();
+  return dropped_;
+}
+
+#else  // LAC_OBS_ENABLED
+
+void TraceSession::write_chrome_trace(std::ostream& os) {
+  write_events_json(os, events_, 0);
+}
+
+bool TraceSession::write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(static_cast<std::ostream&>(out));
+  return static_cast<bool>(out);
+}
+
+#endif  // LAC_OBS_ENABLED
+
+}  // namespace lac::obs

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "fabric/serving.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lac::sched {
 
@@ -40,6 +42,7 @@ struct GraphScheduler::Unit {
   fabric::KernelRequest req;
   std::string signature;   // cost-model signature (affinity batching)
   std::string make_error;  // deferred `make` closure threw; fail in-band
+  std::uint64_t ready_ns = 0;  // enqueue timestamp (ready -> run wait)
 };
 
 struct GraphScheduler::Tenant {
@@ -85,6 +88,36 @@ void run_hook(const Hook& hook, const Arg& arg) {
   }
   --g_hook_depth;
 }
+
+/// Scheduler-wide metric handles, resolved once (the registry hands out
+/// stable references). The vtime gauge tracks the most recently charged
+/// tenant's virtual time -- with one active tenant it is that tenant's WFQ
+/// clock; with several it samples the serving tenant, which WFQ keeps near
+/// the pack minimum.
+struct SchedMetrics {
+  obs::Histogram& admit_wait_us;
+  obs::Histogram& ready_wait_us;
+  obs::Histogram& run_us;
+  obs::Gauge& vtime_cycles;
+  obs::Counter& admitted_jobs;
+  obs::Counter& completed_jobs;
+  obs::Counter& cancelled_units;
+
+  static SchedMetrics& instance() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    static SchedMetrics* m = new SchedMetrics{
+        reg.histogram("lac.sched.admit_wait_us",
+                      obs::default_latency_bounds_us()),
+        reg.histogram("lac.sched.ready_wait_us",
+                      obs::default_latency_bounds_us()),
+        reg.histogram("lac.sched.run_us", obs::default_latency_bounds_us()),
+        reg.gauge("lac.sched.vtime_cycles"),
+        reg.counter("lac.sched.admitted_jobs"),
+        reg.counter("lac.sched.completed_jobs"),
+        reg.counter("lac.sched.cancelled_units")};
+    return *m;
+  }
+};
 
 }  // namespace
 
@@ -142,7 +175,7 @@ std::optional<std::future<fabric::KernelResult>> GraphScheduler::try_submit(
   return admit_single(tenant, std::move(req), std::move(on_complete), false);
 }
 
-bool GraphScheduler::admit_slot(bool block) {
+bool GraphScheduler::admit_slot(bool block, TenantId tenant) {
   MutexLock lock(mu_);
   // try_submit's refusal applies everywhere -- it never blocks, so it is
   // always deadlock-free and backpressure stays observable from hooks.
@@ -151,11 +184,22 @@ bool GraphScheduler::admit_slot(bool block) {
   // hook occupies a pool worker, and the capacity it would wait for may
   // need that very worker to free (self-deadlock). Such hook-chained jobs
   // are admitted over capacity instead, visible in peak_pending().
-  if (g_hook_depth == 0)
+  if (g_hook_depth == 0 && pending_jobs_ >= opts_.queue_capacity) {
+    // Timed only when the gate actually blocks: uncontended admission pays
+    // no clock read.
+    const std::uint64_t wait_start_ns = obs::metrics_now_ns();
     while (pending_jobs_ >= opts_.queue_capacity) admit_cv_.wait(mu_);
+    const std::uint64_t wait_end_ns = obs::metrics_now_ns();
+    SchedMetrics::instance().admit_wait_us.observe(
+        static_cast<double>(wait_end_ns - wait_start_ns) / 1e3);
+    obs::record_interval("sched.admit_wait", "sched", wait_start_ns,
+                         wait_end_ns, 0, units::Cycles{},
+                         static_cast<std::int64_t>(tenant));
+  }
   ++pending_jobs_;
   ++unresolved_jobs_;
   peak_pending_ = std::max(peak_pending_, pending_jobs_);
+  SchedMetrics::instance().admitted_jobs.add();
   return true;
 }
 
@@ -189,7 +233,7 @@ std::optional<std::future<GraphResult>> GraphScheduler::admit_graph(
   for (NodeId id = 0; id < n; ++id)
     job->missing[id] = job->graph.node(id).deps.size();
 
-  if (!admit_slot(block)) return std::nullopt;
+  if (!admit_slot(block, tenant)) return std::nullopt;
   job->admitted = Clock::now();
   std::future<GraphResult> fut = job->gpromise.get_future();
   {
@@ -213,7 +257,7 @@ std::optional<std::future<fabric::KernelResult>> GraphScheduler::admit_single(
   job->single = true;
   job->khook = std::move(hook);
 
-  if (!admit_slot(block)) return std::nullopt;
+  if (!admit_slot(block, tenant)) return std::nullopt;
   job->admitted = Clock::now();
   std::future<fabric::KernelResult> fut = job->kpromise.get_future();
   {
@@ -255,8 +299,10 @@ std::unique_ptr<GraphScheduler::Unit> GraphScheduler::build_unit(
 
 void GraphScheduler::enqueue(std::vector<std::unique_ptr<Unit>> units) {
   if (units.empty()) return;
+  const std::uint64_t ready_ns = obs::metrics_now_ns();
   MutexLock lock(mu_);
   for (std::unique_ptr<Unit>& unit : units) {
+    unit->ready_ns = ready_ns;
     Tenant& ten = *tenants_[unit->job->tenant];
     if (ten.ready.empty() && ten.inflight == 0) {
       // A tenant going from idle to busy resumes at the lead of the active
@@ -354,15 +400,29 @@ void GraphScheduler::run_unit(std::unique_ptr<Unit> unit) {
     complete_unit(std::move(unit), std::move(failed));
     return;
   }
+  SchedMetrics& metrics = SchedMetrics::instance();
+  const std::int64_t tenant = static_cast<std::int64_t>(unit->job->tenant);
+  const std::uint64_t run_start_ns = obs::metrics_now_ns();
+  metrics.ready_wait_us.observe(
+      static_cast<double>(run_start_ns - unit->ready_ns) / 1e3);
+  obs::record_interval("sched.ready_wait", "sched", unit->ready_ns,
+                       run_start_ns, 0, units::Cycles{}, tenant);
   fabric::KernelResult res;
-  try {
-    res = backend_.execute(unit->req);
-  } catch (const std::exception& e) {
-    res = fabric::make_failed(unit->req, backend_.name(),
-                              std::string("backend exception: ") + e.what());
-  } catch (...) {
-    res = fabric::make_failed(unit->req, backend_.name(), "backend exception");
+  {
+    obs::Span span("sched.run", "sched");
+    span.set_tenant(unit->job->tenant);
+    try {
+      res = backend_.execute(unit->req);
+    } catch (const std::exception& e) {
+      res = fabric::make_failed(unit->req, backend_.name(),
+                                std::string("backend exception: ") + e.what());
+    } catch (...) {
+      res = fabric::make_failed(unit->req, backend_.name(), "backend exception");
+    }
+    span.set_cycles(res.cycles);
   }
+  metrics.run_us.observe(
+      static_cast<double>(obs::metrics_now_ns() - run_start_ns) / 1e3);
   if (res.ok && !unit->job->single) {
     const auto& commit = unit->job->graph.node(unit->id).commit;
     if (commit) {
@@ -395,6 +455,7 @@ void GraphScheduler::complete_unit(std::unique_ptr<Unit> unit,
     // WFQ charge: service is fabric cycles over the tenant weight. Failed
     // units cost zero cycles and charge nothing, matching the accounting.
     ten.vtime += res.cycles / ten.cfg.weight;
+    SchedMetrics::instance().vtime_cycles.set(ten.vtime.value());
 
     if (job->single) {
       ++ten.jobs_completed;
@@ -432,6 +493,7 @@ void GraphScheduler::complete_unit(std::unique_ptr<Unit> unit,
             job->failed = true;
             ++ten.units_completed;
             ++ten.units_failed;
+            SchedMetrics::instance().cancelled_units.add();
             cascade.push_back(dep);
           } else {
             to_build.push_back(dep);
@@ -448,6 +510,7 @@ void GraphScheduler::complete_unit(std::unique_ptr<Unit> unit,
       // submit, even at capacity) but keep the job "unresolved" until its
       // hook has run and its promise is set -- the drain() contract.
       --pending_jobs_;
+      SchedMetrics::instance().completed_jobs.add();
     }
   }
 

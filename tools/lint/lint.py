@@ -34,6 +34,23 @@ compiles fine today and corrupts an invariant three PRs later:
                         and the thread-safety annotations see every
                         thread. Waive a deliberate exception with a
                         `lint-allow(raw-thread)` comment on the line.
+  metric-names          Every metric name registered with the PR 9
+                        MetricsRegistry (any `"lac.…"` string literal in
+                        product code) is dotted lowercase
+                        `lac.<layer>.<name>` and its final segment either
+                        carries a unit (`_us`, `_ns`, `_cycles`, ...) or
+                        is a recognizable dimensionless count (`hits`,
+                        `tasks`, `…_jobs`). Literals ending in `.` are
+                        prefixes completed at runtime (backend/kernel
+                        names) and are shape-checked only. Waive with
+                        `lint-allow(metric-name)`.
+
+--artifact FILE validates a runtime artifact instead of sources: a
+BENCH_*.json (required `meta` provenance keys; `telemetry` metric names
+obey the metric-names rule; histogram objects carry exactly
+count/sum/bounds/buckets) or a Chrome trace JSON (`traceEvents` of "X"
+events with name/cat/ts/dur/pid/tid). This is how CI holds the
+bench-schema line on fields that only exist at runtime.
 
 Exit status 0 = clean, 1 = findings (printed one per line as
 file:line: [check] message), 2 = linter could not run.
@@ -45,6 +62,7 @@ the codebase fails CI the same way a violation would).
 """
 
 import argparse
+import json
 import re
 import sys
 from pathlib import Path
@@ -342,7 +360,7 @@ BENCH_JSON_KEY = re.compile(r'\\"([A-Za-z0-9_]+)\\":\s?(\\"|\[|\{)?')
 # `avg_power_w`, `energy_delay_mw_per_gflops2` -- and bare display-unit
 # names (`cycles`, `watts`, `gflops`).
 UNIT_TOKENS = {
-    "cycles", "nj", "pj", "w", "mw", "watts", "mm2", "ms", "ns", "s",
+    "cycles", "nj", "pj", "w", "mw", "watts", "mm2", "ms", "us", "ns", "s",
     "ghz", "gflops", "gflops2", "bytes", "kb", "mb",
 }
 
@@ -356,6 +374,12 @@ DIMENSIONLESS_TOKENS = {
     "width", "widths", "workers", "iterations", "events", "nodes", "graphs",
     "replays", "chunk", "speedup", "modes",
 }
+
+# Keys whose values are runtime-composed JSON objects streamed in from a
+# helper (`<< meta_json(...)`), so the source-level regex cannot see the
+# `{` that proves them non-numeric. Their *contents* are held to the same
+# unit rules by the --artifact validation CI runs on the emitted files.
+RUNTIME_SECTION_KEYS = {"meta", "telemetry"}
 
 
 def check_bench_schema(tree):
@@ -371,6 +395,8 @@ def check_bench_schema(tree):
             key, value_head = m.group(1), m.group(2)
             if value_head is not None:
                 continue  # string-valued or nested object/array field
+            if key in RUNTIME_SECTION_KEYS:
+                continue  # object streamed from a helper; --artifact checks it
             last = key.rsplit("_", 1)[-1]
             if last in UNIT_TOKENS:
                 continue
@@ -391,12 +417,174 @@ def check_bench_schema(tree):
     return findings
 
 
+# ---------------------------------------------------------------------------
+# metric-names: registry metric literals in product code.
+
+# A metric-name (or metric-name-prefix) string literal: `"lac.` followed by
+# dotted segments. Captures the literal's contents up to the closing quote.
+METRIC_LITERAL = re.compile(r'"(lac\.[^"\\]*)"')
+
+# Final-segment tokens that read as a count without a unit: the name *is*
+# the dimension. Everything else numeric must end in a unit suffix.
+METRIC_DIMENSIONLESS_TOKENS = {
+    "hits", "misses", "inserts", "requests", "tasks", "jobs", "units",
+    "depth", "events", "drops", "errors", "retries", "count",
+}
+
+
+def metric_name_findings(name, where="metric name"):
+    """Rule violations for one full metric name (no trailing dot)."""
+    problems = []
+    segments = name.split(".")
+    if any(not re.fullmatch(r"[a-z][a-z0-9_]*", s) for s in segments):
+        problems.append(
+            f"{where} `{name}` is not dotted lowercase "
+            "`lac.<layer>.<name>` (segments are [a-z][a-z0-9_]*)")
+        return problems
+    if len(segments) < 3:
+        problems.append(
+            f"{where} `{name}` needs at least `lac.<layer>.<name>`")
+        return problems
+    last_token = segments[-1].rsplit("_", 1)[-1]
+    if last_token not in UNIT_TOKENS and \
+            last_token not in METRIC_DIMENSIONLESS_TOKENS:
+        problems.append(
+            f"{where} `{name}` final segment carries no unit suffix "
+            "(_us, _ns, _cycles, ...) and is not a recognizable "
+            "dimensionless count")
+    return problems
+
+
+def check_metric_names(tree):
+    findings = []
+    for rel, text in tree.files.items():
+        clean = strip_comments(text)
+        raw_lines = text.splitlines()
+        for m in METRIC_LITERAL.finditer(clean):
+            literal = m.group(1)
+            line = line_of(clean, m.start())
+            raw = raw_lines[line - 1] if line <= len(raw_lines) else ""
+            if "lint-allow(metric-name)" in raw:
+                continue
+            if literal.endswith("."):
+                # Prefix completed at runtime (backend/kernel name): the
+                # written segments must still be well-shaped.
+                bad = [s for s in literal[:-1].split(".")
+                       if not re.fullmatch(r"[a-z][a-z0-9_]*", s)]
+                if bad:
+                    findings.append(
+                        (rel, line,
+                         f"metric-name prefix `{literal}` has non-lowercase "
+                         f"segment(s) {bad}"))
+                continue
+            for msg in metric_name_findings(literal):
+                findings.append((rel, line, msg))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# --artifact: runtime validation of emitted BENCH/trace JSON.
+
+REQUIRED_META_KEYS = {"git_sha", "build_type", "timestamp", "worker_width"}
+HISTOGRAM_KEYS = {"count", "sum", "bounds", "buckets"}
+REQUIRED_TRACE_EVENT_KEYS = {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+
+
+def validate_telemetry(rel, telemetry, findings):
+    if not isinstance(telemetry, dict):
+        findings.append((rel, 1, "`telemetry` is not a JSON object"))
+        return
+    for name, value in telemetry.items():
+        for msg in metric_name_findings(name, where="telemetry key"):
+            findings.append((rel, 1, msg))
+        if isinstance(value, dict):  # histogram
+            keys = set(value)
+            if keys != HISTOGRAM_KEYS:
+                findings.append(
+                    (rel, 1,
+                     f"telemetry histogram `{name}` keys {sorted(keys)} != "
+                     f"{sorted(HISTOGRAM_KEYS)}"))
+                continue
+            if len(value["buckets"]) != len(value["bounds"]) + 1:
+                findings.append(
+                    (rel, 1,
+                     f"telemetry histogram `{name}` needs "
+                     "len(buckets) == len(bounds) + 1 (overflow last)"))
+            if sum(value["buckets"]) != value["count"]:
+                findings.append(
+                    (rel, 1,
+                     f"telemetry histogram `{name}` bucket sum "
+                     f"{sum(value['buckets'])} != count {value['count']}"))
+        elif not isinstance(value, (int, float)):
+            findings.append(
+                (rel, 1,
+                 f"telemetry `{name}` must be a number or a histogram "
+                 "object"))
+
+
+def validate_bench_artifact(rel, data, findings):
+    meta = data.get("meta")
+    if not isinstance(meta, dict):
+        findings.append(
+            (rel, 1, "BENCH json has no `meta` provenance object"))
+    else:
+        missing = REQUIRED_META_KEYS - set(meta)
+        if missing:
+            findings.append(
+                (rel, 1, f"BENCH `meta` is missing {sorted(missing)}"))
+    if "telemetry" in data:
+        validate_telemetry(rel, data["telemetry"], findings)
+
+
+def validate_trace_artifact(rel, data, findings):
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        findings.append((rel, 1, "trace json has no `traceEvents` array"))
+        return
+    for i, ev in enumerate(events):
+        missing = REQUIRED_TRACE_EVENT_KEYS - set(ev)
+        if missing:
+            findings.append(
+                (rel, 1, f"traceEvents[{i}] is missing {sorted(missing)}"))
+            continue
+        if ev["ph"] != "X":
+            findings.append(
+                (rel, 1,
+                 f"traceEvents[{i}] ph `{ev['ph']}` != \"X\" (the exporter "
+                 "emits complete events only)"))
+        if not all(isinstance(ev[k], (int, float)) and ev[k] >= 0
+                   for k in ("ts", "dur")):
+            findings.append(
+                (rel, 1, f"traceEvents[{i}] ts/dur must be numbers >= 0"))
+
+
+def validate_artifact_data(rel, data):
+    """Findings for one parsed artifact (BENCH or Chrome trace JSON)."""
+    findings = []
+    if "traceEvents" in data:
+        validate_trace_artifact(rel, data, findings)
+    else:
+        validate_bench_artifact(rel, data, findings)
+    return findings
+
+
+def validate_artifact_file(path):
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as e:
+        return [(str(path), 1, f"unreadable artifact: {e}")]
+    if not isinstance(data, dict):
+        return [(str(path), 1, "artifact root is not a JSON object")]
+    return validate_artifact_data(str(path), data)
+
+
 CHECKS = {
     "stray-kernel-switch": check_stray_kernel_switch,
     "bench-schema": check_bench_schema,
     "registry-complete": check_registry_complete,
     "signature-delimiters": check_signature_delimiters,
     "raw-thread": check_raw_thread,
+    "metric-names": check_metric_names,
 }
 
 
@@ -471,6 +659,20 @@ def self_test(tree):
             "\nvoid lint_seed() { std::thread t([] {}); t.join(); }\n"
         )
 
+    # metric-names: a unit-less, non-count metric registration in src/.
+    def seed_metric_name(files):
+        rel = "src/common/thread_pool.cpp"
+        files[rel] = files.get(rel, "") + (
+            "\nstatic const char* lint_seed = \"lac.pool.latency\";\n"
+        )
+
+    # metric-names: an uppercase segment (backend names must be lowered).
+    def seed_metric_case(files):
+        rel = "src/fabric/serving.cpp"
+        files[rel] = files.get(rel, "") + (
+            "\nstatic const char* lint_seed = \"lac.serving.GEMM.requests\";\n"
+        )
+
     seeds = [
         ("stray-kernel-switch", seed_switch),
         ("bench-schema", seed_bench_schema),
@@ -479,6 +681,8 @@ def self_test(tree):
         ("signature-delimiters", seed_delimiter),
         ("signature-delimiters", seed_leading_pipe),
         ("raw-thread", seed_thread),
+        ("metric-names", seed_metric_name),
+        ("metric-names", seed_metric_case),
     ]
     for name, mutate in seeds:
         hits = run_checks(seeded(mutate), [name])
@@ -487,6 +691,48 @@ def self_test(tree):
                             "was NOT caught")
         else:
             print(f"self-test: [{name}] {mutate.__name__} caught: {hits[0]}")
+
+    # Artifact-validation seeds: each bad fixture must be caught, and the
+    # good fixtures must be clean.
+    good_meta = {"git_sha": "abc123", "build_type": "Release",
+                 "timestamp": "2026-01-01T00:00:00Z", "worker_width": 8}
+    good_hist = {"count": 3, "sum": 4.5, "bounds": [1.0, 2.0],
+                 "buckets": [1, 1, 1]}
+    artifact_cases = [
+        ("good bench", {"meta": good_meta,
+                        "telemetry": {"lac.pool.tasks": 7,
+                                      "lac.pool.dequeue_wait_us": good_hist}},
+         False),
+        ("good trace", {"traceEvents": [
+            {"name": "x", "cat": "lac", "ph": "X", "ts": 0, "dur": 1,
+             "pid": 1, "tid": 0}]}, False),
+        ("bench without meta", {"telemetry": {}}, True),
+        ("meta missing keys", {"meta": {"git_sha": "abc123"}}, True),
+        ("unit-less telemetry key",
+         {"meta": good_meta, "telemetry": {"lac.pool.latency": 1.0}}, True),
+        ("histogram with extra key",
+         {"meta": good_meta,
+          "telemetry": {"lac.pool.dequeue_wait_us":
+                        dict(good_hist, p99=2.0)}}, True),
+        ("histogram bucket/count drift",
+         {"meta": good_meta,
+          "telemetry": {"lac.pool.dequeue_wait_us":
+                        dict(good_hist, count=99)}}, True),
+        ("trace with non-X phase", {"traceEvents": [
+            {"name": "x", "cat": "lac", "ph": "B", "ts": 0, "dur": 1,
+             "pid": 1, "tid": 0}]}, True),
+        ("trace event missing keys", {"traceEvents": [{"name": "x"}]}, True),
+    ]
+    for label, data, expect_findings in artifact_cases:
+        hits = validate_artifact_data(label, data)
+        if bool(hits) != expect_findings:
+            failures.append(
+                f"self-test: [artifact] `{label}` expected "
+                f"{'findings' if expect_findings else 'clean'}, got "
+                f"{hits or 'clean'}")
+        else:
+            print(f"self-test: [artifact] {label}: "
+                  f"{'caught: ' + str(hits[0]) if hits else 'clean'}")
 
     # And the pristine tree must be clean, or the seeds prove nothing.
     pristine = run_checks(tree, list(CHECKS))
@@ -502,7 +748,22 @@ def main():
                     help="run only this check (repeatable; default: all)")
     ap.add_argument("--self-test", action="store_true",
                     help="verify every check catches a seeded violation")
+    ap.add_argument("--artifact", action="append", metavar="FILE",
+                    help="validate an emitted BENCH_*.json or trace JSON "
+                         "instead of linting sources (repeatable)")
     args = ap.parse_args()
+
+    if args.artifact:
+        findings = []
+        for path in args.artifact:
+            for rel, line, msg in validate_artifact_file(path):
+                findings.append(f"{rel}:{line}: [artifact] {msg}")
+        for f in findings:
+            print(f)
+        print(f"lint --artifact: {len(findings)} finding(s) across "
+              f"{len(args.artifact)} file(s)"
+              + (" -- FAIL" if findings else " -- OK"))
+        return 1 if findings else 0
 
     repo = Path(args.repo).resolve()
     if not (repo / REQUEST_HPP).is_file():
