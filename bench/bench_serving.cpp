@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -130,25 +131,41 @@ ModeStats run_spawn(const fabric::Executor& ex,
 }
 
 /// Serving path: every request is queued through the AsyncExecutor on the
-/// persistent pool; latency is completion minus submission.
+/// persistent pool with a bounded in-flight window (an open-loop client
+/// would not dump the whole day's traffic into the queue at once; unbounded
+/// submission makes every request's latency the batch wall time and the
+/// p99 meaningless). Latency is completion minus submission.
 ModeStats run_pool(const fabric::AsyncExecutor& async,
                    const std::vector<fabric::KernelRequest>& reqs,
-                   int iterations) {
+                   int iterations, std::size_t window) {
   std::vector<double> lat(reqs.size() * static_cast<std::size_t>(iterations));
   double wall = 0.0;
   std::size_t cursor = 0;
   for (int it = 0; it < iterations; ++it) {
     const auto t0 = Clock::now();
-    std::vector<std::future<fabric::KernelResult>> futs;
-    futs.reserve(reqs.size());
+    std::deque<std::future<fabric::KernelResult>> inflight;
     for (const fabric::KernelRequest& req : reqs) {
+      // Hysteresis: when the window fills, retire half of it before
+      // submitting again. The queue-wait bound is the same (a request
+      // never waits behind more than `window` others), but the submitter
+      // sleeps once per burst instead of once per request.
+      if (inflight.size() >= window) {
+        while (inflight.size() > window / 2) {
+          inflight.front().get();
+          inflight.pop_front();
+        }
+      }
       const auto submitted = Clock::now();
       double* slot = &lat[cursor++];
-      futs.push_back(async.submit(req, [slot, submitted](const fabric::KernelResult&) {
-        *slot = ms_between(submitted, Clock::now());
-      }));
+      inflight.push_back(
+          async.submit(req, [slot, submitted](const fabric::KernelResult&) {
+            *slot = ms_between(submitted, Clock::now());
+          }));
     }
-    for (auto& f : futs) f.get();
+    while (!inflight.empty()) {
+      inflight.front().get();
+      inflight.pop_front();
+    }
     wall += ms_between(t0, Clock::now());
   }
   return finalize(wall, reqs.size() * static_cast<std::size_t>(iterations), std::move(lat));
@@ -234,6 +251,10 @@ int main(int argc, char** argv) {
   // `width` fresh threads every run() call, the pool keeps `width` workers
   // alive -- so the only variable is per-call thread creation.
   const unsigned width = 8;
+  // Bounded in-flight submission window for the pool modes: enough backlog
+  // to keep every worker fed, small enough that a request's queue wait is
+  // bounded by the window (not by the whole batch).
+  const std::size_t window = 4 * width;
   std::vector<fabric::KernelRequest> reqs = workload(cfg, repeats);
   std::printf("serving workload: %zu mixed-kernel requests (%d repeats per shape)\n",
               reqs.size(), repeats);
@@ -248,6 +269,7 @@ int main(int argc, char** argv) {
   json << "{\n  \"requests\": " << reqs.size()
        << ",\n  \"iterations\": " << iterations
        << ",\n  \"spawn_chunk\": " << chunk
+       << ",\n  \"submit_window\": " << window
        << ",\n  \"worker_width\": " << width << ",\n  \"modes\": [\n";
 
   // Model backend: instant estimation makes dispatch overhead the story.
@@ -257,11 +279,13 @@ int main(int argc, char** argv) {
   const ModeStats model_spawn = run_spawn(model, reqs, chunk, width, iterations);
   json << json_mode("model", "spawn", reqs.size(), model_spawn, nullptr) << ",\n";
   const fabric::AsyncExecutor async_model(model, &pool);
-  const ModeStats model_pool = run_pool(async_model, reqs, iterations);
+  const ModeStats model_pool = run_pool(async_model, reqs, iterations, window);
   json << json_mode("model", "pool", reqs.size(), model_pool, nullptr) << ",\n";
+  // No hint source here: model jobs are uniformly short, so a size hint
+  // buys nothing and its signature lookup would tax every submit.
   const fabric::AsyncExecutor async_cached(cached_model, &pool);
   const CacheCounterDelta cache_before = CacheCounterDelta::sample();
-  const ModeStats model_pool_cache = run_pool(async_cached, reqs, iterations);
+  const ModeStats model_pool_cache = run_pool(async_cached, reqs, iterations, window);
   const CacheCounterDelta cache_delta =
       CacheCounterDelta::sample().since(cache_before);
   json << json_mode("model", "pool+cache", reqs.size(), model_pool_cache,
@@ -269,10 +293,12 @@ int main(int argc, char** argv) {
        << ",\n";
 
   // Sim backend: heavier per-request work; the pool still wins on dispatch.
+  // The sim AsyncExecutor passes the CostCache cycle estimate as the size
+  // hint, so the pool's placement knows a qr/16 from a gemm/32 up front.
   const ModeStats sim_spawn = run_spawn(sim, reqs, chunk, width, iterations);
   json << json_mode("sim", "spawn", reqs.size(), sim_spawn, nullptr) << ",\n";
-  const fabric::AsyncExecutor async_sim(sim, &pool);
-  const ModeStats sim_pool = run_pool(async_sim, reqs, iterations);
+  const fabric::AsyncExecutor async_sim(sim, &pool, &cache);
+  const ModeStats sim_pool = run_pool(async_sim, reqs, iterations, window);
   json << json_mode("sim", "pool", reqs.size(), sim_pool, nullptr) << "\n  ],\n";
 
   const bool det = deterministic_across_widths(sim, workload(cfg, 2)) &&
@@ -290,6 +316,10 @@ int main(int argc, char** argv) {
        << (sim_spawn.requests_per_s > 0
                ? sim_pool.requests_per_s / sim_spawn.requests_per_s
                : 0.0)
+       // Tail-latency ratio the regression gate pins (<= 3): pool-mode p99
+       // over spawn-mode p99 on the sim backend at equal worker width.
+       << ",\n  \"sim_pool_p99_over_spawn_p99\": "
+       << (sim_spawn.p99_ms > 0 ? sim_pool.p99_ms / sim_spawn.p99_ms : 0.0)
        << ",\n  \"meta\": " << lac::bench::meta_json(width)
        << ",\n  \"telemetry\": " << lac::bench::telemetry_json() << "\n}\n";
 

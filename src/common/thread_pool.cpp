@@ -1,7 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -11,14 +11,17 @@ namespace {
 
 /// Metric handles resolved once per process (registry references are
 /// stable), so the worker hot path never touches the registry lock.
-/// Per-worker utilization is derivable as busy_ns / (wall * width); the
-/// per-worker breakdown itself comes from `pool.task` trace spans (one
-/// trace tid per worker).
+/// `queue_depth` is the aggregate across shards; the per-shard breakdown
+/// lives in the `lac.pool.shard<i>.queue_depth` gauges each pool resolves
+/// at construction. Per-worker utilization is derivable as busy_ns /
+/// (wall * width); the per-worker breakdown itself comes from `pool.task`
+/// trace spans (one trace tid per worker).
 struct PoolMetrics {
   obs::Gauge& queue_depth;
   obs::Histogram& dequeue_wait_us;
   obs::Counter& busy_ns;
   obs::Counter& tasks;
+  obs::Counter& steals;
 
   static PoolMetrics& instance() {
     static PoolMetrics* m = new PoolMetrics{
@@ -26,7 +29,8 @@ struct PoolMetrics {
         obs::MetricsRegistry::global().histogram(
             "lac.pool.dequeue_wait_us", obs::default_latency_bounds_us()),
         obs::MetricsRegistry::global().counter("lac.pool.busy_ns"),
-        obs::MetricsRegistry::global().counter("lac.pool.tasks")};
+        obs::MetricsRegistry::global().counter("lac.pool.tasks"),
+        obs::MetricsRegistry::global().counter("lac.pool.steals")};
     return *m;
   }
 };
@@ -35,17 +39,39 @@ struct PoolMetrics {
 
 ThreadPool::ThreadPool(unsigned threads)
     : target_(threads > 0 ? threads
-                          : std::max(1u, std::thread::hardware_concurrency())) {}
+                          : std::max(1u, std::thread::hardware_concurrency())) {
+  shards_.reserve(target_);
+  for (unsigned i = 0; i < target_; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->depth = &obs::MetricsRegistry::global().gauge(
+        std::string("lac.pool.") + "shard" + std::to_string(i) +
+        ".queue_depth");
+    shards_.push_back(std::move(shard));
+  }
+}
 
 ThreadPool::~ThreadPool() {
   std::vector<std::thread> joined;
   {
     MutexLock lock(mu_);
     stop_ = true;
-    queue_.clear();
     joined.swap(workers_);
+    cv_.notify_all();
   }
-  cv_.notify_all();
+  publish_depths();
+  // Discard queued jobs (running ones finish first -- workers re-check
+  // the queues before exiting, and a job popped concurrently with this
+  // sweep simply runs).
+  for (auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    const std::size_t dropped = shard->queue.size();
+    shard->queue.clear();
+    shard->cost.store(0, std::memory_order_relaxed);
+    if (dropped > 0) {
+      queued_.fetch_sub(dropped);
+      outstanding_.fetch_sub(dropped);
+    }
+  }
   for (std::thread& t : joined) t.join();
 }
 
@@ -58,59 +84,150 @@ void ThreadPool::start_locked() {
   started_ = true;
   workers_.reserve(target_);
   for (unsigned w = 0; w < target_; ++w)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  started_flag_.store(true, std::memory_order_release);
 }
 
-void ThreadPool::post(std::function<void()> job) {
-  const std::uint64_t enqueue_ns = obs::metrics_now_ns();
-  {
+void ThreadPool::post_hinted(std::function<void()> job, double cost_hint) {
+  QueuedJob qj;
+  qj.fn = std::move(job);
+  qj.enqueue_ns = obs::metrics_now_ns();
+  // Hintless jobs count one unit; hinted jobs land proportional to the
+  // estimate, so one queued sim job outweighs hundreds of model jobs.
+  qj.cost = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::min(cost_hint, 1e15)));
+  const std::int64_t cost = qj.cost;
+
+  if (!started_flag_.load(std::memory_order_acquire)) {
     MutexLock lock(mu_);
     if (!started_) start_locked();
-    queue_.push_back(QueuedJob{std::move(job), enqueue_ns});
-    PoolMetrics::instance().queue_depth.set(static_cast<double>(queue_.size()));
   }
-  cv_.notify_one();
+
+  // Two-choice placement: of two round-robin candidates, take the shard
+  // with the smaller queued cost. This is what keeps short jobs from
+  // parking behind a long one -- the shard holding a queued sim job has a
+  // huge cost and loses every comparison until it drains.
+  const std::uint64_t t = rr_.fetch_add(1, std::memory_order_relaxed);
+  unsigned pick = static_cast<unsigned>(t % target_);
+  if (target_ > 1) {
+    const unsigned alt = static_cast<unsigned>((t + 1) % target_);
+    if (shards_[alt]->cost.load(std::memory_order_relaxed) <
+        shards_[pick]->cost.load(std::memory_order_relaxed))
+      pick = alt;
+  }
+
+  PoolMetrics& metrics = PoolMetrics::instance();
+  Shard& shard = *shards_[pick];
+  // outstanding_/queued_ go up before the job is visible so drain() and
+  // the sleep protocol never observe a posted job as "no work".
+  outstanding_.fetch_add(1);
+  queued_.fetch_add(1);
+  {
+    MutexLock lock(shard.mu);
+    shard.queue.push_back(std::move(qj));
+    shard.cost.fetch_add(cost, std::memory_order_relaxed);
+    shard.depth->set(static_cast<double>(shard.queue.size()));
+  }
+  metrics.queue_depth.set(
+      static_cast<double>(queued_.load(std::memory_order_relaxed)));
+  // Wake a sleeper only when one exists; the notify is taken under mu_ so
+  // it cannot slip between a worker's queued_ re-check and its wait.
+  if (sleepers_.load() > 0) {
+    MutexLock lock(mu_);
+    cv_.notify_one();
+  }
 }
 
-void ThreadPool::worker_loop() {
+bool ThreadPool::pop_from(unsigned shard_idx, QueuedJob& out) {
+  Shard& shard = *shards_[shard_idx];
+  MutexLock lock(shard.mu);
+  if (shard.queue.empty()) return false;
+  out = std::move(shard.queue.front());
+  shard.queue.pop_front();
+  shard.cost.fetch_sub(out.cost, std::memory_order_relaxed);
+  shard.depth->set(static_cast<double>(shard.queue.size()));
+  queued_.fetch_sub(1);
+  return true;
+}
+
+void ThreadPool::run_job(QueuedJob&& job) {
+  PoolMetrics& metrics = PoolMetrics::instance();
+  const std::uint64_t run_ns = obs::metrics_now_ns();
+  metrics.dequeue_wait_us.observe(static_cast<double>(run_ns - job.enqueue_ns) /
+                                  1e3);
+  {
+    // Parent scope for any spans the job opens (serving.execute,
+    // sched.run, ...); one relaxed load when no session is active.
+    obs::Span span("pool.task", "pool");
+    job.fn();
+  }
+  metrics.busy_ns.add(obs::metrics_now_ns() - run_ns);
+  metrics.tasks.add();
+  metrics.queue_depth.set(
+      static_cast<double>(queued_.load(std::memory_order_relaxed)));
+  if (outstanding_.fetch_sub(1) == 1) {
+    MutexLock lock(mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop(unsigned me) {
   PoolMetrics& metrics = PoolMetrics::instance();
   for (;;) {
-    std::function<void()> job;
-    std::uint64_t enqueue_ns = 0;
-    {
+    QueuedJob job;
+    bool have = pop_from(me, job);
+    if (!have && queued_.load() > 0) {
+      // Steal: try the costliest shard first (it has the deepest backlog),
+      // then sweep the rest. Taking the oldest job preserves FIFO order.
+      unsigned victim = me;
+      std::int64_t best = 0;
+      for (unsigned s = 0; s < target_; ++s) {
+        const std::int64_t c = shards_[s]->cost.load(std::memory_order_relaxed);
+        if (s != me && c > best) {
+          best = c;
+          victim = s;
+        }
+      }
+      if (victim != me) have = pop_from(victim, job);
+      for (unsigned s = 0; !have && s < target_; ++s)
+        if (s != me && s != victim) have = pop_from(s, job);
+      if (have) metrics.steals.add();
+    }
+    if (!have) {
       MutexLock lock(mu_);
-      while (!stop_ && queue_.empty()) cv_.wait(mu_);
-      // On stop with work still queued, keep draining: shutdown() promises
-      // completion, and the destructor clears the queue first anyway.
-      if (queue_.empty()) return;
-      job = std::move(queue_.front().fn);
-      enqueue_ns = queue_.front().enqueue_ns;
-      queue_.pop_front();
-      ++active_;
-      metrics.queue_depth.set(static_cast<double>(queue_.size()));
+      // Re-check under mu_: post() publishes queued_ before it checks
+      // sleepers_, so either we see the job here or post() sees us after
+      // the increment below and notifies under mu_.
+      if (queued_.load() == 0) {
+        // On stop with work still queued, keep draining: shutdown()
+        // promises completion, and the destructor clears the queues
+        // before its final joins anyway.
+        if (stop_) return;
+        ++sleepers_;
+        cv_.wait(mu_);
+        --sleepers_;
+      }
+      continue;
     }
-    const std::uint64_t run_ns = obs::metrics_now_ns();
-    metrics.dequeue_wait_us.observe(static_cast<double>(run_ns - enqueue_ns) /
-                                    1e3);
-    {
-      // Parent scope for any spans the job opens (serving.execute,
-      // sched.run, ...); one relaxed load when no session is active.
-      obs::Span span("pool.task", "pool");
-      job();
-    }
-    metrics.busy_ns.add(obs::metrics_now_ns() - run_ns);
-    metrics.tasks.add();
-    {
-      MutexLock lock(mu_);
-      --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
-    }
+    run_job(std::move(job));
   }
+}
+
+void ThreadPool::publish_depths() {
+  for (auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    shard->depth->set(static_cast<double>(shard->queue.size()));
+  }
+  PoolMetrics::instance().queue_depth.set(
+      static_cast<double>(queued_.load(std::memory_order_relaxed)));
 }
 
 void ThreadPool::drain() {
-  MutexLock lock(mu_);
-  while (!queue_.empty() || active_ != 0) idle_cv_.wait(mu_);
+  {
+    MutexLock lock(mu_);
+    while (outstanding_.load() != 0) idle_cv_.wait(mu_);
+  }
+  publish_depths();
 }
 
 void ThreadPool::shutdown() {
@@ -120,19 +237,20 @@ void ThreadPool::shutdown() {
     // One quiesce at a time: a second caller entering while the first is
     // joining would reset stop_ before the first caller's workers observe
     // it, wedging that join forever.
-    while (quiescing_ || !queue_.empty() || active_ != 0) idle_cv_.wait(mu_);
+    while (quiescing_ || outstanding_.load() != 0) idle_cv_.wait(mu_);
     if (!started_) return;
     quiescing_ = true;
     stop_ = true;
     joined.swap(workers_);
+    cv_.notify_all();
   }
-  cv_.notify_all();
   for (std::thread& t : joined) t.join();
   {
     MutexLock lock(mu_);
     stop_ = false;
     started_ = false;
     quiescing_ = false;
+    started_flag_.store(false, std::memory_order_release);
   }
   idle_cv_.notify_all();
 }

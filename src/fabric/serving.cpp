@@ -129,8 +129,11 @@ void CostCache::clear() {
   misses_.store(0);
 }
 
-AsyncExecutor::AsyncExecutor(const Executor& backend, ThreadPool* pool)
-    : backend_(backend), pool_(pool ? *pool : ThreadPool::shared()) {
+AsyncExecutor::AsyncExecutor(const Executor& backend, ThreadPool* pool,
+                             CostCache* cost_hints)
+    : backend_(backend),
+      pool_(pool ? *pool : ThreadPool::shared()),
+      hints_(cost_hints) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
   requests_ = &reg.counter(std::string("lac.serving.") +
                            lower_copy(backend.name()) + ".requests");
@@ -152,8 +155,13 @@ std::future<KernelResult> AsyncExecutor::submit(
   // request's queue-wait/execute/hook phases chain across the thread hop.
   const std::uint64_t submit_ns = obs::metrics_now_ns();
   const std::uint64_t parent = obs::Span::current_id();
-  return pool_.submit([&backend, requests, queue_wait_us, submit_ns, parent,
-                       req = std::move(req), hook = std::move(on_complete)] {
+  // Size-aware dispatch: the model cycle estimate is a monotone proxy for
+  // backend runtime (sim wall time scales with simulated cycles), which is
+  // all the pool's placement needs.
+  const double hint = hints_ ? hints_->estimate(req).cycles.value() : 0.0;
+  return pool_.submit_hinted(hint, [&backend, requests, queue_wait_us,
+                                    submit_ns, parent, req = std::move(req),
+                                    hook = std::move(on_complete)] {
     const std::uint64_t start_ns = obs::metrics_now_ns();
     queue_wait_us->observe(static_cast<double>(start_ns - submit_ns) / 1e3);
     obs::record_interval("serving.queue_wait", "serving", submit_ns, start_ns,

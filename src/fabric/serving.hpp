@@ -96,7 +96,15 @@ class AsyncExecutor {
   /// this wrapper's observability handles (`lac.serving.<backend>.requests`,
   /// `lac.serving.queue_wait_us`), so the submit hot path never touches the
   /// metrics registry lock.
-  explicit AsyncExecutor(const Executor& backend, ThreadPool* pool = nullptr);
+  ///
+  /// `cost_hints` (optional, must outlive the wrapper) turns on size-aware
+  /// dispatch: each submission is tagged with the cached model-backend
+  /// cycle estimate, which the pool uses to keep short requests off shards
+  /// holding queued long ones. On repeated-shape serving traffic the hint
+  /// is a memo lookup; a cold shape pays one closed-form model evaluation
+  /// (microseconds -- never a simulation).
+  explicit AsyncExecutor(const Executor& backend, ThreadPool* pool = nullptr,
+                         CostCache* cost_hints = nullptr);
 
   /// Queue one request; the future carries its result.
   std::future<KernelResult> submit(KernelRequest req) const;
@@ -118,6 +126,7 @@ class AsyncExecutor {
  private:
   const Executor& backend_;
   ThreadPool& pool_;
+  CostCache* hints_;             ///< nullptr = un-hinted submission
   obs::Counter* requests_;       ///< lac.serving.<backend>.requests
   obs::Histogram* queue_wait_us_;  ///< lac.serving.queue_wait_us
 };

@@ -2,8 +2,75 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
 
 namespace lac::fabric {
+namespace {
+
+/// Geometry key of one rank-1 sweep; every field a plan's addresses depend
+/// on, nothing else (values stream through the plan unchanged).
+struct PlanKey {
+  int nr = 0;
+  index_t rows = 0;
+  index_t row0 = 0;
+  index_t p_begin = 0;
+  index_t p_end = 0;
+  bool operator==(const PlanKey&) const = default;
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const {
+    std::size_t h = static_cast<std::size_t>(k.nr);
+    for (index_t f : {k.rows, k.row0, k.p_begin, k.p_end})
+      h = h * 1099511628211u + static_cast<std::size_t>(f);
+    return h;
+  }
+};
+
+struct PlanMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+
+  static PlanMetrics& instance() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    static PlanMetrics* m = new PlanMetrics{
+        reg.counter("lac.fabric.schedule.plan_hits"),
+        reg.counter("lac.fabric.schedule.plan_misses")};
+    return *m;
+  }
+};
+
+/// Thread-local plan memo: serving traffic repeats a handful of shapes, so
+/// the same sweeps recur thousands of times per worker. Thread-local keeps
+/// the lookup lock-free; the bound is a safety valve for shape sweeps (a
+/// full memo restarts cold rather than growing without limit).
+const Rank1Plan& rank1_plan(int nr, index_t rows, index_t row0, index_t p_begin,
+                            index_t p_end) {
+  static thread_local std::unordered_map<PlanKey, Rank1Plan, PlanKeyHash> cache;
+  constexpr std::size_t kMaxPlans = 4096;
+  PlanMetrics& metrics = PlanMetrics::instance();
+  const PlanKey key{nr, rows, row0, p_begin, p_end};
+  if (auto it = cache.find(key); it != cache.end()) {
+    metrics.hits.add();
+    return it->second;
+  }
+  metrics.misses.add();
+  if (cache.size() >= kMaxPlans) cache.clear();
+  Rank1Plan plan;
+  const std::size_t steps = static_cast<std::size_t>(p_end - p_begin);
+  plan.owner.reserve(steps);
+  plan.a_addr.reserve(steps * static_cast<std::size_t>(nr));
+  for (index_t p = p_begin; p < p_end; ++p) {
+    plan.owner.push_back(static_cast<int>(p % nr));
+    for (int r = 0; r < nr; ++r)
+      plan.a_addr.push_back(mem_a_addr(row0 + r, p, rows, nr));
+  }
+  return cache.emplace(key, std::move(plan)).first->second;
+}
+
+}  // namespace
 
 sim::time_t_ StreamSchedule::dma(double words) {
   cursor_ = core_.dma(words, cursor_);
@@ -54,51 +121,24 @@ sim::time_t_ StreamSchedule::stage_panel(ConstViewD a) {
   return dma(static_cast<double>(k) * cols);
 }
 
-void StreamSchedule::stage_panel_b(index_t slot_base, index_t kc,
-                                   const std::function<double(index_t, int)>& value) {
-  const int nr = core_.nr();
-  for (index_t p = 0; p < kc; ++p)
-    for (int c = 0; c < nr; ++c) {
-      const double v = value(p, c);
-      for (int r = 0; r < nr; ++r) core_.pe(r, c).mem_b.poke(slot_base + p, v);
-    }
-}
-
-void StreamSchedule::load_accumulators(int parity, sim::time_t_ ready,
-                                       const std::function<double(int, int)>& value) {
-  const int nr = core_.nr();
-  for (int r = 0; r < nr; ++r)
-    for (int c = 0; c < nr; ++c)
-      core_.pe(r, c).mac.set_acc(parity, sim::at(value(r, c), ready));
-}
-
-sim::time_t_ StreamSchedule::drain_accumulators(
-    int parity, const std::function<void(int, int, double)>& sink) {
-  const int nr = core_.nr();
-  sim::time_t_ ready = 0.0;
-  for (int r = 0; r < nr; ++r)
-    for (int c = 0; c < nr; ++c) {
-      sim::TimedVal v = core_.pe(r, c).mac.read_acc(parity);
-      sink(r, c, v.v);
-      ready = std::max(ready, v.ready);
-    }
-  return ready;
-}
-
 void StreamSchedule::rank1_update(int parity, index_t a_base, index_t rows,
                                   index_t row0, index_t p_begin, index_t p_end,
                                   index_t slot, sim::time_t_ gate, bool negate) {
   const int nr = core_.nr();
-  for (index_t p = p_begin; p < p_end; ++p) {
-    const int owner = static_cast<int>(p % nr);
+  // Replay the cached SoA plan: owner columns and MEM-A addresses are pure
+  // geometry, so repeat shapes skip the address derivation entirely.
+  const Rank1Plan& plan = rank1_plan(nr, rows, row0, p_begin, p_end);
+  const index_t steps = p_end - p_begin;
+  for (index_t s = 0; s < steps; ++s) {
+    const int owner = plan.owner[static_cast<std::size_t>(s)];
     for (int r = 0; r < nr; ++r) {
       sim::TimedVal av = core_.pe(r, owner).mem_a.read(
-          a_base + mem_a_addr(row0 + r, p, rows, nr), gate);
+          a_base + plan.a_addr[static_cast<std::size_t>(s * nr + r)], gate);
       if (negate) av.v = -av.v;
       sim::TimedVal a_bcast = core_.broadcast_row(r, av);
       for (int c = 0; c < nr; ++c) {
         sim::Pe& pe = core_.pe(r, c);
-        sim::TimedVal bv = pe.mem_b.read(slot + (p - p_begin), gate);
+        sim::TimedVal bv = pe.mem_b.read(slot + s, gate);
         pe.mac.mac_into_acc(parity, a_bcast, bv);
       }
     }

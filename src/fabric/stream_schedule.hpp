@@ -9,7 +9,8 @@
 // in or out is charged on the bandwidth-limited memory interface behind an
 // in-order DMA cursor. This class owns that boilerplate so each kernel in
 // src/kernels reduces to its schedule-specific inner loop.
-#include <functional>
+#include <algorithm>
+#include <vector>
 
 #include "common/matrix.hpp"
 #include "sim/core.hpp"
@@ -22,6 +23,20 @@ namespace lac::fabric {
 inline index_t mem_a_addr(index_t i, index_t p, index_t rows, int nr) {
   return i / nr + (rows / nr) * (p / nr);
 }
+
+/// Precomputed SoA form of one rank-1 update sweep: the owner column and
+/// the per-PE MEM-A addresses of every step, flattened into two parallel
+/// arrays (structure-of-arrays, not one struct per step). The plan is the
+/// schedule-relevant projection of (kernel, shape, arch) -- everything a
+/// sweep derives from the geometry and nothing it derives from the data --
+/// so repeat shapes replay a cached plan instead of re-deriving addresses
+/// (cached thread-locally next to the CostCache memo, see
+/// stream_schedule.cpp; `lac.fabric.schedule.plan_hits`/`plan_misses`
+/// count reuse).
+struct Rank1Plan {
+  std::vector<int> owner;       ///< owner column of step s (= (p_begin+s) % nr)
+  std::vector<index_t> a_addr;  ///< a_base-relative address, [s * nr + r]
+};
 
 class StreamSchedule {
  public:
@@ -56,22 +71,48 @@ class StreamSchedule {
   sim::time_t_ stage_panel(ConstViewD a);
 
   // ---- replicated MEM-B panels ------------------------------------------
+  // The callback-taking helpers are templates on the callable: they run
+  // once per output block in the kernel hot loops, and a std::function per
+  // call would cost a heap allocation plus nr^2 indirect calls.
+
   /// Replicate `value(p, c)` into MEM-B word slot_base + p of every PE of
   /// column c, for p in [0, kc). Placement only; the panel's transfer is
   /// charged by the caller (chunked, to interleave with latency-critical
   /// C-block streams).
-  void stage_panel_b(index_t slot_base, index_t kc,
-                     const std::function<double(index_t, int)>& value);
+  template <typename ValueFn>
+  void stage_panel_b(index_t slot_base, index_t kc, const ValueFn& value) {
+    const int nr = core_.nr();
+    for (index_t p = 0; p < kc; ++p)
+      for (int c = 0; c < nr; ++c) {
+        const double v = value(p, c);
+        for (int r = 0; r < nr; ++r) core_.pe(r, c).mem_b.poke(slot_base + p, v);
+      }
+  }
 
   // ---- accumulator-blocked output ---------------------------------------
   /// Load an nr x nr block into accumulator set `parity`, every word timed
   /// `ready` (typically its C-in DMA completion).
-  void load_accumulators(int parity, sim::time_t_ ready,
-                         const std::function<double(int, int)>& value);
+  template <typename ValueFn>
+  void load_accumulators(int parity, sim::time_t_ ready, const ValueFn& value) {
+    const int nr = core_.nr();
+    for (int r = 0; r < nr; ++r)
+      for (int c = 0; c < nr; ++c)
+        core_.pe(r, c).mac.set_acc(parity, sim::at(value(r, c), ready));
+  }
   /// Drain accumulator set `parity` through `sink(r, c, value)`; returns
   /// the pipeline-drain completion (the earliest the block may stream out).
-  sim::time_t_ drain_accumulators(
-      int parity, const std::function<void(int, int, double)>& sink);
+  template <typename SinkFn>
+  sim::time_t_ drain_accumulators(int parity, const SinkFn& sink) {
+    const int nr = core_.nr();
+    sim::time_t_ ready = 0.0;
+    for (int r = 0; r < nr; ++r)
+      for (int c = 0; c < nr; ++c) {
+        sim::TimedVal v = core_.pe(r, c).mac.read_acc(parity);
+        sink(r, c, v.v);
+        ready = std::max(ready, v.ready);
+      }
+    return ready;
+  }
 
   // ---- rank-1 update sweeps ---------------------------------------------
   /// p_end - p_begin rank-1 updates into accumulator set `parity`: for each

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "fft/reference_fft.hpp"
+#include "sim/arena.hpp"
 
 namespace lac::fft {
 namespace {
@@ -108,7 +109,8 @@ sim::time_t_ fft64_schedule(sim::Core& core, std::vector<TimedCplx>& vals,
 
 FftResult fft64_core(const arch::CoreConfig& cfg, const std::vector<cplx>& x) {
   assert(x.size() == 64 && cfg.nr == 4);
-  sim::Core core(cfg, 1e9, 1);
+  sim::ArenaCore arena(cfg, 1e9, 1);
+  sim::Core& core = arena.get();
   std::vector<TimedCplx> vals(64);
   for (index_t g = 0; g < 64; ++g) vals[static_cast<std::size_t>(g)] = timed(x[static_cast<std::size_t>(g)], 0.0);
   core.dma(128.0, 0.0);  // 64 complex points in
@@ -135,7 +137,8 @@ FftResult fft64_stream(const arch::CoreConfig& cfg, double bw_words_per_cycle,
   FftResult res;
   const std::size_t frames = x.size() / 64;
   if (!frames) return res;
-  sim::Core core(cfg, bw_words_per_cycle, 1);
+  sim::ArenaCore arena(cfg, bw_words_per_cycle, 1);
+  sim::Core& core = arena.get();
   const auto perm = digit_reversal4(64);
   // Frame pipeline: in(f+1) prefetches and out(f-1) streams while frame f
   // computes (mirrors the GEMM double-buffering discipline).

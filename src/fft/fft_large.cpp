@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "fft/reference_fft.hpp"
+#include "sim/arena.hpp"
 
 namespace lac::fft {
 namespace {
@@ -50,7 +51,8 @@ FftResult fft4096_four_step(const arch::CoreConfig& cfg, double bw_words_per_cyc
   // the PEs (4 FMA slots each, 16 points/cycle across the core) with the
   // grid streamed in and out.
   {
-    sim::Core core(cfg, bw_words_per_cycle, 1);
+    sim::ArenaCore arena(cfg, bw_words_per_cycle, 1);
+    sim::Core& core = arena.get();
     sim::time_t_ in_done = core.dma(2.0 * static_cast<double>(n), 0.0);
     sim::time_t_ last = in_done;
     for (index_t k1 = 0; k1 < n1; ++k1)

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <vector>
 
+#include "sim/arena.hpp"
+
 namespace lac::kernels {
 namespace {
 
@@ -14,6 +16,10 @@ void chol_recurrence(sim::Core& core, std::vector<sim::TimedVal>& av) {
   auto at2 = [&](int r, int c) -> sim::TimedVal& {
     return av[static_cast<std::size_t>(r * nr + c)];
   };
+  // Broadcast buffers hoisted out of the recurrence: entries i+1..nr-1 are
+  // fully rewritten before every read, so one checkout serves all steps.
+  sim::Scratch<sim::TimedVal> lcol(static_cast<std::size_t>(nr));
+  sim::Scratch<sim::TimedVal> lrow(static_cast<std::size_t>(nr));
   for (int i = 0; i < nr; ++i) {
     // S1/S2: t = 1/sqrt(alpha_ii); l_ii = alpha_ii * t.
     sim::TimedVal alpha = at2(i, i);
@@ -31,8 +37,6 @@ void chol_recurrence(sim::Core& core, std::vector<sim::TimedVal>& av) {
     // S3: rank-1 update of the trailing submatrix: the column factors are
     // broadcast along the rows (from PE(k,i)) and the mirrored row factors
     // down the columns (from PE(i,j)).
-    std::vector<sim::TimedVal> lcol(static_cast<std::size_t>(nr));
-    std::vector<sim::TimedVal> lrow(static_cast<std::size_t>(nr));
     for (int k = i + 1; k < nr; ++k) lcol[static_cast<std::size_t>(k)] = core.broadcast_row(k, at2(k, i));
     for (int j = i + 1; j < nr; ++j) lrow[static_cast<std::size_t>(j)] = core.broadcast_col(j, at2(i, j));
     for (int k = i + 1; k < nr; ++k)
@@ -49,7 +53,8 @@ void chol_recurrence(sim::Core& core, std::vector<sim::TimedVal>& av) {
 KernelResult cholesky_inner(const arch::CoreConfig& cfg, ConstViewD a) {
   const int nr = cfg.nr;
   assert(a.rows() == nr && a.cols() == nr);
-  sim::Core core(cfg, 1e9, 1);
+  sim::ArenaCore arena(cfg, 1e9, 1);
+  sim::Core& core = arena.get();
   std::vector<sim::TimedVal> av(static_cast<std::size_t>(nr * nr));
   for (int r = 0; r < nr; ++r)
     for (int c = 0; c < nr; ++c)
@@ -85,13 +90,14 @@ KernelResult cholesky_core(const arch::CoreConfig& cfg, double bw_words_per_cycl
   assert(n % nr == 0 && a.cols() == n);
   const index_t kb = n / nr;
 
-  sim::Core core(cfg, bw_words_per_cycle, 2);
+  sim::ArenaCore arena(cfg, bw_words_per_cycle, 2);
+  sim::Core& core = arena.get();
   MatrixD work = to_matrix<double>(a);
   const sim::time_t_ load_done =
       core.dma(static_cast<double>(n) * (n + 1) / 2, 0.0);
 
   // Timed value lattice for the whole matrix (kb*kb blocks of nr x nr).
-  std::vector<sim::TimedVal> tv(static_cast<std::size_t>(n * n));
+  sim::Scratch<sim::TimedVal> tv(static_cast<std::size_t>(n * n));
   auto at2 = [&](index_t r, index_t c) -> sim::TimedVal& {
     return tv[static_cast<std::size_t>(r * n + c)];
   };
@@ -99,13 +105,17 @@ KernelResult cholesky_core(const arch::CoreConfig& cfg, double bw_words_per_cycl
     for (index_t c = 0; c < n; ++c)
       at2(r, c) = sim::at(r >= c ? work(r, c) : work(c, r), load_done);
 
+  // Per-block buffers hoisted out of the factorization loops: every entry
+  // is rewritten before it is read in each use.
+  sim::Scratch<sim::TimedVal> diag(static_cast<std::size_t>(nr * nr));
+  sim::Scratch<sim::TimedVal> lrow(static_cast<std::size_t>(nr));
+  sim::Scratch<sim::TimedVal> lcol(static_cast<std::size_t>(nr));
   for (index_t d = 0; d < kb; ++d) {
     // Diagonal block factorization (values already timed in the lattice).
-    std::vector<sim::TimedVal> diag(static_cast<std::size_t>(nr * nr));
     for (int r = 0; r < nr; ++r)
       for (int c = 0; c < nr; ++c)
         diag[static_cast<std::size_t>(r * nr + c)] = at2(d * nr + r, d * nr + c);
-    chol_recurrence(core, diag);
+    chol_recurrence(core, diag.vec());
     for (int r = 0; r < nr; ++r)
       for (int c = 0; c < nr; ++c) at2(d * nr + r, d * nr + c) = diag[static_cast<std::size_t>(r * nr + c)];
 
@@ -136,8 +146,6 @@ KernelResult cholesky_core(const arch::CoreConfig& cfg, double bw_words_per_cycl
     for (index_t bi = d + 1; bi < kb; ++bi)
       for (index_t bj = d + 1; bj <= bi; ++bj)
         for (int p = 0; p < nr; ++p) {
-          std::vector<sim::TimedVal> lrow(static_cast<std::size_t>(nr));
-          std::vector<sim::TimedVal> lcol(static_cast<std::size_t>(nr));
           for (int r = 0; r < nr; ++r)
             lrow[static_cast<std::size_t>(r)] = core.broadcast_row(r, at2(bi * nr + r, d * nr + p));
           for (int c = 0; c < nr; ++c)

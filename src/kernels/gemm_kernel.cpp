@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "fabric/stream_schedule.hpp"
+#include "sim/arena.hpp"
 
 namespace lac::kernels {
 
@@ -15,7 +16,8 @@ KernelResult gemm_rank1_inner(const arch::CoreConfig& cfg, ConstViewD a, ConstVi
   assert(a.rows() == nr && b.rows() == kc && b.cols() == nr);
   assert(c_in.rows() == nr && c_in.cols() == nr);
 
-  sim::Core core(cfg, /*bw=*/1e9, /*accumulators=*/1);
+  sim::ArenaCore arena(cfg, /*bw=*/1e9, /*accumulators=*/1);
+  sim::Core& core = arena.get();
   StreamSchedule sched(core);
   // Stage operands: A round-robin by column, B replicated per PE column.
   for (int r = 0; r < nr; ++r)
@@ -68,7 +70,7 @@ KernelResult gemm_on_core(sim::Core& core, ConstViewD a, ConstViewD b, ConstView
   // Double-buffered B panels in MEM-B; double-buffered C in accumulators.
   const index_t nb = n / nr;
   const index_t mb = mc / nr;
-  std::vector<sim::time_t_> b_panel_ready(static_cast<std::size_t>(nb), 0.0);
+  sim::Scratch<sim::time_t_> b_panel_ready(static_cast<std::size_t>(nb));
 
   // B panels transfer in per-block chunks so the latency-critical C blocks
   // are not stuck behind a monolithic panel burst in the DMA queue (the
@@ -91,7 +93,7 @@ KernelResult gemm_on_core(sim::Core& core, ConstViewD a, ConstViewD b, ConstView
   // the in-order DMA queue never stalls on a pipeline drain:
   // C-in(0), C-in(1), [C-in(2), C-out(0)], [C-in(3), C-out(1)], ...
   const index_t blocks = nb * mb;
-  std::vector<sim::time_t_> c_in_ready(static_cast<std::size_t>(blocks), 0.0);
+  sim::Scratch<sim::time_t_> c_in_ready(static_cast<std::size_t>(blocks));
   auto stream_c_in = [&](index_t t) {
     c_in_ready[static_cast<std::size_t>(t)] =
         sched.dma(static_cast<double>(nr) * nr);
@@ -149,8 +151,8 @@ KernelResult gemm_on_core(sim::Core& core, ConstViewD a, ConstViewD b, ConstView
 KernelResult gemm_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
                        ConstViewD a, ConstViewD b, ConstViewD c_in,
                        model::Overlap overlap) {
-  sim::Core core(cfg, bw_words_per_cycle, /*accumulators=*/2);
-  return gemm_on_core(core, a, b, c_in, overlap);
+  sim::ArenaCore core(cfg, bw_words_per_cycle, /*accumulators=*/2);
+  return gemm_on_core(core.get(), a, b, c_in, overlap);
 }
 
 }  // namespace kernels

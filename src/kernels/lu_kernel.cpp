@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fabric/stream_schedule.hpp"
+#include "sim/arena.hpp"
 
 namespace lac::kernels {
 
@@ -14,11 +15,12 @@ LuResult lu_panel(const arch::CoreConfig& cfg, ConstViewD a) {
   assert(a.cols() == nr && k % nr == 0 && k >= nr);
   const bool cmp_ext = cfg.pe.extensions.comparator;
 
-  sim::Core core(cfg, 1e9, 1);
+  sim::ArenaCore arena(cfg, 1e9, 1);
+  sim::Core& core = arena.get();
   // Panel element (i, j) lives on PE(i % nr, j), local fragment index i/nr.
   // We keep the values in a timed lattice; MEM-A port charges are applied
   // on every fragment access.
-  std::vector<sim::TimedVal> tv(static_cast<std::size_t>(k * nr));
+  sim::Scratch<sim::TimedVal> tv(static_cast<std::size_t>(k * nr));
   auto at2 = [&](index_t i, index_t j) -> sim::TimedVal& {
     return tv[static_cast<std::size_t>(i * nr + j)];
   };
@@ -29,13 +31,17 @@ LuResult lu_panel(const arch::CoreConfig& cfg, ConstViewD a) {
   LuResult out;
   out.pivots.resize(static_cast<std::size_t>(nr));
 
+  // Per-step buffers hoisted out of the elimination loop: each step fully
+  // rewrites the entries it reads.
+  sim::Scratch<sim::TimedVal> cand(static_cast<std::size_t>(nr));
+  std::vector<index_t> cand_idx(static_cast<std::size_t>(nr), -1);
+  sim::Scratch<sim::TimedVal> urow(static_cast<std::size_t>(nr));
   for (int step = 0; step < nr; ++step) {
     // ---- S1: pivot search down column `step`, rows >= step. ------------
     // Each PE row scans its local fragment with the comparator (or the
     // MAC-emulated compare), then the nr candidates reduce over the
     // column bus.
-    std::vector<sim::TimedVal> cand(static_cast<std::size_t>(nr));
-    std::vector<index_t> cand_idx(static_cast<std::size_t>(nr), -1);
+    cand_idx.assign(static_cast<std::size_t>(nr), -1);
     for (int r = 0; r < nr; ++r) {
       sim::TimedVal best = sim::at(0.0, 0.0);
       index_t best_i = -1;
@@ -93,7 +99,6 @@ LuResult lu_panel(const arch::CoreConfig& cfg, ConstViewD a) {
 
     // ---- S4: rank-1 update of the trailing panel. ------------------------
     // u row broadcast down the columns; l fragments broadcast along rows.
-    std::vector<sim::TimedVal> urow(static_cast<std::size_t>(nr));
     for (int j = step + 1; j < nr; ++j) urow[static_cast<std::size_t>(j)] = core.broadcast_col(j, at2(step, j));
     for (index_t i = step + 1; i < k; ++i) {
       const int r = static_cast<int>(i % nr);

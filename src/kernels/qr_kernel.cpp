@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "fabric/stream_schedule.hpp"
+#include "sim/arena.hpp"
 
 namespace lac::kernels {
 
@@ -12,9 +13,10 @@ QrResult qr_panel(const arch::CoreConfig& cfg, ConstViewD a) {
   const index_t k = a.rows();
   assert(a.cols() == nr && k % nr == 0 && k >= nr);
 
-  sim::Core core(cfg, 1e9, 2);
+  sim::ArenaCore arena(cfg, 1e9, 2);
+  sim::Core& core = arena.get();
   // Panel element (i, j) on PE(i % nr, j); timed lattice as in LU.
-  std::vector<sim::TimedVal> tv(static_cast<std::size_t>(k * nr));
+  sim::Scratch<sim::TimedVal> tv(static_cast<std::size_t>(k * nr));
   auto at2 = [&](index_t i, index_t j) -> sim::TimedVal& {
     return tv[static_cast<std::size_t>(i * nr + j)];
   };
@@ -25,6 +27,8 @@ QrResult qr_panel(const arch::CoreConfig& cfg, ConstViewD a) {
   QrResult out;
   out.taus.reserve(static_cast<std::size_t>(nr));
 
+  // Hoisted w^T buffer: columns step+1..nr-1 are rewritten every step.
+  sim::Scratch<sim::TimedVal> w(static_cast<std::size_t>(nr));
   for (int step = 0; step < nr; ++step) {
     // ---- chi2 = ||a21||: partial inner products per PE row of column
     // `step`, then a column-bus reduce-all (Fig 6.4 pattern). -------------
@@ -73,7 +77,6 @@ QrResult qr_panel(const arch::CoreConfig& cfg, ConstViewD a) {
     // with the column (partials per PE row, column-bus reduction). --------
     sim::TimedVal inv_tau = core.special(sim::SfuKind::Recip, step % nr, step,
                                          sim::at(tau, chi2_scaled_t.ready));
-    std::vector<sim::TimedVal> w(static_cast<std::size_t>(nr));
     for (int j = step + 1; j < nr; ++j) {
       sim::TimedVal dot = at2(step, j);
       for (int r = 0; r < nr; ++r) {

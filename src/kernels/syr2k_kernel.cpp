@@ -2,6 +2,7 @@
 
 #include "fabric/stream_schedule.hpp"
 #include "kernels/syrk_kernel.hpp"
+#include "sim/arena.hpp"
 
 namespace lac::kernels {
 
@@ -21,7 +22,8 @@ KernelResult syr2k_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
   assert(mc % nr == 0 && b.rows() == mc && b.cols() == kc);
   assert(c_in.rows() == mc && c_in.cols() == mc);
 
-  sim::Core core(cfg, bw_words_per_cycle, 2);
+  sim::ArenaCore arena(cfg, bw_words_per_cycle, 2);
+  sim::Core& core = arena.get();
   StreamSchedule sched(core);
   const index_t b_base = mem_a_addr(mc - 1, kc - 1, mc, nr) + 1;
   // Stage both operands (charged on the interface back to back).

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "fabric/stream_schedule.hpp"
+#include "sim/arena.hpp"
 
 namespace lac::kernels {
 
@@ -21,10 +22,11 @@ sim::time_t_ syrk_diag_step(sim::Core& core, ConstViewD a, index_t ib, int parit
   const index_t mc = a.rows();
   const index_t kc = a.cols();
   sim::time_t_ last = gate;
+  // Hoisted out of the p loop: all nr entries are rewritten per iteration.
+  sim::Scratch<sim::TimedVal> row_val(static_cast<std::size_t>(nr));
   for (index_t p = 0; p < kc; ++p) {
     const int owner = static_cast<int>(p % nr);
     // Row broadcast of a_p (elements of the diagonal row panel).
-    std::vector<sim::TimedVal> row_val(static_cast<std::size_t>(nr));
     for (int r = 0; r < nr; ++r) {
       sim::TimedVal av = core.pe(r, owner).mem_a.read(
           mem_a_addr(ib * nr + r, p, mc, nr), gate);
@@ -50,7 +52,8 @@ sim::time_t_ syrk_diag_step(sim::Core& core, ConstViewD a, index_t ib, int parit
 KernelResult syrk_inner(const arch::CoreConfig& cfg, ConstViewD a, ConstViewD c_in) {
   const int nr = cfg.nr;
   assert(a.rows() == nr && c_in.rows() == nr && c_in.cols() == nr);
-  sim::Core core(cfg, 1e9, 1);
+  sim::ArenaCore arena(cfg, 1e9, 1);
+  sim::Core& core = arena.get();
   StreamSchedule sched(core);
   sched.stage_resident(a);
   sched.load_accumulators(0, 0.0, [&](int r, int c) { return c_in(r, c); });
@@ -74,7 +77,8 @@ KernelResult syrk_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
   const index_t kc = a.cols();
   assert(mc % nr == 0 && c_in.rows() == mc && c_in.cols() == mc);
 
-  sim::Core core(cfg, bw_words_per_cycle, 2);
+  sim::ArenaCore arena(cfg, bw_words_per_cycle, 2);
+  sim::Core& core = arena.get();
   StreamSchedule sched(core);
   const sim::time_t_ a_done = sched.stage_resident(a);
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "fabric/stream_schedule.hpp"
+#include "sim/arena.hpp"
 
 namespace lac::kernels {
 
@@ -28,6 +29,10 @@ void trsm_batch(sim::Core& core, ConstViewD l, TrsmState& st, index_t cols,
   // blocks in that order, so independent blocks fill the pipeline slots
   // (stacked TRSM) and groups overlap scale/update (software pipelining).
   const int nr = core.nr();
+  // Scale/broadcast buffers hoisted out of the sweep loops (entries for
+  // live columns are rewritten before every read).
+  sim::Scratch<sim::TimedVal> xi(static_cast<std::size_t>(nr));
+  sim::Scratch<sim::TimedVal> xc(static_cast<std::size_t>(nr));
   for (int i = 0; i < nr; ++i) {
     // S1/S2: reciprocal of lambda_ii, broadcast along row i.
     sim::TimedVal lii = core.pe(i, i).rf.read(0, 0.0);
@@ -37,7 +42,6 @@ void trsm_batch(sim::Core& core, ConstViewD l, TrsmState& st, index_t cols,
 
     for (index_t t : order) {
       // Scale row i of block t: x(i, :) *= inv.
-      std::vector<sim::TimedVal> xi(static_cast<std::size_t>(nr));
       for (int j = 0; j < nr; ++j) {
         const index_t col = t * nr + j;
         if (col >= cols) continue;
@@ -48,7 +52,6 @@ void trsm_batch(sim::Core& core, ConstViewD l, TrsmState& st, index_t cols,
       }
       // S3: broadcast x(i,:) down the columns and l(k,i) along the rows;
       // rank-1 subtract from the remaining rows.
-      std::vector<sim::TimedVal> xc(static_cast<std::size_t>(nr));
       for (int j = 0; j < nr; ++j) {
         const index_t col = t * nr + j;
         if (col >= cols) continue;
@@ -85,7 +88,8 @@ KernelResult trsm_inner(const arch::CoreConfig& cfg, TrsmVariant variant,
   assert(cols == expected && b.rows() == nr);
   (void)expected;
 
-  sim::Core core(cfg, 1e9, 1);
+  sim::ArenaCore arena(cfg, 1e9, 1);
+  sim::Core& core = arena.get();
   TrsmState st;
   st.x.resize(static_cast<std::size_t>(nr * cols));
   for (index_t j = 0; j < cols; ++j)
@@ -120,7 +124,8 @@ KernelResult trsm_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
   assert(n % nr == 0 && m % nr == 0 && b.rows() == n);
   const index_t kb = n / nr;
 
-  sim::Core core(cfg, bw_words_per_cycle, 2);
+  sim::ArenaCore arena(cfg, bw_words_per_cycle, 2);
+  sim::Core& core = arena.get();
   StreamSchedule sched(core);
   // L resident in MEM-A (lower triangle only).
   sched.stage_resident_lower(l);
@@ -131,6 +136,15 @@ KernelResult trsm_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
   res.out = to_matrix<double>(b);
   sim::time_t_ finish = sched.cursor();
   int parity = 0;
+
+  // Per-block working set hoisted out of the (i, jb) loops; every entry
+  // read in an iteration is rewritten first (lii: only the lower triangle
+  // is ever read by trsm_batch, and it is refilled per block).
+  MatrixD bi(nr, nr);
+  MatrixD lii(nr, nr, 0.0);
+  TrsmState st;
+  st.x.resize(static_cast<std::size_t>(nr * nr));
+  const std::vector<index_t> order{0};
 
   for (index_t i = 0; i < kb; ++i) {
     // (1) GEMM update: B_i -= sum_{l<i} L(i,l) * X_l. Row panel i of B is
@@ -151,19 +165,14 @@ KernelResult trsm_core(const arch::CoreConfig& cfg, double bw_words_per_cycle,
                            c_in_done, /*negate=*/true);
       }
       // (2) Triangular solve of the updated diagonal row panel.
-      MatrixD bi(nr, nr);
       const sim::time_t_ upd_ready =
           sched.drain_accumulators(parity, [&](int r, int c, double v) {
             bi(r, c) = v;
           });
-      MatrixD lii(nr, nr, 0.0);
       for (int r = 0; r < nr; ++r)
         for (int c = 0; c <= r; ++c) lii(r, c) = l(i * nr + r, i * nr + c);
-      TrsmState st;
-      st.x.resize(static_cast<std::size_t>(nr * nr));
       for (int c = 0; c < nr; ++c)
         for (int r = 0; r < nr; ++r) st.at(r, c, nr) = sim::at(bi(r, c), upd_ready);
-      std::vector<index_t> order{0};
       trsm_batch(core, lii.view(), st, nr, order);
       sim::time_t_ solved = 0.0;
       for (int c = 0; c < nr; ++c)

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "sim/arena.hpp"
+
 namespace lac::kernels {
 
 VnormResult vnorm(const arch::CoreConfig& cfg, const std::vector<double>& x,
@@ -15,7 +17,8 @@ VnormResult vnorm(const arch::CoreConfig& cfg, const std::vector<double>& x,
   const bool exp_ext = cfg.pe.extensions.extended_exponent;
   const bool cmp_ext = cfg.pe.extensions.comparator;
 
-  sim::Core core(cfg, 1e9, 1);
+  sim::ArenaCore arena(cfg, 1e9, 1);
+  sim::Core& core = arena.get();
   // Owner column PE r holds elements {i : i % nr == r}.
   // Stage into MEM-A fragments.
   for (index_t i = 0; i < k; ++i)

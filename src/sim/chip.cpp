@@ -11,6 +11,8 @@ Chip::Chip(const arch::ChipConfig& cfg) : cfg_(cfg) {
   const double per_core_bw =
       cfg.onchip_bw_words_per_cycle / std::max(1, cfg.cores);
   for (int s = 0; s < cfg.cores; ++s)
+    // lint-allow: hot-alloc (chip construction: one allocation per core
+    // per Chip, never per step)
     cores_.push_back(std::make_unique<Core>(cfg.core, per_core_bw));
 }
 

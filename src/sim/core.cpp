@@ -15,6 +15,13 @@ Pe::Pe(const arch::CoreConfig& cfg, int accumulators)
             cfg.pe.mem_b_ports),
       rf(cfg.pe.register_file_entries) {}
 
+void Pe::reset(int accumulators) {
+  mac.reset(accumulators);
+  mem_a.reset();
+  mem_b.reset();
+  rf.reset();
+}
+
 Core::Core(const arch::CoreConfig& cfg, double bw_words_per_cycle, int accumulators)
     : cfg_(cfg),
       bw_(bw_words_per_cycle),
@@ -22,39 +29,20 @@ Core::Core(const arch::CoreConfig& cfg, double bw_words_per_cycle, int accumulat
       col_bus_(static_cast<std::size_t>(cfg.nr)),
       sfu_(cfg) {
   pes_.reserve(static_cast<std::size_t>(cfg.nr) * cfg.nr);
-  for (int i = 0; i < cfg.nr * cfg.nr; ++i)
-    pes_.push_back(std::make_unique<Pe>(cfg, accumulators));
+  for (int i = 0; i < cfg.nr * cfg.nr; ++i) pes_.emplace_back(cfg, accumulators);
 }
 
-Pe& Core::pe(int row, int col) {
-  assert(row >= 0 && row < cfg_.nr && col >= 0 && col < cfg_.nr);
-  return *pes_[static_cast<std::size_t>(row) * cfg_.nr + col];
-}
-
-const Pe& Core::pe(int row, int col) const {
-  assert(row >= 0 && row < cfg_.nr && col >= 0 && col < cfg_.nr);
-  return *pes_[static_cast<std::size_t>(row) * cfg_.nr + col];
-}
-
-TimedVal Core::broadcast_row(int row, TimedVal v) {
-  assert(row >= 0 && row < cfg_.nr);
-  const time_t_ start = row_bus_[static_cast<std::size_t>(row)].acquire(v.ready, 1.0);
-  ++row_xfers_;
-  return {v.v, start + cfg_.bus_latency};
-}
-
-TimedVal Core::broadcast_col(int col, TimedVal v) {
-  assert(col >= 0 && col < cfg_.nr);
-  const time_t_ start = col_bus_[static_cast<std::size_t>(col)].acquire(v.ready, 1.0);
-  ++col_xfers_;
-  return {v.v, start + cfg_.bus_latency};
-}
-
-time_t_ Core::dma(double words, time_t_ earliest) {
-  if (words <= 0.0) return earliest;
-  const time_t_ start = mem_if_.acquire(earliest, words / bw_);
-  dma_words_ += static_cast<std::int64_t>(words);
-  return start + words / bw_;
+void Core::reset(double bw_words_per_cycle, int accumulators) {
+  bw_ = bw_words_per_cycle;
+  for (auto& pe : pes_) pe.reset(accumulators);
+  for (auto& b : row_bus_) b.reset();
+  for (auto& b : col_bus_) b.reset();
+  mem_if_.reset();
+  sfu_.reset();
+  row_xfers_ = 0;
+  col_xfers_ = 0;
+  dma_words_ = 0;
+  user_finish_ = 0.0;
 }
 
 TimedVal Core::special(SfuKind kind, int row, int col, TimedVal x, time_t_ earliest) {
@@ -82,7 +70,7 @@ TimedVal Core::special(SfuKind kind, int row, int col, TimedVal x, time_t_ earli
 time_t_ Core::finish_time() const {
   time_t_ t = user_finish_;
   for (const auto& pe : pes_) {
-    t = std::max(t, pe->mac.issue_port_free());
+    t = std::max(t, pe.mac.issue_port_free());
     // Accumulator drains are captured through read_acc by the kernels.
   }
   for (const auto& b : row_bus_) t = std::max(t, b.next_free());
@@ -93,21 +81,21 @@ time_t_ Core::finish_time() const {
 
 void Core::barrier(time_t_ t) {
   user_finish_ = std::max(user_finish_, t);
-  for (auto& pe : pes_) pe->mac.occupy(0.0, 0.0);  // no-op, keeps API uniform
+  for (auto& pe : pes_) pe.mac.occupy(0.0, 0.0);  // no-op, keeps API uniform
 }
 
 Stats Core::stats() const {
   Stats s;
   for (const auto& pe : pes_) {
-    s.mac_ops += pe->mac.mac_ops();
-    s.mul_ops += pe->mac.mul_ops();
-    s.cmp_ops += pe->mac.cmp_ops();
-    s.mem_a_reads += pe->mem_a.reads();
-    s.mem_a_writes += pe->mem_a.writes();
-    s.mem_b_reads += pe->mem_b.reads();
-    s.mem_b_writes += pe->mem_b.writes();
-    s.rf_reads += pe->rf.reads();
-    s.rf_writes += pe->rf.writes();
+    s.mac_ops += pe.mac.mac_ops();
+    s.mul_ops += pe.mac.mul_ops();
+    s.cmp_ops += pe.mac.cmp_ops();
+    s.mem_a_reads += pe.mem_a.reads();
+    s.mem_a_writes += pe.mem_a.writes();
+    s.mem_b_reads += pe.mem_b.reads();
+    s.mem_b_writes += pe.mem_b.writes();
+    s.rf_reads += pe.rf.reads();
+    s.rf_writes += pe.rf.writes();
   }
   s.row_bus_xfers = row_xfers_;
   s.col_bus_xfers = col_xfers_;

@@ -2,7 +2,7 @@
 // The simulated Linear Algebra Core: an nr x nr mesh of PEs, row/column
 // broadcast buses, a bandwidth-limited memory interface to the on-chip
 // memory, and a special-function unit (Fig 1.1 / Fig 3.1).
-#include <memory>
+#include <cassert>
 #include <vector>
 
 #include "arch/configs.hpp"
@@ -17,6 +17,9 @@ namespace lac::sim {
 struct Pe {
   Pe(const arch::CoreConfig& cfg, int accumulators);
 
+  /// Restore fresh-constructed state (resizing the accumulator set).
+  void reset(int accumulators);
+
   MacPipeline mac;
   LocalStore mem_a;
   LocalStore mem_b;
@@ -29,24 +32,55 @@ class Core {
   /// §3.4; `accumulators` sizes the per-PE accumulator register set.
   Core(const arch::CoreConfig& cfg, double bw_words_per_cycle, int accumulators = 4);
 
+  /// Restore the exact fresh-constructed state for the same config under a
+  /// (possibly different) bandwidth and accumulator count: zeroed local
+  /// stores, free resources, zero counters. A pooled core run after
+  /// reset() is byte-identical to a newly constructed one (sim/arena.hpp
+  /// relies on this; tests/test_core_sim.cpp pins it).
+  void reset(double bw_words_per_cycle, int accumulators);
+
   const arch::CoreConfig& config() const { return cfg_; }
   int nr() const { return cfg_.nr; }
 
-  Pe& pe(int row, int col);
-  const Pe& pe(int row, int col) const;
+  // pe()/broadcast/dma are header-inline: they gate every operation of a
+  // kernel schedule and out-of-line calls dominate the sim profile.
+
+  Pe& pe(int row, int col) {
+    assert(row >= 0 && row < cfg_.nr && col >= 0 && col < cfg_.nr);
+    return pes_[static_cast<std::size_t>(row) * cfg_.nr + col];
+  }
+  const Pe& pe(int row, int col) const {
+    assert(row >= 0 && row < cfg_.nr && col >= 0 && col < cfg_.nr);
+    return pes_[static_cast<std::size_t>(row) * cfg_.nr + col];
+  }
 
   /// ---- broadcast communication ----------------------------------------
   /// One-cycle broadcast on row bus `row`; all PEs of the row observe the
   /// value `bus_latency` cycles after the slot is granted.
-  TimedVal broadcast_row(int row, TimedVal v);
-  TimedVal broadcast_col(int col, TimedVal v);
+  TimedVal broadcast_row(int row, TimedVal v) {
+    assert(row >= 0 && row < cfg_.nr);
+    const time_t_ start = row_bus_[static_cast<std::size_t>(row)].acquire(v.ready, 1.0);
+    ++row_xfers_;
+    return {v.v, start + cfg_.bus_latency};
+  }
+  TimedVal broadcast_col(int col, TimedVal v) {
+    assert(col >= 0 && col < cfg_.nr);
+    const time_t_ start = col_bus_[static_cast<std::size_t>(col)].acquire(v.ready, 1.0);
+    ++col_xfers_;
+    return {v.v, start + cfg_.bus_latency};
+  }
 
   /// ---- memory interface -------------------------------------------------
   /// Stream `words` over the core's memory interface starting no earlier
   /// than `earliest`; returns the completion time. Charged at the
   /// configured words/cycle. Used for loads and stores alike (the column
   /// buses are multiplexed for external transfers, §3.2.1).
-  time_t_ dma(double words, time_t_ earliest);
+  time_t_ dma(double words, time_t_ earliest) {
+    if (words <= 0.0) return earliest;
+    const time_t_ start = mem_if_.acquire(earliest, words / bw_);
+    dma_words_ += static_cast<std::int64_t>(words);
+    return start + words / bw_;
+  }
 
   /// ---- special functions -------------------------------------------------
   Sfu& sfu() { return sfu_; }
@@ -71,7 +105,7 @@ class Core {
  private:
   arch::CoreConfig cfg_;
   double bw_;
-  std::vector<std::unique_ptr<Pe>> pes_;
+  std::vector<Pe> pes_;  ///< flat row-major mesh: one allocation, no per-PE indirection
   std::vector<Resource> row_bus_;
   std::vector<Resource> col_bus_;
   Resource mem_if_;

@@ -7,6 +7,7 @@
 // so explicit addresses carry no modeling cost). Port contention is timed
 // through one Resource per port group; block arrival times are tracked at
 // DMA granularity by the kernels.
+#include <algorithm>
 #include <cassert>
 #include <vector>
 
@@ -22,10 +23,25 @@ class LocalStore {
   index_t size() const { return static_cast<index_t>(data_.size()); }
   int ports() const { return ports_; }
 
+  // read/write live in the header: they sit on the innermost loop of every
+  // kernel schedule and must inline into the callers.
+
   /// Timed read: charges a port slot, value ready one cycle later.
-  TimedVal read(index_t addr, time_t_ earliest);
+  TimedVal read(index_t addr, time_t_ earliest) {
+    assert(addr >= 0 && addr < size());
+    // `ports_` accesses fit in one cycle: charge 1/ports_ of a cycle each.
+    const time_t_ start = port_.acquire(earliest, 1.0 / ports_);
+    ++reads_;
+    return {data_[static_cast<std::size_t>(addr)], start + 1.0};
+  }
   /// Timed write: charges a port slot.
-  time_t_ write(index_t addr, double v, time_t_ earliest);
+  time_t_ write(index_t addr, double v, time_t_ earliest) {
+    assert(addr >= 0 && addr < size());
+    const time_t_ start = port_.acquire(earliest, 1.0 / ports_);
+    data_[static_cast<std::size_t>(addr)] = v;
+    ++writes_;
+    return start + 1.0;
+  }
 
   /// Untimed accessors for DMA fills (timing charged on the DMA engine).
   double peek(index_t addr) const { return data_[static_cast<std::size_t>(addr)]; }
@@ -34,6 +50,13 @@ class LocalStore {
   std::int64_t reads() const { return reads_; }
   std::int64_t writes() const { return writes_; }
   void reset_counters() { reads_ = 0; writes_ = 0; port_.reset(); }
+  /// Restore fresh-constructed state: zeroed words (a freshly constructed
+  /// store is zero-initialized, and pooled reuse must be byte-identical to
+  /// construction), free port, zero counters.
+  void reset() {
+    std::fill(data_.begin(), data_.end(), 0.0);
+    reset_counters();
+  }
 
  private:
   std::vector<double> data_;
@@ -48,11 +71,26 @@ class RegisterFile {
  public:
   explicit RegisterFile(int entries) : regs_(static_cast<std::size_t>(entries)) {}
 
-  TimedVal read(int idx, time_t_ earliest);
-  void write(int idx, TimedVal v);
+  TimedVal read(int idx, time_t_ earliest) {
+    assert(idx >= 0 && idx < static_cast<int>(regs_.size()));
+    ++reads_;
+    const TimedVal& r = regs_[static_cast<std::size_t>(idx)];
+    return {r.v, std::max(r.ready, earliest)};
+  }
+  void write(int idx, TimedVal v) {
+    assert(idx >= 0 && idx < static_cast<int>(regs_.size()));
+    ++writes_;
+    regs_[static_cast<std::size_t>(idx)] = v;
+  }
 
   std::int64_t reads() const { return reads_; }
   std::int64_t writes() const { return writes_; }
+  /// Restore fresh-constructed state (zeroed entries, zero counters).
+  void reset() {
+    regs_.assign(regs_.size(), TimedVal{});
+    reads_ = 0;
+    writes_ = 0;
+  }
 
  private:
   std::vector<TimedVal> regs_;

@@ -4,6 +4,9 @@
 // back-to-back accumulations into the same accumulator issue every cycle,
 // while any consumer of the accumulated value (or of a general FMA result)
 // waits the full pipeline depth p.
+#include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -17,29 +20,92 @@ class MacPipeline {
 
   int depth() const { return p_; }
 
+  // The arithmetic ops below are defined in the header: they are the
+  // innermost operations of every kernel schedule (millions of calls per
+  // serving request stream), and keeping them inlineable is worth more
+  // than any other single optimization on the sim path.
+
   /// acc[idx] += a.v * b.v. Single-cycle accumulation: a chained MAC into
   /// the same accumulator may issue one cycle after the previous one.
   /// Returns the issue time.
-  time_t_ mac_into_acc(int idx, TimedVal a, TimedVal b, time_t_ earliest = 0.0);
+  time_t_ mac_into_acc(int idx, TimedVal a, TimedVal b, time_t_ earliest = 0.0) {
+    assert(idx >= 0 && idx < static_cast<int>(accs_.size()));
+    Acc& acc = accs_[static_cast<std::size_t>(idx)];
+    const time_t_ operands = std::max({a.ready, b.ready, acc.chain_free, earliest});
+    const time_t_ issue = issue_.acquire(operands, 1.0);
+    acc.value = std::fma(a.v, b.v, acc.value);
+    acc.ready = issue + p_;
+    acc.chain_free = issue + 1.0;  // delayed normalization: 1 acc/cycle
+    ++mac_ops_;
+    return issue;
+  }
 
   /// General 3-input FMA: returns a*b + c as a new value, ready p cycles
   /// after issue (used by TRSM updates, butterflies, ...).
-  TimedVal fma(TimedVal a, TimedVal b, TimedVal c, time_t_ earliest = 0.0);
+  TimedVal fma(TimedVal a, TimedVal b, TimedVal c, time_t_ earliest = 0.0) {
+    const time_t_ operands = std::max({a.ready, b.ready, c.ready, earliest});
+    const time_t_ issue = issue_.acquire(operands, 1.0);
+    ++mac_ops_;
+    return {std::fma(a.v, b.v, c.v), issue + p_};
+  }
 
   /// 2-input multiply (counted separately from MACs in the stats).
-  TimedVal mul(TimedVal a, TimedVal b, time_t_ earliest = 0.0);
-  TimedVal add(TimedVal a, TimedVal b, time_t_ earliest = 0.0);
+  TimedVal mul(TimedVal a, TimedVal b, time_t_ earliest = 0.0) {
+    const time_t_ operands = std::max({a.ready, b.ready, earliest});
+    const time_t_ issue = issue_.acquire(operands, 1.0);
+    ++mul_ops_;
+    return {a.v * b.v, issue + p_};
+  }
+  TimedVal add(TimedVal a, TimedVal b, time_t_ earliest = 0.0) {
+    const time_t_ operands = std::max({a.ready, b.ready, earliest});
+    const time_t_ issue = issue_.acquire(operands, 1.0);
+    ++mul_ops_;
+    return {a.v + b.v, issue + p_};
+  }
 
   /// Magnitude compare on the MAC datapath. With the comparator extension
   /// it is a 1-cycle dedicated op; without it, emulation costs two issue
   /// slots and a pipeline drain before the outcome is known.
   TimedVal compare_abs_max(TimedVal a, TimedVal b, bool comparator_ext,
-                           time_t_ earliest = 0.0);
+                           time_t_ earliest = 0.0) {
+    const time_t_ operands = std::max({a.ready, b.ready, earliest});
+    ++cmp_ops_;
+    if (comparator_ext) {
+      // Dedicated exponent/mantissa comparator beside the MAC: 1 cycle.
+      const time_t_ issue = issue_.acquire(operands, 1.0);
+      return {std::abs(a.v) >= std::abs(b.v) ? a.v : b.v, issue + 1.0};
+    }
+    // Emulated: subtract magnitudes on the MAC and examine the sign; costs
+    // two issue slots and the result is only known after the pipeline drain.
+    const time_t_ issue = issue_.acquire(operands, 2.0);
+    return {std::abs(a.v) >= std::abs(b.v) ? a.v : b.v, issue + 2.0 + p_};
+  }
 
   /// Read the accumulated value (forces normalization: pipeline drain).
-  TimedVal read_acc(int idx, time_t_ earliest = 0.0) const;
+  TimedVal read_acc(int idx, time_t_ earliest = 0.0) const {
+    assert(idx >= 0 && idx < static_cast<int>(accs_.size()));
+    const Acc& acc = accs_[static_cast<std::size_t>(idx)];
+    return {acc.value, std::max(acc.ready, earliest)};
+  }
   /// Preload an accumulator (e.g. with an incoming C element).
-  void set_acc(int idx, TimedVal v);
+  void set_acc(int idx, TimedVal v) {
+    assert(idx >= 0 && idx < static_cast<int>(accs_.size()));
+    Acc& acc = accs_[static_cast<std::size_t>(idx)];
+    acc.value = v.v;
+    acc.ready = v.ready;
+    acc.chain_free = v.ready;
+  }
+
+  /// Restore fresh-constructed state (the pipeline depth is config-bound
+  /// and survives); `accumulators` resizes the accumulator register set so
+  /// one pooled PE serves kernels with different double-buffering needs.
+  void reset(int accumulators) {
+    accs_.assign(static_cast<std::size_t>(accumulators), Acc{});
+    issue_.reset();
+    mac_ops_ = 0;
+    mul_ops_ = 0;
+    cmp_ops_ = 0;
+  }
 
   std::int64_t mac_ops() const { return mac_ops_; }
   std::int64_t mul_ops() const { return mul_ops_; }

@@ -29,6 +29,11 @@ class Sfu {
 
   std::int64_t ops() const { return ops_; }
   time_t_ busy_cycles() const { return unit_.busy_cycles(); }
+  /// Restore fresh-constructed state (the config is immutable).
+  void reset() {
+    unit_.reset();
+    ops_ = 0;
+  }
 
  private:
   double apply(SfuKind kind, double x) const;

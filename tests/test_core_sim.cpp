@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/presets.hpp"
+#include "sim/arena.hpp"
 #include "sim/chip.hpp"
 
 namespace lac::sim {
@@ -120,6 +121,65 @@ TEST(ChipSim, OffchipInterfaceIndependent) {
   EXPECT_DOUBLE_EQ(chip.offchip_dma(8.0, 0.0), 8.0);
   EXPECT_DOUBLE_EQ(chip.offchip_dma(8.0, 0.0), 16.0);
   EXPECT_EQ(chip.stats().dma_words, 16);
+}
+
+TEST(CoreSim, ResetRestoresFreshConstructedState) {
+  // Dirty a core thoroughly -- bus slots, the memory interface, local-store
+  // contents, activity counters -- under one (bandwidth, accumulators)
+  // point, then reset() it to another. It must be indistinguishable from a
+  // never-used core: this is the contract SimArena's pooling relies on for
+  // the serving determinism guarantee.
+  Core used(cfg(), 4.0, 2);
+  used.broadcast_row(0, at(1.0, 0.0));
+  used.broadcast_col(1, at(2.0, 0.0));
+  used.dma(64.0, 0.0);
+  used.pe(1, 2).mem_a.poke(7, 3.5);
+  used.pe(0, 0).mem_b.poke(0, -1.0);
+  used.pe(3, 3).rf.write(0, at(9.0, 0.0));
+  used.barrier(100.0);
+  used.reset(2.0, 4);
+
+  Core fresh(cfg(), 2.0, 4);
+  EXPECT_EQ(used.stats().row_bus_xfers, 0);
+  EXPECT_EQ(used.stats().dma_words, 0);
+  EXPECT_DOUBLE_EQ(used.finish_time(), fresh.finish_time());
+  EXPECT_DOUBLE_EQ(used.pe(1, 2).mem_a.read(7, 0.0).v, 0.0);  // zeroed store
+  EXPECT_DOUBLE_EQ(used.pe(0, 0).mem_b.read(0, 0.0).v, 0.0);
+  // Replay one op sequence on both; timings must agree exactly (no
+  // residual bus or interface occupancy survives the reset).
+  for (Core* c : {&used, &fresh}) {
+    c->broadcast_row(0, at(1.0, 0.0));
+    c->dma(16.0, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(used.broadcast_row(0, at(2.0, 0.0)).ready,
+                   fresh.broadcast_row(0, at(2.0, 0.0)).ready);
+  EXPECT_DOUBLE_EQ(used.dma(4.0, 0.0), fresh.dma(4.0, 0.0));
+  EXPECT_DOUBLE_EQ(used.finish_time(), fresh.finish_time());
+}
+
+TEST(SimArena, PooledCoreIsReusedOnlyForMatchingConfig) {
+  SimArena& arena = SimArena::local();
+  Core* first = nullptr;
+  {
+    ArenaCore core(cfg(), 4.0);
+    first = &core.get();
+    core.get().dma(32.0, 0.0);  // dirty it before release
+  }
+  EXPECT_GE(arena.pooled(), 1u);
+  {
+    // Same config: the pooled instance comes back, reset to fresh state.
+    ArenaCore core(cfg(), 2.0);
+    EXPECT_EQ(&core.get(), first);
+    EXPECT_EQ(core.get().stats().dma_words, 0);
+    EXPECT_DOUBLE_EQ(core.get().bw_words_per_cycle(), 2.0);
+  }
+  {
+    // Any config difference (here: bus latency) must miss the pool.
+    arch::CoreConfig other = cfg();
+    other.bus_latency += 1;
+    ArenaCore core(other, 4.0);
+    EXPECT_NE(&core.get(), first);
+  }
 }
 
 }  // namespace

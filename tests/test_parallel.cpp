@@ -12,6 +12,7 @@
 
 #include "common/parallel.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "test_support.hpp"
 
 namespace lac {
@@ -172,6 +173,92 @@ TEST(ThreadPoolQuiesce, DrainWaitsForCompletionButKeepsWorkers) {
   for (int i = 0; i < 8; ++i) pool.submit([&ran] { ran.fetch_add(1); });
   pool.drain();
   EXPECT_EQ(ran.load(), 40);
+}
+
+/// Park `count` workers of `pool` on gates so queue placement, not worker
+/// timing, decides what runs when. gates[i] releases blocker i (which
+/// worker picked it up is racy and does not matter to the callers).
+std::vector<std::promise<void>> park_workers(ThreadPool& pool, int count) {
+  std::vector<std::promise<void>> gates(static_cast<std::size_t>(count));
+  std::atomic<int> parked{0};
+  for (int i = 0; i < count; ++i) {
+    std::shared_future<void> go = gates[static_cast<std::size_t>(i)].get_future().share();
+    pool.post([&parked, go] {
+      parked.fetch_add(1);
+      go.wait();
+    });
+  }
+  while (parked.load() < count) std::this_thread::yield();
+  return gates;
+}
+
+TEST(ThreadPoolDispatch, ShortJobsOvertakeAQueuedLongJob) {
+  // The size-aware serving pin: a long (high-cost-hint) job queued *first*
+  // must not delay a burst of short jobs queued behind it. Two-choice
+  // placement steers the shorts onto the other shard, and even under an
+  // adversarial placement the idle worker steals them -- either way every
+  // short completes while the long job is still running.
+  ThreadPool pool(2);
+  std::vector<std::promise<void>> gates = park_workers(pool, 2);
+  std::atomic<bool> long_done{false};
+  std::atomic<int> shorts_before_long{0};
+  std::future<void> long_fut = pool.submit_hinted(1e9, [&long_done] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    long_done.store(true);
+  });
+  std::vector<std::future<void>> shorts;
+  for (int i = 0; i < 8; ++i)
+    shorts.push_back(pool.submit_hinted(1.0, [&] {
+      if (!long_done.load()) shorts_before_long.fetch_add(1);
+    }));
+  for (auto& g : gates) g.set_value();
+  for (auto& f : shorts) f.get();
+  long_fut.get();
+  EXPECT_EQ(shorts_before_long.load(), 8);
+}
+
+TEST(ThreadPoolSteal, IdleWorkerStealsFromAStalledShard) {
+  // Queue equal-cost jobs across both shards, then release only one
+  // worker. The other stays parked, so its shard's jobs can complete only
+  // by being stolen -- the free worker must clear all four, and the
+  // lac.pool.steals counter must record the cross-shard pops.
+  obs::Counter& steals = obs::MetricsRegistry::global().counter("lac.pool.steals");
+  ThreadPool pool(2);
+  std::vector<std::promise<void>> gates = park_workers(pool, 2);
+  const std::uint64_t steals_before = steals.value();
+  std::vector<std::future<void>> futs;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i)
+    futs.push_back(pool.submit_hinted(100.0, [&ran] { ran.fetch_add(1); }));
+  gates[0].set_value();
+  for (auto& f : futs) f.get();  // completes with one worker still parked
+  EXPECT_EQ(ran.load(), 4);
+  EXPECT_GE(steals.value() - steals_before, 2u);  // the stalled shard's pair
+  gates[1].set_value();
+  pool.drain();
+}
+
+TEST(ThreadPoolSteal, StealStressMixedCostsLosesNoJobs) {
+  // Submit-racing-drain under stealing: two submitter threads interleave
+  // high- and unit-cost jobs across a wide pool while the main thread
+  // drains repeatedly. Every job must run exactly once.
+  const int per_thread = test::scaled(600, 60);
+  for (int round = 0; round < test::scaled(4, 2); ++round) {
+    ThreadPool pool(8);
+    std::atomic<int> ran{0};
+    auto submitter = [&pool, &ran, per_thread] {
+      for (int i = 0; i < per_thread; ++i)
+        pool.submit_hinted(i % 7 == 0 ? 1e6 : 1.0,
+                           [&ran] { ran.fetch_add(1); });
+    };
+    std::thread a(submitter);
+    std::thread b(submitter);
+    for (int i = 0; i < 3; ++i) pool.drain();
+    a.join();
+    b.join();
+    pool.drain();
+    EXPECT_EQ(ran.load(), 2 * per_thread) << "round " << round;
+  }
 }
 
 }  // namespace

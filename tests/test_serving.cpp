@@ -181,6 +181,32 @@ TEST(AsyncExecutor, DeterministicAcrossPoolWidths) {
   }
 }
 
+TEST(AsyncExecutor, CostHintedDispatchMatchesUnhintedResults) {
+  // Size-aware dispatch must steer placement only: a hinted executor's
+  // results are byte-identical to the un-hinted baseline, and the hint
+  // source is the CostCache (repeated-shape traffic resolves to memo hits,
+  // never a second simulation).
+  std::vector<KernelRequest> reqs = serving_workload(3);
+  ThreadPool plain_pool(4);
+  const AsyncExecutor plain(kSim, &plain_pool);
+  std::vector<std::future<KernelResult>> base_futs = plain.submit_all(reqs);
+  std::vector<KernelResult> expect;
+  for (auto& f : base_futs) expect.push_back(f.get());
+
+  CostCache hints;
+  ThreadPool hinted_pool(4);
+  const AsyncExecutor hinted(kSim, &hinted_pool, &hints);
+  std::vector<std::future<KernelResult>> futs = hinted.submit_all(reqs);
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    KernelResult got = futs[i].get();
+    EXPECT_EQ(got.cycles.value(), expect[i].cycles.value()) << "req " << i;
+    EXPECT_TRUE(got.out == expect[i].out) << "req " << i;
+  }
+  // Every submission consulted the cache; the repeated shapes hit.
+  EXPECT_EQ(hints.hits() + hints.misses(), reqs.size());
+  EXPECT_GT(hints.hits(), 0u);
+}
+
 TEST(AsyncExecutor, CompletionHookRunsPerRequest) {
   std::vector<KernelRequest> reqs = serving_workload(2);
   std::atomic<int> completed{0};

@@ -44,13 +44,28 @@ compiles fine today and corrupts an invariant three PRs later:
                         prefixes completed at runtime (backend/kernel
                         names) and are shape-checked only. Waive with
                         `lint-allow(metric-name)`.
+  hot-alloc             No `new` / `make_unique` / `make_shared` in the
+                        sim hot paths (src/sim/, src/kernels/, src/fft/,
+                        src/fabric/stream_schedule.cpp): per-step
+                        allocation is the regression the PR 10 arena
+                        removed. One-time magic-static initializers are
+                        exempt; waive a deliberate allocation with a
+                        `lint-allow: hot-alloc (reason)` comment on the
+                        line or the two lines above it -- the reason is
+                        mandatory.
 
 --artifact FILE validates a runtime artifact instead of sources: a
 BENCH_*.json (required `meta` provenance keys; `telemetry` metric names
 obey the metric-names rule; histogram objects carry exactly
-count/sum/bounds/buckets) or a Chrome trace JSON (`traceEvents` of "X"
-events with name/cat/ts/dur/pid/tid). This is how CI holds the
-bench-schema line on fields that only exist at runtime.
+count/sum/bounds/buckets; a serving-style `modes` array carries the full
+per-backend stats schema incl. p50_ms/p99_ms) or a Chrome trace JSON
+(`traceEvents` of "X" events with name/cat/ts/dur/pid/tid). This is how
+CI holds the bench-schema line on fields that only exist at runtime.
+
+--serving-gate FILE is the tail-latency/throughput regression gate over a
+committed BENCH_serving.json: sim pool-mode throughput must hold the PR 10
+floor (>= 1.5x the PR 9 baseline of 9034.28 req/s) and sim pool-mode p99
+must stay within 3x of spawn-mode p99 at equal worker width.
 
 Exit status 0 = clean, 1 = findings (printed one per line as
 file:line: [check] message), 2 = linter could not run.
@@ -368,11 +383,12 @@ UNIT_TOKENS = {
 DIMENSIONLESS_KEYS = {
     "smoke", "n", "nr", "bw", "utilization", "weight", "block",
     "deterministic_across_pool_widths", "fairness_jain",
+    "sim_pool_p99_over_spawn_p99",  # ratio of two same-unit latencies
 }
 DIMENSIONLESS_TOKENS = {
     "points", "hits", "misses", "rate", "requests", "tenants", "failures",
     "width", "widths", "workers", "iterations", "events", "nodes", "graphs",
-    "replays", "chunk", "speedup", "modes",
+    "replays", "chunk", "speedup", "modes", "window",
 }
 
 # Keys whose values are runtime-composed JSON objects streamed in from a
@@ -428,7 +444,7 @@ METRIC_LITERAL = re.compile(r'"(lac\.[^"\\]*)"')
 # the dimension. Everything else numeric must end in a unit suffix.
 METRIC_DIMENSIONLESS_TOKENS = {
     "hits", "misses", "inserts", "requests", "tasks", "jobs", "units",
-    "depth", "events", "drops", "errors", "retries", "count",
+    "depth", "events", "drops", "errors", "retries", "count", "steals",
 }
 
 
@@ -453,6 +469,48 @@ def metric_name_findings(name, where="metric name"):
             "(_us, _ns, _cycles, ...) and is not a recognizable "
             "dimensionless count")
     return problems
+
+
+# ---------------------------------------------------------------------------
+# hot-alloc: no per-call allocation in the sim hot paths.
+
+# Directories/files whose code runs per simulated step or per kernel call.
+# Construction-time allocation belongs in src/fabric executors and the
+# arch/ presets; anything allocating here runs millions of times per bench.
+HOT_ALLOC_PATHS = ("src/sim/", "src/kernels/", "src/fft/",
+                   "src/fabric/stream_schedule.cpp")
+HOT_ALLOC_PATTERN = re.compile(
+    r"\bnew\b|std::make_unique\s*<|std::make_shared\s*<")
+# Waiver with a mandatory reason, on the flagged line or up to two lines
+# above (multi-line comment style).
+HOT_ALLOC_WAIVER = re.compile(r"lint-allow:\s*hot-alloc\s*\(\S")
+
+
+def check_hot_alloc(tree):
+    findings = []
+    for rel, text in tree.files.items():
+        if not any(rel.startswith(p) for p in HOT_ALLOC_PATHS):
+            continue
+        clean = strip_comments(text)
+        lines = clean.splitlines()
+        raw_lines = text.splitlines()
+        for i, line in enumerate(lines):
+            if not HOT_ALLOC_PATTERN.search(line):
+                continue
+            # One-time magic-static initializers (metric handles) are not
+            # hot: they allocate once per process.
+            if re.match(r"\s*static\b", line):
+                continue
+            context = "\n".join(raw_lines[max(0, i - 2) : i + 1])
+            if HOT_ALLOC_WAIVER.search(context):
+                continue
+            findings.append(
+                (rel, i + 1,
+                 "allocation in a sim hot path -- use the SimArena core "
+                 "pool / Scratch freelists, hoist the buffer out of the "
+                 "loop, or waive with `lint-allow: hot-alloc (reason)`")
+            )
+    return findings
 
 
 def check_metric_names(tree):
@@ -522,6 +580,33 @@ def validate_telemetry(rel, telemetry, findings):
                  "object"))
 
 
+# Per-mode stats schema for serving-style benches: every backend/mode
+# entry carries throughput *and* the latency distribution, so the tail
+# regression gate (and any dashboard) never meets a partial record.
+REQUIRED_MODE_KEYS = {"backend", "mode", "requests", "wall_ms",
+                      "requests_per_s", "p50_ms", "p99_ms"}
+
+
+def validate_modes(rel, modes, findings):
+    if not isinstance(modes, list):
+        findings.append((rel, 1, "`modes` is not a JSON array"))
+        return
+    for i, entry in enumerate(modes):
+        if not isinstance(entry, dict):
+            findings.append((rel, 1, f"modes[{i}] is not a JSON object"))
+            continue
+        missing = REQUIRED_MODE_KEYS - set(entry)
+        if missing:
+            findings.append(
+                (rel, 1, f"modes[{i}] is missing {sorted(missing)}"))
+            continue
+        bad = [k for k in REQUIRED_MODE_KEYS - {"backend", "mode"}
+               if not isinstance(entry[k], (int, float))]
+        if bad:
+            findings.append(
+                (rel, 1, f"modes[{i}] non-numeric stats field(s) {sorted(bad)}"))
+
+
 def validate_bench_artifact(rel, data, findings):
     meta = data.get("meta")
     if not isinstance(meta, dict):
@@ -532,6 +617,8 @@ def validate_bench_artifact(rel, data, findings):
         if missing:
             findings.append(
                 (rel, 1, f"BENCH `meta` is missing {sorted(missing)}"))
+    if "modes" in data:
+        validate_modes(rel, data["modes"], findings)
     if "telemetry" in data:
         validate_telemetry(rel, data["telemetry"], findings)
 
@@ -578,6 +665,71 @@ def validate_artifact_file(path):
     return validate_artifact_data(str(path), data)
 
 
+# ---------------------------------------------------------------------------
+# --serving-gate: sim-backend throughput/tail regression pins.
+
+# PR 9 committed baseline (BENCH_serving.json at commit b856bd4): sim
+# backend, pool mode, width 8, RelWithDebInfo, this container class. The
+# PR 10 fast path must hold at least this factor over it, and pool-mode
+# tail latency must stay within this factor of spawn mode.
+SERVING_BASELINE_SIM_POOL_RPS = 9034.28
+SERVING_MIN_SPEEDUP = 1.5
+SERVING_MAX_P99_RATIO = 3.0
+
+
+def gate_serving_data(rel, data):
+    """Regression findings for one parsed BENCH_serving.json."""
+    findings = []
+    modes = data.get("modes")
+    if not isinstance(modes, list):
+        return [(rel, 1, "serving gate needs a `modes` array")]
+
+    def entry(backend, mode):
+        for e in modes:
+            if isinstance(e, dict) and e.get("backend") == backend \
+                    and e.get("mode") == mode:
+                return e
+        return None
+
+    pool = entry("sim", "pool")
+    spawn = entry("sim", "spawn")
+    if pool is None or spawn is None:
+        return [(rel, 1,
+                 "serving gate needs sim backend entries for both `pool` "
+                 "and `spawn` modes")]
+
+    floor = SERVING_BASELINE_SIM_POOL_RPS * SERVING_MIN_SPEEDUP
+    rps = pool.get("requests_per_s", 0.0)
+    if not isinstance(rps, (int, float)) or rps < floor:
+        findings.append(
+            (rel, 1,
+             f"sim pool throughput {rps} req/s below the gate floor "
+             f"{floor:.2f} (= {SERVING_MIN_SPEEDUP}x the PR 9 baseline "
+             f"{SERVING_BASELINE_SIM_POOL_RPS})"))
+
+    p99_pool, p99_spawn = pool.get("p99_ms"), spawn.get("p99_ms")
+    if not all(isinstance(v, (int, float)) and v > 0
+               for v in (p99_pool, p99_spawn)):
+        findings.append((rel, 1, "sim pool/spawn entries need positive p99_ms"))
+    elif p99_pool > SERVING_MAX_P99_RATIO * p99_spawn:
+        findings.append(
+            (rel, 1,
+             f"sim pool p99 {p99_pool} ms exceeds "
+             f"{SERVING_MAX_P99_RATIO}x spawn p99 {p99_spawn} ms -- the "
+             "size-aware dispatch tail pin"))
+    return findings
+
+
+def gate_serving_file(path):
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as e:
+        return [(str(path), 1, f"unreadable artifact: {e}")]
+    if not isinstance(data, dict):
+        return [(str(path), 1, "artifact root is not a JSON object")]
+    return gate_serving_data(str(path), data)
+
+
 CHECKS = {
     "stray-kernel-switch": check_stray_kernel_switch,
     "bench-schema": check_bench_schema,
@@ -585,6 +737,7 @@ CHECKS = {
     "signature-delimiters": check_signature_delimiters,
     "raw-thread": check_raw_thread,
     "metric-names": check_metric_names,
+    "hot-alloc": check_hot_alloc,
 }
 
 
@@ -673,6 +826,22 @@ def self_test(tree):
             "\nstatic const char* lint_seed = \"lac.serving.GEMM.requests\";\n"
         )
 
+    # hot-alloc: an unwaived per-call allocation in a sim hot path.
+    def seed_hot_alloc(files):
+        rel = "src/sim/arena.cpp"
+        files[rel] = files.get(rel, "") + (
+            "\nnamespace { double* lint_seed() { return new double[8]; } }\n"
+        )
+
+    # hot-alloc: a waiver without a reason must NOT silence the finding.
+    def seed_hot_alloc_bare_waiver(files):
+        rel = "src/sim/arena.cpp"
+        files[rel] = files.get(rel, "") + (
+            "\nnamespace { double* lint_seed() {\n"
+            "  // lint-allow: hot-alloc\n"
+            "  return new double[8];\n} }\n"
+        )
+
     seeds = [
         ("stray-kernel-switch", seed_switch),
         ("bench-schema", seed_bench_schema),
@@ -683,6 +852,8 @@ def self_test(tree):
         ("raw-thread", seed_thread),
         ("metric-names", seed_metric_name),
         ("metric-names", seed_metric_case),
+        ("hot-alloc", seed_hot_alloc),
+        ("hot-alloc", seed_hot_alloc_bare_waiver),
     ]
     for name, mutate in seeds:
         hits = run_checks(seeded(mutate), [name])
@@ -722,6 +893,21 @@ def self_test(tree):
             {"name": "x", "cat": "lac", "ph": "B", "ts": 0, "dur": 1,
              "pid": 1, "tid": 0}]}, True),
         ("trace event missing keys", {"traceEvents": [{"name": "x"}]}, True),
+        ("good serving modes",
+         {"meta": good_meta, "modes": [
+             {"backend": "sim", "mode": "pool", "requests": 216,
+              "wall_ms": 10.0, "requests_per_s": 21600.0, "p50_ms": 0.3,
+              "p99_ms": 2.0}]}, False),
+        ("serving mode entry missing p99",
+         {"meta": good_meta, "modes": [
+             {"backend": "sim", "mode": "pool", "requests": 216,
+              "wall_ms": 10.0, "requests_per_s": 21600.0,
+              "p50_ms": 0.3}]}, True),
+        ("serving mode entry non-numeric stat",
+         {"meta": good_meta, "modes": [
+             {"backend": "sim", "mode": "pool", "requests": 216,
+              "wall_ms": 10.0, "requests_per_s": "fast", "p50_ms": 0.3,
+              "p99_ms": 2.0}]}, True),
     ]
     for label, data, expect_findings in artifact_cases:
         hits = validate_artifact_data(label, data)
@@ -732,6 +918,34 @@ def self_test(tree):
                 f"{hits or 'clean'}")
         else:
             print(f"self-test: [artifact] {label}: "
+                  f"{'caught: ' + str(hits[0]) if hits else 'clean'}")
+
+    # Serving-gate fixtures: floor and ratio pins must each trip.
+    def serving_fixture(rps, p99_pool, p99_spawn):
+        return {"modes": [
+            {"backend": "sim", "mode": "spawn", "requests_per_s": 9000.0,
+             "p99_ms": p99_spawn},
+            {"backend": "sim", "mode": "pool", "requests_per_s": rps,
+             "p99_ms": p99_pool}]}
+
+    floor = SERVING_BASELINE_SIM_POOL_RPS * SERVING_MIN_SPEEDUP
+    gate_cases = [
+        ("gate pass", serving_fixture(floor + 1.0, 2.9, 1.0), False),
+        ("gate throughput floor", serving_fixture(floor - 1.0, 2.9, 1.0), True),
+        ("gate p99 ratio", serving_fixture(floor + 1.0, 3.1, 1.0), True),
+        ("gate missing sim entries", {"modes": [
+            {"backend": "model", "mode": "pool", "requests_per_s": 1e6,
+             "p99_ms": 0.1}]}, True),
+    ]
+    for label, data, expect_findings in gate_cases:
+        hits = gate_serving_data(label, data)
+        if bool(hits) != expect_findings:
+            failures.append(
+                f"self-test: [serving-gate] `{label}` expected "
+                f"{'findings' if expect_findings else 'clean'}, got "
+                f"{hits or 'clean'}")
+        else:
+            print(f"self-test: [serving-gate] {label}: "
                   f"{'caught: ' + str(hits[0]) if hits else 'clean'}")
 
     # And the pristine tree must be clean, or the seeds prove nothing.
@@ -751,7 +965,19 @@ def main():
     ap.add_argument("--artifact", action="append", metavar="FILE",
                     help="validate an emitted BENCH_*.json or trace JSON "
                          "instead of linting sources (repeatable)")
+    ap.add_argument("--serving-gate", metavar="FILE",
+                    help="run the sim-backend throughput/tail regression "
+                         "gate over a BENCH_serving.json")
     args = ap.parse_args()
+
+    if args.serving_gate:
+        findings = [f"{rel}:{line}: [serving-gate] {msg}"
+                    for rel, line, msg in gate_serving_file(args.serving_gate)]
+        for f in findings:
+            print(f)
+        print(f"lint --serving-gate: {len(findings)} finding(s)"
+              + (" -- FAIL" if findings else " -- OK"))
+        return 1 if findings else 0
 
     if args.artifact:
         findings = []
